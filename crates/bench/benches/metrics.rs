@@ -1,0 +1,99 @@
+//! Criterion benches of the metric suite. The paper's artifact analyzes
+//! million-packet captures ("no more than 5 minutes each, but the time
+//! scales with the length of the packet captures and with any
+//! reordering", Appendix B) — these benches show the Rust implementation
+//! handles that scale in milliseconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use choir_core::metrics::matching::Matching;
+use choir_core::metrics::ordering::ordering;
+use choir_core::metrics::report::analyze;
+use choir_core::metrics::{compare, Trial};
+
+fn cbr_trial(n: u64, jitter_period: u64) -> Trial {
+    let mut t = Trial::with_capacity(n as usize);
+    for i in 0..n {
+        let j = if jitter_period > 0 {
+            (i % jitter_period) * 1_000
+        } else {
+            0
+        };
+        t.push_tagged(0, 0, i, i * 284_800 + j);
+    }
+    t
+}
+
+/// A trial with block reordering (the dual-replayer shape).
+fn block_shuffled(n: u64, block: u64) -> Trial {
+    let mut t = Trial::with_capacity(n as usize);
+    for i in 0..n {
+        // Swap adjacent blocks pairwise.
+        let b = i / block;
+        let seq = if b.is_multiple_of(2) {
+            (i + block).min(n - 1)
+        } else {
+            i - block
+        };
+        t.push_tagged(0, 0, seq, i * 284_800);
+    }
+    t
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metric_compare");
+    for &n in &[10_000u64, 100_000, 1_000_000] {
+        let a = cbr_trial(n, 0);
+        let b = cbr_trial(n, 7);
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("in_order", n), &n, |bench, _| {
+            bench.iter(|| compare(&a, &b).kappa);
+        });
+    }
+    g.finish();
+}
+
+fn bench_ordering_reordered(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metric_ordering");
+    g.sample_size(20);
+    for &n in &[100_000u64, 1_000_000] {
+        let a = cbr_trial(n, 0);
+        let b = block_shuffled(n, 64);
+        let m = Matching::build(&a, &b);
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("block_shuffled_lis", n), &n, |bench, _| {
+            bench.iter(|| ordering(&m).o);
+        });
+    }
+    g.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metric_matching");
+    let n = 1_000_000u64;
+    let a = cbr_trial(n, 0);
+    let b = cbr_trial(n, 3);
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("build_1m", |bench| {
+        bench.iter(|| Matching::build(&a, &b).common());
+    });
+    g.finish();
+}
+
+fn bench_full_analysis(c: &mut Criterion) {
+    // The paper's per-run analysis bundle: metrics + both histograms +
+    // edit-script stats, at the paper's full trial size.
+    let mut g = c.benchmark_group("metric_full_analysis");
+    g.sample_size(10);
+    let n = 1_053_000u64; // one 0.3 s 40 Gbps capture
+    let a = cbr_trial(n, 0);
+    let b = cbr_trial(n, 11);
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("paper_scale_run", |bench| {
+        bench.iter(|| analyze("B", &a, &b).metrics.kappa);
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compare, bench_ordering_reordered, bench_matching, bench_full_analysis);
+criterion_main!(benches);

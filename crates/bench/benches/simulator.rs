@@ -1,0 +1,52 @@
+//! Criterion benches of the discrete-event simulator: event throughput
+//! for the full record-and-replay pipeline, which bounds how fast the
+//! paper's experiments regenerate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use choir_testbed::{run_experiment, EnvKind, ExperimentConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_pipeline");
+    g.sample_size(10);
+    for &scale in &[0.001f64, 0.005] {
+        let mut profile = EnvKind::LocalSingle.profile();
+        profile.runs = 2;
+        let cfg = ExperimentConfig {
+            profile,
+            scale,
+            seed: 99,
+        };
+        let packets = cfg.packet_count();
+        g.throughput(Throughput::Elements(packets * 3)); // record + 2 replays
+        g.bench_with_input(
+            BenchmarkId::new("local_single", packets),
+            &cfg,
+            |bench, cfg| {
+                bench.iter(|| run_experiment(cfg).events);
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_noisy_environment(c: &mut Criterion) {
+    // The contention models add per-packet RNG draws; quantify the cost.
+    let mut g = c.benchmark_group("sim_noisy");
+    g.sample_size(10);
+    let mut profile = EnvKind::FabricShared40Noisy.profile();
+    profile.runs = 2;
+    let cfg = ExperimentConfig {
+        profile,
+        scale: 0.002,
+        seed: 99,
+    };
+    g.throughput(Throughput::Elements(cfg.packet_count() * 3));
+    g.bench_function("shared40_noisy", |bench| {
+        bench.iter(|| run_experiment(&cfg).events);
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_noisy_environment);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Plain-text rendering of the paper's tables and figures.
+
+use choir_core::metrics::report::RunReport;
+use choir_core::metrics::ConsistencyMetrics;
+use choir_testbed::EnvKind;
+
+use crate::paper::PaperRow;
+
+/// Scientific-ish compact float formatting matching the paper's style.
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 0.01 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Render a Table-2-style row pair: paper vs measured.
+pub fn table2_pair(kind: EnvKind, paper: &ConsistencyMetrics, ours: &ConsistencyMetrics) -> String {
+    format!(
+        "{:<28} | {:>9} {:>9} {:>9} {:>9} {:>7} | {:>9} {:>9} {:>9} {:>9} {:>7}\n",
+        kind.label(),
+        sci(paper.u),
+        sci(paper.o),
+        sci(paper.i),
+        sci(paper.l),
+        format!("{:.4}", paper.kappa),
+        sci(ours.u),
+        sci(ours.o),
+        sci(ours.i),
+        sci(ours.l),
+        format!("{:.4}", ours.kappa),
+    )
+}
+
+/// Header for the Table 2 rendering.
+pub fn table2_header() -> String {
+    format!(
+        "{:<28} | {:^49} | {:^49}\n{:<28} | {:>9} {:>9} {:>9} {:>9} {:>7} | {:>9} {:>9} {:>9} {:>9} {:>7}\n{}\n",
+        "Environment",
+        "paper (Table 2)",
+        "measured (this run)",
+        "",
+        "U",
+        "O",
+        "I",
+        "L",
+        "kappa",
+        "U",
+        "O",
+        "I",
+        "L",
+        "kappa",
+        "-".repeat(130),
+    )
+}
+
+/// One environment's per-run summary in the style of the paper's
+/// evaluation prose: per run within-10ns%, I, L, κ.
+pub fn run_summary(report: &RunReport, paper: &PaperRow) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("Environment: {}\n", report.environment));
+    for r in &report.runs {
+        s.push_str(&format!(
+            "  run {}: {:5.2}% IAT +-10ns, U {}, O {}, I {}, L {}, kappa {:.4}  (moved {}, missing {}, extra {})\n",
+            r.label,
+            100.0 * r.iat_within_10ns,
+            sci(r.metrics.u),
+            sci(r.metrics.o),
+            sci(r.metrics.i),
+            sci(r.metrics.l),
+            r.metrics.kappa,
+            r.moved,
+            r.missing,
+            r.extra,
+        ));
+    }
+    s.push_str(&format!(
+        "  mean: U {}, O {}, I {}, L {}, kappa {:.4}\n",
+        sci(report.mean.u),
+        sci(report.mean.o),
+        sci(report.mean.i),
+        sci(report.mean.l),
+        report.mean.kappa
+    ));
+    s.push_str(&format!(
+        "  paper: U {}, O {}, I {}, L {}, kappa {:.4}",
+        sci(paper.mean.u),
+        sci(paper.mean.o),
+        sci(paper.mean.i),
+        sci(paper.mean.l),
+        paper.mean.kappa
+    ));
+    if let Some((lo, hi)) = paper.within_10ns {
+        s.push_str(&format!(
+            ", within-10ns {:.2}%..{:.2}%",
+            lo * 100.0,
+            hi * 100.0
+        ));
+    }
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sci_formatting() {
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(0.0294), "0.0294");
+        assert_eq!(sci(4.27e-6), "4.27e-6");
+    }
+
+    #[test]
+    fn header_and_row_render() {
+        let h = table2_header();
+        assert!(h.contains("kappa"));
+        let m = ConsistencyMetrics {
+            u: 0.0,
+            o: 0.0,
+            l: 1e-5,
+            i: 0.03,
+            kappa: 0.985,
+        };
+        let row = table2_pair(EnvKind::LocalSingle, &m, &m);
+        assert!(row.contains("Local Single-Replayer"));
+    }
+}

@@ -1,0 +1,106 @@
+//! # choir-bench
+//!
+//! The reproduction harness: paper targets, table/figure rendering, and
+//! the plumbing shared by the `repro` binary and the Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation has a regenerating
+//! subcommand in `repro` (see `src/bin/repro.rs`); this library holds the
+//! published numbers ([`paper`]) so each run prints paper-vs-measured
+//! side by side, which is also how EXPERIMENTS.md is produced.
+
+pub mod fmt;
+pub mod paper;
+
+use choir_testbed::{run_experiment, EnvKind, ExperimentConfig, ExperimentOutput};
+
+/// Run one environment at the given scale/seed.
+pub fn run_env(kind: EnvKind, scale: f64, seed: u64) -> ExperimentOutput {
+    run_experiment(&ExperimentConfig {
+        profile: kind.profile(),
+        scale,
+        seed,
+    })
+}
+
+/// Run several environments concurrently, bounded by the host's
+/// parallelism (each experiment is an independent simulation, so this is
+/// embarrassingly parallel; on a laptop-class machine it turns the
+/// nine-environment sweep into a few wall-clock batches).
+///
+/// Results come back in input order regardless of completion order.
+pub fn run_envs_parallel(kinds: &[EnvKind], scale: f64, seed: u64) -> Vec<ExperimentOutput> {
+    run_envs_parallel_with(kinds, scale, seed, None)
+}
+
+/// [`run_envs_parallel`] with an optional per-environment run-count
+/// override.
+pub fn run_envs_parallel_with(
+    kinds: &[EnvKind],
+    scale: f64,
+    seed: u64,
+    runs: Option<usize>,
+) -> Vec<ExperimentOutput> {
+    let run_one = |kind: EnvKind| {
+        let mut profile = kind.profile();
+        if let Some(r) = runs {
+            profile.runs = r;
+        }
+        run_experiment(&ExperimentConfig {
+            profile,
+            scale,
+            seed,
+        })
+    };
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(kinds.len().max(1));
+    if workers <= 1 {
+        return kinds.iter().map(|&k| run_one(k)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<ExperimentOutput>> = Vec::new();
+    slots.resize_with(kinds.len(), || None);
+    let slots = parking_lot::Mutex::new(slots);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= kinds.len() {
+                    break;
+                }
+                let out = run_one(kinds[i]);
+                slots.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("experiment scope");
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let kinds = [EnvKind::LocalSingle, EnvKind::FabricShared40];
+        let par = run_envs_parallel(&kinds, 0.0005, 5);
+        assert_eq!(par.len(), 2);
+        for (kind, out) in kinds.iter().zip(&par) {
+            let serial = run_env(*kind, 0.0005, 5);
+            assert_eq!(out.trials, serial.trials, "{kind:?} must be order-stable");
+        }
+    }
+
+    #[test]
+    fn run_env_smoke() {
+        let out = run_env(EnvKind::LocalSingle, 0.0005, 3);
+        assert!(out.recorded_packets >= 50);
+        assert_eq!(out.report.runs.len(), 4);
+    }
+}

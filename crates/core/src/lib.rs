@@ -1,0 +1,41 @@
+//! # choir-core
+//!
+//! The paper's two contributions, as a library:
+//!
+//! 1. **The consistency metric suite** ([`metrics`]): the four normalized
+//!    variation metrics between two trials — uniqueness `U` (Eq. 1),
+//!    ordering `O` (Eq. 2), latency `L` (Eq. 3) and inter-arrival time `I`
+//!    (Eq. 4) — and the compound score `κ = 1 − |⟨U,O,L,I⟩|/2` (Eq. 5),
+//!    plus the weighted / non-linearly-scaled variants the paper lists as
+//!    future work (§8.2, §10) and the figure-style delta histograms.
+//!
+//! 2. **The Choir replay application** ([`replay`]): a transparent
+//!    middlebox that forwards traffic at line rate, records transmitted
+//!    bursts in RAM without copying, and replays them by releasing each
+//!    burst when the TSC passes `recorded_tsc + delta` (§4). The
+//!    application is written against `choir_dpdk::Dataplane`, so the same
+//!    code runs in the deterministic simulator and on the real-time
+//!    backend.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use choir_core::metrics::{Trial, compare};
+//!
+//! let mut a = Trial::new();
+//! let mut b = Trial::new();
+//! for i in 0..10u64 {
+//!     a.push_tagged(0, 0, i, i * 1_000_000); // 1 us spacing, in ps
+//!     b.push_tagged(0, 0, i, i * 1_000_000 + 500); // 0.5 ns late each
+//! }
+//! let m = compare(&a, &b);
+//! assert_eq!(m.u, 0.0); // same packets
+//! assert_eq!(m.o, 0.0); // same order
+//! assert!(m.kappa > 0.99); // nearly perfectly consistent
+//! ```
+
+pub mod metrics;
+pub mod replay;
+
+pub use metrics::{compare, ConsistencyMetrics, Trial};
+pub use replay::{ChoirMiddlebox, MiddleboxConfig, Recording};

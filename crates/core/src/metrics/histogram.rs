@@ -1,0 +1,283 @@
+//! Signed logarithmic delta histograms, in the style of the paper's
+//! figures.
+//!
+//! Every evaluation figure (Figs. 4–10) is a histogram of "the percentage
+//! of packets with a given IAT delta" (or latency delta) on a symmetric
+//! log-ish axis spanning roughly ±10⁸ ns. [`DeltaHistogram`] reproduces
+//! that: a zero bucket for |Δ| < 1 ns, then logarithmic buckets (a fixed
+//! number per decade) out to ±10⁹ ns, mirrored for negative deltas.
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-buckets per decade.
+const SUBS: usize = 5;
+/// Number of decades covered (1 ns .. 10^DECADES ns).
+const DECADES: usize = 9;
+/// Buckets per sign: decades × subs.
+const PER_SIGN: usize = SUBS * DECADES;
+
+/// A symmetric signed log histogram of deltas in nanoseconds.
+///
+/// ```
+/// use choir_core::metrics::DeltaHistogram;
+///
+/// let h = DeltaHistogram::of([0.2, -3.0, 5.5, 180.0]);
+/// assert_eq!(h.total(), 4);
+/// assert!((h.fraction_within(10.0) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeltaHistogram {
+    /// Counts indexed `0..2*PER_SIGN+1`; the middle index is the zero
+    /// bucket, lower indices negative deltas, higher positive.
+    counts: Vec<u64>,
+    total: u64,
+    /// Values below −10⁹ ns or above +10⁹ ns (clamped into the end
+    /// buckets but tallied separately for diagnostics).
+    clamped: u64,
+}
+
+impl DeltaHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        DeltaHistogram {
+            counts: vec![0; 2 * PER_SIGN + 1],
+            total: 0,
+            clamped: 0,
+        }
+    }
+
+    /// Histogram of a delta series.
+    pub fn of<I: IntoIterator<Item = f64>>(deltas_ns: I) -> Self {
+        let mut h = Self::new();
+        for d in deltas_ns {
+            h.add(d);
+        }
+        h
+    }
+
+    fn signed_index(&mut self, delta_ns: f64) -> usize {
+        let mag = delta_ns.abs();
+        if mag < 1.0 {
+            return PER_SIGN; // zero bucket
+        }
+        let mut pos = (mag.log10() * SUBS as f64).floor() as isize;
+        if pos >= PER_SIGN as isize {
+            pos = PER_SIGN as isize - 1;
+            self.clamped += 1;
+        }
+        if delta_ns > 0.0 {
+            PER_SIGN + 1 + pos as usize
+        } else {
+            PER_SIGN - 1 - pos as usize
+        }
+    }
+
+    /// Add one delta (in nanoseconds).
+    pub fn add(&mut self, delta_ns: f64) {
+        let idx = self.signed_index(delta_ns);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples that fell outside ±10⁹ ns and were clamped.
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
+    /// The bucket boundaries and mass, as `(lo_ns, hi_ns, count, percent)`
+    /// from the most negative bucket to the most positive. The zero bucket
+    /// is `(-1, 1)`.
+    pub fn buckets(&self) -> Vec<(f64, f64, u64, f64)> {
+        let edge = |k: usize| 10f64.powf(k as f64 / SUBS as f64);
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = if i == PER_SIGN {
+                (-1.0, 1.0)
+            } else if i > PER_SIGN {
+                let k = i - PER_SIGN - 1;
+                (edge(k), edge(k + 1))
+            } else {
+                let k = PER_SIGN - 1 - i;
+                (-edge(k + 1), -edge(k))
+            };
+            let pct = if self.total == 0 {
+                0.0
+            } else {
+                100.0 * c as f64 / self.total as f64
+            };
+            out.push((lo, hi, c, pct));
+        }
+        out
+    }
+
+    /// Fraction (0–1) of samples with |Δ| ≤ `bound_ns`, computed from the
+    /// raw counts of fully-contained buckets (conservative: a partially
+    /// overlapping bucket is excluded).
+    ///
+    /// For the paper's headline "within 10 ns" statistic the bucket edges
+    /// align exactly, so nothing is lost.
+    pub fn fraction_within(&self, bound_ns: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut within = 0u64;
+        for (lo, hi, c, _) in self.buckets() {
+            if lo >= -bound_ns && hi <= bound_ns {
+                within += c;
+            }
+        }
+        within as f64 / self.total as f64
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &DeltaHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.clamped += other.clamped;
+    }
+
+    /// CSV rows `lo_ns,hi_ns,count,percent` (no header), skipping empty
+    /// leading/trailing buckets.
+    pub fn to_csv(&self) -> String {
+        let b = self.buckets();
+        let first = b.iter().position(|&(_, _, c, _)| c > 0).unwrap_or(0);
+        let last = b.iter().rposition(|&(_, _, c, _)| c > 0).unwrap_or(0);
+        let mut s = String::new();
+        for &(lo, hi, c, pct) in &b[first..=last] {
+            s.push_str(&format!("{lo:.3},{hi:.3},{c},{pct:.4}\n"));
+        }
+        s
+    }
+
+    /// A terminal rendering in the style of the paper's figures: one bar
+    /// per non-empty bucket, percent-scaled to `width` characters.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let b = self.buckets();
+        let first = b.iter().position(|&(_, _, c, _)| c > 0).unwrap_or(0);
+        let last = b.iter().rposition(|&(_, _, c, _)| c > 0).unwrap_or(0);
+        let maxpct = b
+            .iter()
+            .map(|&(_, _, _, p)| p)
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let mut s = String::new();
+        for &(lo, hi, c, pct) in &b[first..=last] {
+            if c == 0 && !(lo <= 0.0 && hi >= 0.0) {
+                continue;
+            }
+            let bar = "#".repeat(((pct / maxpct) * width as f64).round() as usize);
+            s.push_str(&format!("{:>12.1} .. {:>12.1} ns |{:6.2}% {}\n", lo, hi, pct, bar));
+        }
+        s
+    }
+}
+
+impl Default for DeltaHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bucket_catches_subnanosecond() {
+        let h = DeltaHistogram::of([0.0, 0.5, -0.9, 0.99]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.fraction_within(1.0), 1.0);
+    }
+
+    #[test]
+    fn within_ten_ns_statistic() {
+        // 8 samples within ±10 ns, 2 outside.
+        let h = DeltaHistogram::of([0.0, 1.0, -2.0, 3.0, 5.0, -7.0, 9.0, 9.9, 50.0, -800.0]);
+        assert!((h.fraction_within(10.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sign_symmetry() {
+        let mut h = DeltaHistogram::new();
+        h.add(123.0);
+        h.add(-123.0);
+        let b = h.buckets();
+        let pos: Vec<_> = b.iter().filter(|&&(lo, _, c, _)| lo > 0.0 && c > 0).collect();
+        let neg: Vec<_> = b.iter().filter(|&&(_, hi, c, _)| hi < 0.0 && c > 0).collect();
+        assert_eq!(pos.len(), 1);
+        assert_eq!(neg.len(), 1);
+        assert!((pos[0].0 + neg[0].1).abs() < 1e-9, "mirrored edges");
+    }
+
+    #[test]
+    fn bucket_mass_conservation() {
+        let mut h = DeltaHistogram::new();
+        for i in 0..1000 {
+            h.add((i as f64 - 500.0) * 17.3);
+        }
+        let sum: u64 = h.buckets().iter().map(|&(_, _, c, _)| c).sum();
+        assert_eq!(sum, h.total());
+        let pct: f64 = h.buckets().iter().map(|&(_, _, _, p)| p).sum();
+        assert!((pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huge_values_clamp() {
+        let mut h = DeltaHistogram::new();
+        h.add(1e12);
+        h.add(-2e15);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.clamped(), 2);
+        let sum: u64 = h.buckets().iter().map(|&(_, _, c, _)| c).sum();
+        assert_eq!(sum, 2);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = DeltaHistogram::of([5.0, 10.0]);
+        let b = DeltaHistogram::of([-5.0]);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_renders() {
+        let h = DeltaHistogram::new();
+        assert_eq!(h.fraction_within(10.0), 0.0);
+        let _ = h.render_ascii(40);
+        let _ = h.to_csv();
+    }
+
+    #[test]
+    fn csv_has_rows_for_data() {
+        let h = DeltaHistogram::of([3.0, 3.5, -100.0]);
+        let csv = h.to_csv();
+        assert!(csv.lines().count() >= 2);
+        assert!(csv.contains(','));
+    }
+
+    #[test]
+    fn decade_boundaries_land_in_correct_bucket() {
+        let mut h = DeltaHistogram::new();
+        h.add(10.0); // exactly 10 ns: belongs to the [10, ...) bucket
+        let b = h.buckets();
+        let hit = b.iter().find(|&&(_, _, c, _)| c > 0).unwrap();
+        assert!((hit.0 - 10.0).abs() < 1e-9, "lo = {}", hit.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let h = DeltaHistogram::of([1.0, -20.0, 300.0]);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: DeltaHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.total(), 3);
+        assert_eq!(back.fraction_within(10.0), h.fraction_within(10.0));
+    }
+}

@@ -1,0 +1,283 @@
+//! Full per-run analysis bundles — everything the paper reports about one
+//! run-vs-baseline comparison, computed in a single pass over the
+//! matching, plus the multi-run aggregation used by Table 2.
+
+use serde::{Deserialize, Serialize};
+
+use super::histogram::DeltaHistogram;
+use super::iat::iat_full;
+use super::kappa::{ConsistencyMetrics, KappaConfig};
+use super::latency::latency_full;
+use super::matching::Matching;
+use super::ordering::{ordering, EditScriptStats};
+use super::trial::Trial;
+use super::uniqueness::uniqueness;
+
+/// The complete analysis of one run against the baseline run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialComparison {
+    /// Run label ("B", "C", …).
+    pub label: String,
+    /// The four metrics and κ.
+    pub metrics: ConsistencyMetrics,
+    /// Packets in the baseline trial.
+    pub a_len: usize,
+    /// Packets in this run's trial.
+    pub b_len: usize,
+    /// `|A ∩ B|`.
+    pub common: usize,
+    /// Packets of the baseline missing from this run (drops).
+    pub missing: usize,
+    /// Packets of this run not present in the baseline.
+    pub extra: usize,
+    /// Packets moved by the edit script (reordered).
+    pub moved: usize,
+    /// Fraction of common packets with |ΔIAT| ≤ 10 ns — the paper's
+    /// headline per-run statistic.
+    pub iat_within_10ns: f64,
+    /// Percentiles (p50, p90, p99) of |ΔIAT| in nanoseconds.
+    pub iat_abs_percentiles_ns: (f64, f64, f64),
+    /// Percentiles (p50, p90, p99) of |Δlatency| in nanoseconds.
+    pub latency_abs_percentiles_ns: (f64, f64, f64),
+    /// Edit-script distance statistics (Table 1).
+    pub edit_stats: EditScriptStats,
+    /// Figure-style IAT delta histogram.
+    pub iat_hist: DeltaHistogram,
+    /// Figure-style latency delta histogram.
+    pub latency_hist: DeltaHistogram,
+}
+
+/// Analyze run `b` against baseline `a` with the paper's κ formula.
+pub fn analyze(label: impl Into<String>, a: &Trial, b: &Trial) -> TrialComparison {
+    analyze_with(label, a, b, &KappaConfig::paper())
+}
+
+/// Analyze with a custom κ configuration.
+pub fn analyze_with(
+    label: impl Into<String>,
+    a: &Trial,
+    b: &Trial,
+    cfg: &KappaConfig,
+) -> TrialComparison {
+    let m = Matching::build(a, b);
+    let u = uniqueness(&m);
+    let ord = ordering(&m);
+    let lat = latency_full(a, b, &m);
+    let ia = iat_full(a, b, &m);
+    let metrics = cfg.combine(u, ord.o, lat.l, ia.i);
+
+    let iat_hist = DeltaHistogram::of(ia.deltas_ns.iter().copied());
+    let latency_hist = DeltaHistogram::of(lat.deltas_ns.iter().copied());
+    let within = super::stats::fraction_within(ia.deltas_ns.iter().copied(), 10.0);
+
+    let percentiles = |deltas: &[f64]| -> (f64, f64, f64) {
+        if deltas.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let mut abs: Vec<f64> = deltas.iter().map(|d| d.abs()).collect();
+        abs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN deltas"));
+        (
+            super::stats::percentile_sorted(&abs, 50.0),
+            super::stats::percentile_sorted(&abs, 90.0),
+            super::stats::percentile_sorted(&abs, 99.0),
+        )
+    };
+    let iat_abs_percentiles_ns = percentiles(&ia.deltas_ns);
+    let latency_abs_percentiles_ns = percentiles(&lat.deltas_ns);
+
+    TrialComparison {
+        label: label.into(),
+        metrics,
+        a_len: m.a_len,
+        b_len: m.b_len,
+        common: m.common(),
+        missing: m.missing_in_b(),
+        extra: m.extra_in_b(),
+        moved: ord.moved(),
+        iat_within_10ns: within,
+        iat_abs_percentiles_ns,
+        latency_abs_percentiles_ns,
+        edit_stats: ord.stats(),
+        iat_hist,
+        latency_hist,
+    }
+}
+
+/// Analyze several runs against one baseline concurrently (each run's
+/// matching/LIS/histograms are independent). Results keep input order;
+/// labels "B", "C", … are assigned positionally, as the paper names its
+/// runs.
+pub fn analyze_runs_parallel(baseline: &Trial, runs: &[Trial]) -> Vec<TrialComparison> {
+    const LABELS: [&str; 12] = ["B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M"];
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = runs
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let label = LABELS.get(i).copied().unwrap_or("?");
+                s.spawn(move |_| analyze(label, baseline, t))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("analysis thread"))
+            .collect()
+    })
+    .expect("analysis scope")
+}
+
+/// All runs of one environment compared against run A — one evaluation
+/// "row" of the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Environment name ("Local Single-Replayer", …).
+    pub environment: String,
+    /// Comparisons of runs B, C, D, E… against run A.
+    pub runs: Vec<TrialComparison>,
+    /// Component-wise mean across runs (a Table 2 row).
+    pub mean: ConsistencyMetrics,
+    /// Sample standard deviation of κ across runs — the run-to-run spread
+    /// the paper's per-section run lists exhibit (its FABRIC dedicated κ
+    /// varied from 0.65 to 0.82 within one test, §7).
+    pub kappa_stddev: f64,
+}
+
+impl RunReport {
+    /// Assemble a report from per-run comparisons.
+    ///
+    /// # Panics
+    /// Panics if `runs` is empty.
+    pub fn new(environment: impl Into<String>, runs: Vec<TrialComparison>) -> Self {
+        let mean =
+            ConsistencyMetrics::mean_of(&runs.iter().map(|r| r.metrics).collect::<Vec<_>>());
+        let kappa_stddev =
+            super::stats::Summary::of(runs.iter().map(|r| r.metrics.kappa)).stddev;
+        RunReport {
+            environment: environment.into(),
+            runs,
+            mean,
+            kappa_stddev,
+        }
+    }
+
+    /// A merged IAT histogram across all runs (used when rendering a
+    /// single figure for the environment).
+    pub fn merged_iat_hist(&self) -> DeltaHistogram {
+        let mut h = DeltaHistogram::new();
+        for r in &self.runs {
+            h.merge(&r.iat_hist);
+        }
+        h
+    }
+
+    /// A merged latency histogram across all runs.
+    pub fn merged_latency_hist(&self) -> DeltaHistogram {
+        let mut h = DeltaHistogram::new();
+        for r in &self.runs {
+            h.merge(&r.latency_hist);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cbr_trial(n: u64, gap: u64, jitter: impl Fn(u64) -> i64) -> Trial {
+        let mut t = Trial::new();
+        for i in 0..n {
+            let base = (i * gap) as i64;
+            t.push_tagged(0, 0, i, (base + jitter(i)).max(0) as u64);
+        }
+        t
+    }
+
+    #[test]
+    fn analyze_consistent_pair() {
+        let a = cbr_trial(1000, 284_800, |_| 0);
+        let b = cbr_trial(1000, 284_800, |i| ((i % 7) as i64 - 3) * 1000); // ±3 ns
+        let c = analyze("B", &a, &b);
+        assert_eq!(c.metrics.u, 0.0);
+        assert_eq!(c.metrics.o, 0.0);
+        assert_eq!(c.missing, 0);
+        assert!(c.iat_within_10ns > 0.99);
+        assert!(c.metrics.kappa > 0.95);
+        assert_eq!(c.iat_hist.total(), 1000);
+        assert_eq!(c.latency_hist.total(), 1000);
+        // Percentiles are ordered and bounded by the jitter we injected.
+        let (p50, p90, p99) = c.iat_abs_percentiles_ns;
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p99 <= 12.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn analyze_with_drops() {
+        let a = cbr_trial(100, 1000, |_| 0);
+        let mut b = Trial::new();
+        for i in 0..100u64 {
+            if i != 50 && i != 51 {
+                b.push_tagged(0, 0, i, i * 1000);
+            }
+        }
+        let c = analyze("B", &a, &b);
+        assert_eq!(c.missing, 2);
+        assert_eq!(c.common, 98);
+        assert!(c.metrics.u > 0.0);
+    }
+
+    #[test]
+    fn report_mean_matches_components() {
+        let a = cbr_trial(100, 1000, |_| 0);
+        let b = cbr_trial(100, 1000, |i| (i % 2) as i64 * 100);
+        let c = cbr_trial(100, 1000, |i| (i % 3) as i64 * 100);
+        let rb = analyze("B", &a, &b);
+        let rc = analyze("C", &a, &c);
+        let expect_i = (rb.metrics.i + rc.metrics.i) / 2.0;
+        let report = RunReport::new("test-env", vec![rb, rc]);
+        assert!((report.mean.i - expect_i).abs() < 1e-15);
+        assert!(report.kappa_stddev >= 0.0);
+        assert_eq!(report.runs.len(), 2);
+        assert_eq!(report.merged_iat_hist().total(), 200);
+        assert_eq!(report.merged_latency_hist().total(), 200);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let a = cbr_trial(10, 1000, |_| 0);
+        let r = RunReport::new("env", vec![analyze("B", &a, &a.clone())]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.environment, "env");
+        assert_eq!(back.runs[0].metrics.kappa, 1.0);
+    }
+
+    #[test]
+    fn parallel_analysis_matches_serial() {
+        let a = cbr_trial(500, 1000, |_| 0);
+        let runs: Vec<Trial> = (1..4u64)
+            .map(|k| cbr_trial(500, 1000, move |i| ((i % (k + 1)) * 37) as i64))
+            .collect();
+        let par = analyze_runs_parallel(&a, &runs);
+        assert_eq!(par.len(), 3);
+        assert_eq!(par[0].label, "B");
+        assert_eq!(par[2].label, "D");
+        for (p, t) in par.iter().zip(&runs) {
+            let serial = analyze(p.label.clone(), &a, t);
+            assert_eq!(p.metrics, serial.metrics);
+            assert_eq!(p.moved, serial.moved);
+        }
+    }
+
+    #[test]
+    fn custom_kappa_config_flows_through() {
+        let a = cbr_trial(100, 1000, |_| 0);
+        let mut b = Trial::new();
+        for i in 1..100u64 {
+            b.push_tagged(0, 0, i, i * 1000); // one drop
+        }
+        let linear = analyze_with("B", &a, &b, &KappaConfig::paper());
+        let strict = analyze_with("B", &a, &b, &KappaConfig::drop_sensitive());
+        assert!(strict.metrics.kappa < linear.metrics.kappa);
+    }
+}

@@ -1,0 +1,147 @@
+//! Small descriptive-statistics helpers shared by the metric modules,
+//! Table 1, and the experiment reports.
+
+/// Mean / standard deviation / extrema of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize an iterator of samples in one pass (Welford's online
+    /// algorithm, numerically stable for the ns-scale magnitudes the
+    /// metrics produce).
+    pub fn of<I: IntoIterator<Item = f64>>(iter: I) -> Summary {
+        let mut count = 0usize;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for x in iter {
+            count += 1;
+            let delta = x - mean;
+            mean += delta / count as f64;
+            m2 += delta * (x - mean);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        if count == 0 {
+            return Summary::default();
+        }
+        let stddev = if count > 1 {
+            (m2 / (count as f64 - 1.0)).sqrt()
+        } else {
+            0.0
+        };
+        Summary {
+            count,
+            mean,
+            stddev,
+            min,
+            max,
+        }
+    }
+}
+
+/// Percentile (nearest-rank) of a sorted slice. `p` in `[0, 100]`.
+///
+/// # Panics
+/// Panics if `sorted` is empty or `p` is out of range.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if p == 0.0 {
+        return sorted[0];
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Fraction (0–1) of samples whose absolute value is ≤ `bound`.
+///
+/// This is the paper's headline per-run statistic: "Between 92.23% and
+/// 92.51% of packets were within 10 ns IAT of the baseline run" (§6.1).
+pub fn fraction_within<I: IntoIterator<Item = f64>>(iter: I, bound: f64) -> f64 {
+    let mut total = 0usize;
+    let mut within = 0usize;
+    for x in iter {
+        total += 1;
+        if x.abs() <= bound {
+            within += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        within as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic set is sqrt(32/7).
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        let e = Summary::of(std::iter::empty());
+        assert_eq!(e.count, 0);
+        let s = Summary::of([42.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+    }
+
+    #[test]
+    fn summary_stable_for_large_offsets() {
+        // Welford should survive ns-scale offsets with tiny variance.
+        let base = 3.0e14; // 300 s in ns
+        let s = Summary::of((0..1000).map(|i| base + (i % 2) as f64));
+        assert!((s.mean - (base + 0.5)).abs() < 1e-3);
+        assert!((s.stddev - 0.50025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn percentiles() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_sorted(&v, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&v, 50.0), 50.0);
+        assert_eq!(percentile_sorted(&v, 99.0), 99.0);
+        assert_eq!(percentile_sorted(&v, 100.0), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile_sorted(&[], 50.0);
+    }
+
+    #[test]
+    fn fraction_within_bounds() {
+        let v = [-5.0, -15.0, 0.0, 9.9, 10.0, 11.0];
+        let f = fraction_within(v, 10.0);
+        assert!((f - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(fraction_within(std::iter::empty(), 10.0), 0.0);
+    }
+}

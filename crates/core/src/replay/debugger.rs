@@ -1,0 +1,344 @@
+//! Interactive replay debugging: breakpoints and backtraces over a
+//! recording.
+//!
+//! The paper motivates Choir as a debugging substrate: an in-situ
+//! replayer "would serve as a foundation for more interactive debugging
+//! primitives, such as breakpointing and backtracing" (§1). This module
+//! builds those primitives:
+//!
+//! - [`Breakpoint`] — pause conditions over replayed traffic (a sequence
+//!   number, a packet identity, a burst index, or any predicate).
+//! - [`ReplayDebugger`] — single-steps or runs a recording burst by
+//!   burst, stops at breakpoints, exposes a backtrace of what was just
+//!   transmitted, and can seek / resume with paced replay of the
+//!   remaining suffix.
+
+use choir_dpdk::{Burst, Dataplane, Mbuf, PortId};
+use choir_packet::ident::PacketId;
+
+use super::recording::Recording;
+use super::scheduler::ReplayScheduler;
+
+/// A pause condition checked against each burst before transmission.
+pub enum Breakpoint {
+    /// Pause when a packet's Choir tag has this sequence number.
+    Seq(u64),
+    /// Pause when a packet has this identity.
+    Packet(PacketId),
+    /// Pause before transmitting this burst index.
+    BurstIndex(usize),
+    /// Pause when any packet matches the predicate.
+    Predicate(Box<dyn Fn(&Mbuf) -> bool + Send>),
+}
+
+impl Breakpoint {
+    fn matches(&self, index: usize, burst: &[Mbuf]) -> bool {
+        match self {
+            Breakpoint::Seq(seq) => burst
+                .iter()
+                .any(|m| m.frame.tag().is_some_and(|t| t.seq == *seq)),
+            Breakpoint::Packet(id) => burst.iter().any(|m| m.frame.packet_id() == *id),
+            Breakpoint::BurstIndex(i) => index == *i,
+            Breakpoint::Predicate(f) => burst.iter().any(f),
+        }
+    }
+}
+
+impl std::fmt::Debug for Breakpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Breakpoint::Seq(s) => write!(f, "Breakpoint::Seq({s})"),
+            Breakpoint::Packet(p) => write!(f, "Breakpoint::Packet({p:?})"),
+            Breakpoint::BurstIndex(i) => write!(f, "Breakpoint::BurstIndex({i})"),
+            Breakpoint::Predicate(_) => write!(f, "Breakpoint::Predicate(..)"),
+        }
+    }
+}
+
+/// Why the debugger stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A breakpoint matched; its index in the breakpoint list.
+    Breakpoint(usize),
+    /// The recording is exhausted.
+    EndOfRecording,
+}
+
+/// A stepping/replaying cursor over a recording.
+pub struct ReplayDebugger {
+    recording: Recording,
+    position: usize,
+    breakpoints: Vec<Breakpoint>,
+    port: PortId,
+}
+
+impl ReplayDebugger {
+    /// A debugger positioned at the start of `recording`, transmitting on
+    /// `port` when stepped.
+    pub fn new(recording: Recording, port: PortId) -> Self {
+        ReplayDebugger {
+            recording,
+            position: 0,
+            breakpoints: Vec::new(),
+            port,
+        }
+    }
+
+    /// Install a breakpoint; returns its index (for [`StopReason`]).
+    pub fn add_breakpoint(&mut self, bp: Breakpoint) -> usize {
+        self.breakpoints.push(bp);
+        self.breakpoints.len() - 1
+    }
+
+    /// Remove every breakpoint.
+    pub fn clear_breakpoints(&mut self) {
+        self.breakpoints.clear();
+    }
+
+    /// The next burst index to transmit.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Move the cursor (backwards or forwards) without transmitting —
+    /// rewinding is what makes replay-based debugging more than a pcap
+    /// reader.
+    ///
+    /// # Panics
+    /// Panics if `position` exceeds the recording length.
+    pub fn seek(&mut self, position: usize) {
+        assert!(position <= self.recording.len(), "seek out of range");
+        self.position = position;
+    }
+
+    /// The most recent `n` bursts *behind* the cursor — what just went on
+    /// the wire (the backtrace).
+    pub fn backtrace(&self, n: usize) -> &[super::recording::RecordedBurst] {
+        let lo = self.position.saturating_sub(n);
+        &self.recording.bursts()[lo..self.position]
+    }
+
+    /// Transmit exactly one burst (immediately, unpaced) and advance.
+    /// Returns the burst index transmitted, or `None` at the end.
+    pub fn step(&mut self, dp: &mut dyn Dataplane) -> Option<usize> {
+        if self.position >= self.recording.len() {
+            return None;
+        }
+        let rb = self.recording.burst(self.position);
+        let mut burst = Burst::new();
+        for m in &rb.pkts {
+            burst.push(m.clone()).expect("recorded burst fits");
+        }
+        while !burst.is_empty() {
+            dp.tx_burst(self.port, &mut burst);
+        }
+        let idx = self.position;
+        self.position += 1;
+        Some(idx)
+    }
+
+    /// Run until a breakpoint matches or the recording ends. The matching
+    /// burst is *not* transmitted (pause-before semantics); resume past
+    /// it with [`ReplayDebugger::step`].
+    pub fn run(&mut self, dp: &mut dyn Dataplane) -> StopReason {
+        while self.position < self.recording.len() {
+            let rb = self.recording.burst(self.position);
+            if let Some(i) = self
+                .breakpoints
+                .iter()
+                .position(|bp| bp.matches(self.position, &rb.pkts))
+            {
+                return StopReason::Breakpoint(i);
+            }
+            self.step(dp);
+        }
+        StopReason::EndOfRecording
+    }
+
+    /// Hand the *remaining suffix* to a paced [`ReplayScheduler`] starting
+    /// at `start_wall_ns` — i.e. "continue with original timing from
+    /// here". Returns the scheduler plus the suffix recording to pump it
+    /// with.
+    pub fn resume_paced(
+        &self,
+        start_wall_ns: u64,
+        dp: &dyn Dataplane,
+    ) -> (ReplayScheduler, Recording) {
+        let suffix = self.recording.slice(self.position..self.recording.len());
+        let sch = ReplayScheduler::new(&suffix, self.port, start_wall_ns, dp);
+        (sch, suffix)
+    }
+
+    /// The underlying recording.
+    pub fn recording(&self) -> &Recording {
+        &self.recording
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use choir_dpdk::{Mempool, PortStats};
+    use choir_packet::{ChoirTag, Frame};
+
+    struct LogPlane {
+        pool: Mempool,
+        sent: Vec<u64>, // tag seqs in tx order
+    }
+
+    impl Dataplane for LogPlane {
+        fn num_ports(&self) -> usize {
+            1
+        }
+        fn mempool(&self) -> &Mempool {
+            &self.pool
+        }
+        fn rx_burst(&mut self, _p: PortId, out: &mut Burst) -> usize {
+            out.clear();
+            0
+        }
+        fn tx_burst(&mut self, _p: PortId, burst: &mut Burst) -> usize {
+            let n = burst.len();
+            for m in burst.drain() {
+                self.sent.push(m.frame.tag().unwrap().seq);
+            }
+            n
+        }
+        fn tsc(&self) -> u64 {
+            0
+        }
+        fn tsc_hz(&self) -> u64 {
+            1_000_000_000
+        }
+        fn wall_ns(&self) -> u64 {
+            0
+        }
+        fn request_wake_at_tsc(&mut self, _t: u64) {}
+        fn stats(&self, _p: PortId) -> PortStats {
+            PortStats::default()
+        }
+    }
+
+    fn recording(pool: &Mempool, bursts: usize, per: usize) -> Recording {
+        let mut rec = Recording::new();
+        for b in 0..bursts {
+            let pkts: Vec<_> = (0..per)
+                .map(|i| {
+                    let mut buf = vec![0u8; 60];
+                    ChoirTag::new(0, 0, (b * per + i) as u64).stamp_trailer(&mut buf);
+                    pool.alloc(Frame::new(Bytes::from(buf))).unwrap()
+                })
+                .collect();
+            rec.push_burst(b as u64 * 1_000, pkts.iter());
+        }
+        rec
+    }
+
+    fn plane() -> LogPlane {
+        LogPlane {
+            pool: Mempool::new("dbg", 1 << 10),
+            sent: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn stepping_transmits_one_burst_at_a_time() {
+        let mut dp = plane();
+        let rec = recording(&dp.pool.clone(), 4, 3);
+        let mut dbg = ReplayDebugger::new(rec, 0);
+        assert_eq!(dbg.step(&mut dp), Some(0));
+        assert_eq!(dp.sent, vec![0, 1, 2]);
+        assert_eq!(dbg.step(&mut dp), Some(1));
+        assert_eq!(dp.sent.len(), 6);
+        assert_eq!(dbg.position(), 2);
+    }
+
+    #[test]
+    fn breakpoint_on_sequence_pauses_before_the_burst() {
+        let mut dp = plane();
+        let rec = recording(&dp.pool.clone(), 10, 4);
+        let mut dbg = ReplayDebugger::new(rec, 0);
+        let bp = dbg.add_breakpoint(Breakpoint::Seq(17)); // in burst 4
+        assert_eq!(dbg.run(&mut dp), StopReason::Breakpoint(bp));
+        assert_eq!(dbg.position(), 4);
+        // Bursts 0..4 transmitted; seq 17 NOT yet on the wire.
+        assert_eq!(dp.sent.len(), 16);
+        assert!(!dp.sent.contains(&17));
+        // Step over it and continue to the end.
+        dbg.step(&mut dp);
+        assert!(dp.sent.contains(&17));
+        assert_eq!(dbg.run(&mut dp), StopReason::EndOfRecording);
+        assert_eq!(dp.sent.len(), 40);
+    }
+
+    #[test]
+    fn burst_index_and_predicate_breakpoints() {
+        let mut dp = plane();
+        let rec = recording(&dp.pool.clone(), 8, 2);
+        let mut dbg = ReplayDebugger::new(rec, 0);
+        dbg.add_breakpoint(Breakpoint::BurstIndex(3));
+        assert_eq!(dbg.run(&mut dp), StopReason::Breakpoint(0));
+        assert_eq!(dbg.position(), 3);
+        dbg.clear_breakpoints();
+        dbg.add_breakpoint(Breakpoint::Predicate(Box::new(|m| {
+            m.frame.tag().is_some_and(|t| t.seq == 11)
+        })));
+        assert_eq!(dbg.run(&mut dp), StopReason::Breakpoint(0));
+        assert_eq!(dbg.position(), 5); // seq 11 lives in burst 5
+    }
+
+    #[test]
+    fn backtrace_shows_what_just_transmitted() {
+        let mut dp = plane();
+        let rec = recording(&dp.pool.clone(), 6, 2);
+        let mut dbg = ReplayDebugger::new(rec, 0);
+        for _ in 0..4 {
+            dbg.step(&mut dp);
+        }
+        let bt = dbg.backtrace(2);
+        assert_eq!(bt.len(), 2);
+        assert_eq!(bt[0].pkts[0].frame.tag().unwrap().seq, 4); // burst 2
+        assert_eq!(bt[1].pkts[0].frame.tag().unwrap().seq, 6); // burst 3
+        // Asking for more history than exists is clamped.
+        assert_eq!(dbg.backtrace(100).len(), 4);
+    }
+
+    #[test]
+    fn seek_rewinds_and_replays() {
+        let mut dp = plane();
+        let rec = recording(&dp.pool.clone(), 5, 1);
+        let mut dbg = ReplayDebugger::new(rec, 0);
+        dbg.run(&mut dp);
+        assert_eq!(dp.sent, vec![0, 1, 2, 3, 4]);
+        dbg.seek(2);
+        dbg.step(&mut dp);
+        assert_eq!(dp.sent.last(), Some(&2), "rewound replay re-sends burst 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "seek out of range")]
+    fn seek_past_end_panics() {
+        let dp = plane();
+        let rec = recording(&dp.pool, 2, 1);
+        let mut dbg = ReplayDebugger::new(rec, 0);
+        dbg.seek(3);
+    }
+
+    #[test]
+    fn resume_paced_replays_the_suffix_with_original_spacing() {
+        let mut dp = plane();
+        let rec = recording(&dp.pool.clone(), 6, 1);
+        let mut dbg = ReplayDebugger::new(rec, 0);
+        dbg.add_breakpoint(Breakpoint::BurstIndex(3));
+        dbg.run(&mut dp);
+        let (mut sch, suffix) = dbg.resume_paced(100, &dp);
+        assert_eq!(suffix.packets(), 3);
+        // Pump to completion on the manual plane (tsc fixed at 0; wall 0;
+        // start 100 ns in the future -> first pump arms a wake; jumping
+        // tsc is not possible on LogPlane, so verify the plan only).
+        use crate::replay::scheduler::SchedulerState;
+        assert_eq!(sch.pump(&suffix, &mut dp), SchedulerState::InProgress);
+        assert_eq!(sch.position(), 0);
+    }
+}

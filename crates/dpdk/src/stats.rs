@@ -1,0 +1,88 @@
+//! Per-port counters, mirroring `rte_eth_stats`.
+
+/// Counters for one port. All counts are cumulative since port creation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortStats {
+    /// Packets received by the application.
+    pub rx_packets: u64,
+    /// Bytes received by the application.
+    pub rx_bytes: u64,
+    /// Packets the NIC dropped on receive (ring full).
+    pub rx_dropped: u64,
+    /// Packets handed to the NIC for transmission.
+    pub tx_packets: u64,
+    /// Bytes handed to the NIC for transmission.
+    pub tx_bytes: u64,
+    /// Packets rejected at transmit (descriptor ring full).
+    pub tx_dropped: u64,
+}
+
+impl PortStats {
+    /// Record `n` packets / `bytes` received.
+    pub fn on_rx(&mut self, n: u64, bytes: u64) {
+        self.rx_packets += n;
+        self.rx_bytes += bytes;
+    }
+
+    /// Record `n` packets / `bytes` transmitted.
+    pub fn on_tx(&mut self, n: u64, bytes: u64) {
+        self.tx_packets += n;
+        self.tx_bytes += bytes;
+    }
+
+    /// Record `n` receive-side drops.
+    pub fn on_rx_drop(&mut self, n: u64) {
+        self.rx_dropped += n;
+    }
+
+    /// Record `n` transmit-side drops.
+    pub fn on_tx_drop(&mut self, n: u64) {
+        self.tx_dropped += n;
+    }
+
+    /// Sum of this and `other`, for aggregating across ports.
+    pub fn merged(&self, other: &PortStats) -> PortStats {
+        PortStats {
+            rx_packets: self.rx_packets + other.rx_packets,
+            rx_bytes: self.rx_bytes + other.rx_bytes,
+            rx_dropped: self.rx_dropped + other.rx_dropped,
+            tx_packets: self.tx_packets + other.tx_packets,
+            tx_bytes: self.tx_bytes + other.tx_bytes,
+            tx_dropped: self.tx_dropped + other.tx_dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = PortStats::default();
+        s.on_rx(3, 300);
+        s.on_rx(1, 100);
+        s.on_tx(2, 200);
+        s.on_rx_drop(1);
+        s.on_tx_drop(4);
+        assert_eq!(s.rx_packets, 4);
+        assert_eq!(s.rx_bytes, 400);
+        assert_eq!(s.tx_packets, 2);
+        assert_eq!(s.tx_bytes, 200);
+        assert_eq!(s.rx_dropped, 1);
+        assert_eq!(s.tx_dropped, 4);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = PortStats::default();
+        a.on_rx(1, 10);
+        let mut b = PortStats::default();
+        b.on_tx(2, 20);
+        let m = a.merged(&b);
+        assert_eq!(m.rx_packets, 1);
+        assert_eq!(m.tx_packets, 2);
+        assert_eq!(m.rx_bytes, 10);
+        assert_eq!(m.tx_bytes, 20);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests of the SPSC ring: FIFO order, conservation, and
+//! capacity behaviour under arbitrary interleavings of pushes and pops.
+
+use choir_dpdk::SpscRing;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![any::<u32>().prop_map(Op::Push), Just(Op::Pop)],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fifo_against_vecdeque_model(ops in arb_ops(), cap in 1usize..32) {
+        let (mut p, mut c) = SpscRing::with_capacity::<u32>(cap);
+        let mut model = std::collections::VecDeque::new();
+        let real_cap = cap.next_power_of_two();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    let accepted = p.push(v).is_ok();
+                    let model_accepts = model.len() < real_cap;
+                    prop_assert_eq!(accepted, model_accepts);
+                    if accepted {
+                        model.push_back(v);
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(c.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(p.len(), model.len());
+            prop_assert_eq!(c.len(), model.len());
+        }
+        // Drain fully and compare tails.
+        while let Some(v) = c.pop() {
+            prop_assert_eq!(Some(v), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    #[test]
+    fn bulk_ops_match_singles(items in proptest::collection::vec(any::<u16>(), 0..100)) {
+        let (mut p, mut c) = SpscRing::with_capacity::<u16>(64);
+        let (n, rejected) = p.push_bulk(items.clone());
+        prop_assert_eq!(n, items.len().min(64));
+        prop_assert_eq!(rejected.is_some(), items.len() > 64);
+        let mut out = Vec::new();
+        c.pop_bulk(&mut out, usize::MAX);
+        prop_assert_eq!(&out[..], &items[..n]);
+    }
+}
+
+#[test]
+fn cross_thread_conservation_with_random_batching() {
+    // Producer pushes in irregular batches; consumer pops in irregular
+    // batches; nothing is lost, duplicated or reordered.
+    const N: usize = 100_000;
+    let (mut p, mut c) = SpscRing::with_capacity::<usize>(256);
+    let producer = std::thread::spawn(move || {
+        let mut i = 0usize;
+        let mut chunk = 1usize;
+        while i < N {
+            for _ in 0..chunk {
+                if i >= N {
+                    break;
+                }
+                while p.push(i).is_err() {
+                    std::hint::spin_loop();
+                }
+                i += 1;
+            }
+            chunk = chunk % 17 + 1;
+        }
+    });
+    let mut expected = 0usize;
+    let mut buf = Vec::new();
+    while expected < N {
+        buf.clear();
+        c.pop_bulk(&mut buf, 13);
+        for &v in &buf {
+            assert_eq!(v, expected);
+            expected += 1;
+        }
+        std::hint::spin_loop();
+    }
+    producer.join().unwrap();
+    assert_eq!(c.pop(), None);
+}

@@ -1,0 +1,274 @@
+//! Per-node clocks: TSC, PTP-disciplined wall time, and NIC receive
+//! timestamp models.
+//!
+//! The paper's replay fidelity rests on three clock properties it
+//! discusses explicitly:
+//!
+//! - TSC frequencies are *constant* ("Given constant TSC frequencies
+//!   (which for our implementation, FABRIC nodes have)", §4) but differ
+//!   slightly from nominal — a ppb-scale calibration error that shows up
+//!   as slow latency drift between runs.
+//! - PTP synchronizes nodes "to within 10s of nanoseconds" (§6.2); the
+//!   residual offset differs per run, which is exactly what causes the
+//!   dual-replayer burst interleaving.
+//! - NIC receive timestamps differ by hardware: the local Intel E810
+//!   "uses realtime HW timestamps" while FABRIC's ConnectX-6 "uses HW
+//!   clock timestamps converted to ns by sampling the HW clock" (§8.1).
+
+use crate::rng::{DetRng, Jitter};
+use crate::time::PS_PER_SEC;
+
+/// A node's CPU clock: TSC plus PTP-disciplined system time.
+#[derive(Debug, Clone)]
+pub struct NodeClock {
+    /// Nominal TSC frequency in Hz.
+    pub tsc_hz: u64,
+    /// TSC value at simulation time zero (nodes boot at different times).
+    pub tsc_offset: u64,
+    /// Actual-vs-nominal frequency error, in parts per billion. The
+    /// *actual* frequency is `tsc_hz * (1 + ppb/1e9)`.
+    pub freq_error_ppb: i64,
+    /// PTP discipline state.
+    pub ptp: PtpModel,
+}
+
+impl NodeClock {
+    /// An ideal clock: exact frequency, zero offsets.
+    pub fn ideal(tsc_hz: u64) -> Self {
+        NodeClock {
+            tsc_hz,
+            tsc_offset: 0,
+            freq_error_ppb: 0,
+            ptp: PtpModel::perfect(),
+        }
+    }
+
+    /// TSC reading at simulation time `t_ps`.
+    pub fn tsc_at(&self, t_ps: u64) -> u64 {
+        let cycles = (t_ps as u128)
+            .saturating_mul(self.tsc_hz as u128)
+            .saturating_mul((1_000_000_000i64 + self.freq_error_ppb) as u128)
+            / (PS_PER_SEC as u128 * 1_000_000_000u128);
+        self.tsc_offset + cycles as u64
+    }
+
+    /// Inverse of [`NodeClock::tsc_at`]: earliest simulation time at which
+    /// the TSC reads at least `tsc`.
+    pub fn time_of_tsc(&self, tsc: u64) -> u64 {
+        let cycles = tsc.saturating_sub(self.tsc_offset) as u128;
+        let num = cycles * PS_PER_SEC as u128 * 1_000_000_000u128;
+        let den = self.tsc_hz as u128 * (1_000_000_000i64 + self.freq_error_ppb) as u128;
+        num.div_ceil(den) as u64
+    }
+
+    /// PTP wall-clock reading in nanoseconds at simulation time `t_ps`.
+    /// True time plus this node's current synchronization error.
+    pub fn wall_ns_at(&self, t_ps: u64) -> u64 {
+        let true_ns = (t_ps / 1_000) as i64;
+        (true_ns + self.ptp.offset_ns_at(t_ps)).max(0) as u64
+    }
+}
+
+/// PTP synchronization error: a per-run constant offset plus a slow linear
+/// drift (the servo chases the grandmaster; between corrections the error
+/// ramps).
+#[derive(Debug, Clone)]
+pub struct PtpModel {
+    /// Offset from true time at t = 0, in nanoseconds.
+    pub offset_ns: i64,
+    /// Residual drift in nanoseconds per second.
+    pub drift_ns_per_s: f64,
+}
+
+impl PtpModel {
+    /// Perfect synchronization.
+    pub fn perfect() -> Self {
+        PtpModel {
+            offset_ns: 0,
+            drift_ns_per_s: 0.0,
+        }
+    }
+
+    /// Sample a realistic sync state: offset ~ N(0, sigma_offset_ns),
+    /// drift ~ N(0, sigma_drift).
+    pub fn sampled(rng: &mut DetRng, sigma_offset_ns: f64, sigma_drift_ns_per_s: f64) -> Self {
+        PtpModel {
+            offset_ns: (sigma_offset_ns * rng.std_normal()).round() as i64,
+            drift_ns_per_s: sigma_drift_ns_per_s * rng.std_normal(),
+        }
+    }
+
+    /// Synchronization error at simulation time `t_ps`, in nanoseconds.
+    pub fn offset_ns_at(&self, t_ps: u64) -> i64 {
+        let secs = t_ps as f64 / PS_PER_SEC as f64;
+        self.offset_ns + (self.drift_ns_per_s * secs).round() as i64
+    }
+}
+
+/// NIC receive-timestamping behaviour.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub enum TimestampModel {
+    /// Intel E810 style: a hardware realtime clock; error is small white
+    /// noise plus nanosecond quantization.
+    HwRealtime {
+        /// Per-packet stamping noise.
+        noise: Jitter,
+    },
+    /// ConnectX style: a free-running hardware clock sampled and converted
+    /// to nanoseconds; the conversion introduces a periodic wander (the
+    /// sampling servo ramps and corrects) on top of white noise.
+    HwClockConverted {
+        /// Per-packet stamping noise.
+        noise: Jitter,
+        /// Peak wander amplitude, in ps.
+        wander_amplitude_ps: i64,
+        /// Wander period, in ps.
+        wander_period_ps: u64,
+    },
+}
+
+impl TimestampModel {
+    /// An exact timestamper (for tests).
+    pub fn exact() -> Self {
+        TimestampModel::HwRealtime {
+            noise: Jitter::None,
+        }
+    }
+
+    /// Produce the timestamp the NIC reports for a packet truly arriving
+    /// at `t_ps`. Quantized to nanoseconds, as hardware reports.
+    pub fn stamp(&self, t_ps: u64, rng: &mut DetRng) -> u64 {
+        let raw = match self {
+            TimestampModel::HwRealtime { noise } => t_ps as i64 + noise.sample(rng),
+            TimestampModel::HwClockConverted {
+                noise,
+                wander_amplitude_ps,
+                wander_period_ps,
+            } => {
+                let phase = (t_ps % wander_period_ps) as f64 / *wander_period_ps as f64;
+                // Triangle wave in [-1, 1].
+                let tri = 4.0 * (phase - 0.5).abs() - 1.0;
+                t_ps as i64 + (*wander_amplitude_ps as f64 * tri) as i64 + noise.sample(rng)
+            }
+        };
+        // Hardware reports nanoseconds.
+        ((raw.max(0) as u64) / 1_000) * 1_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{MS, NS, US};
+
+    #[test]
+    fn ideal_clock_is_exact() {
+        let c = NodeClock::ideal(2_500_000_000);
+        assert_eq!(c.tsc_at(0), 0);
+        // 1 us = 2500 cycles at 2.5 GHz.
+        assert_eq!(c.tsc_at(US), 2_500);
+        // 1 ns = 2.5 cycles, truncated.
+        assert_eq!(c.tsc_at(NS), 2);
+    }
+
+    #[test]
+    fn tsc_roundtrip() {
+        let c = NodeClock {
+            tsc_hz: 2_500_000_000,
+            tsc_offset: 77_000,
+            freq_error_ppb: 120,
+            ptp: PtpModel::perfect(),
+        };
+        for t in [0u64, 1_000, 123_456_789, 300 * MS] {
+            let tsc = c.tsc_at(t);
+            let back = c.time_of_tsc(tsc);
+            // time_of_tsc returns the earliest time the TSC reaches that
+            // value; re-reading must give the same TSC.
+            assert_eq!(c.tsc_at(back), tsc, "t={t}");
+            assert!(back <= t + 1_000, "back={back} t={t}");
+        }
+    }
+
+    #[test]
+    fn freq_error_accumulates() {
+        let exact = NodeClock::ideal(3_000_000_000);
+        let fast = NodeClock {
+            freq_error_ppb: 1_000, // 1 ppm fast
+            ..exact.clone()
+        };
+        let t = PS_PER_SEC; // 1 s
+        let d = fast.tsc_at(t) - exact.tsc_at(t);
+        // 1 ppm of 3e9 cycles = 3000 cycles.
+        assert_eq!(d, 3_000);
+    }
+
+    #[test]
+    fn wall_clock_applies_offset_and_drift() {
+        let c = NodeClock {
+            tsc_hz: 1_000_000_000,
+            tsc_offset: 0,
+            freq_error_ppb: 0,
+            ptp: PtpModel {
+                offset_ns: 40,
+                drift_ns_per_s: -10.0,
+            },
+        };
+        assert_eq!(c.wall_ns_at(0), 40);
+        // After 1 s: 1e9 + 40 - 10.
+        assert_eq!(c.wall_ns_at(PS_PER_SEC), 1_000_000_030);
+    }
+
+    #[test]
+    fn sampled_ptp_is_tens_of_ns_scale() {
+        let mut rng = DetRng::derive(3, &["ptp"]);
+        let mut max_abs = 0i64;
+        for _ in 0..100 {
+            let p = PtpModel::sampled(&mut rng, 30.0, 5.0);
+            max_abs = max_abs.max(p.offset_ns.abs());
+        }
+        assert!(max_abs > 10, "offsets implausibly small: {max_abs}");
+        assert!(max_abs < 200, "offsets implausibly large: {max_abs}");
+    }
+
+    #[test]
+    fn exact_timestamper_quantizes_to_ns() {
+        let ts = TimestampModel::exact();
+        let mut rng = DetRng::derive(1, &["ts"]);
+        assert_eq!(ts.stamp(1_234_567, &mut rng), 1_234_000);
+        assert_eq!(ts.stamp(999, &mut rng), 0);
+    }
+
+    #[test]
+    fn realtime_noise_stays_small() {
+        let ts = TimestampModel::HwRealtime {
+            noise: Jitter::Normal {
+                mean: 0.0,
+                sigma: 4.0 * NS as f64,
+            },
+        };
+        let mut rng = DetRng::derive(1, &["ts2"]);
+        let t = 1_000_000_000u64; // 1 ms
+        for _ in 0..100 {
+            let s = ts.stamp(t, &mut rng) as i64;
+            assert!((s - t as i64).abs() < 30 * NS as i64);
+        }
+    }
+
+    #[test]
+    fn converted_model_wanders_periodically() {
+        let ts = TimestampModel::HwClockConverted {
+            noise: Jitter::None,
+            wander_amplitude_ps: 20 * NS as i64,
+            wander_period_ps: 100 * US,
+        };
+        let mut rng = DetRng::derive(1, &["ts3"]);
+        // Peak of the triangle at phase 0 -> +amplitude; middle -> -amp.
+        let mut at = |t: u64| ts.stamp(t, &mut rng) as i64 - t as i64;
+        let peak = at(0);
+        let trough = at(50 * US);
+        assert!(peak > 15 * NS as i64, "peak {peak}");
+        assert!(trough < -15 * NS as i64, "trough {trough}");
+        // One full period later: same error again (within quantization).
+        assert!((at(100 * US) - peak).abs() <= 1_000);
+    }
+}

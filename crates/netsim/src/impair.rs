@@ -1,0 +1,207 @@
+//! Link impairments — netem-style loss, duplication, corruption, delay
+//! and reordering applied at wire delivery.
+//!
+//! The calibrated testbed profiles derive their noise from *component*
+//! models (NICs, clocks, co-tenants); this module adds the classic
+//! link-level fault knobs so users can explore how the κ metric responds
+//! to each failure class in isolation — e.g. "how many random drops does
+//! it take to move κ by 0.01?" — and so failure-injection tests have a
+//! first-class lever.
+
+use crate::rng::{DetRng, Jitter};
+
+/// Impairments applied to packets crossing a link (one direction).
+///
+/// ```
+/// use choir_netsim::LinkImpairments;
+///
+/// let clean = LinkImpairments::none();
+/// assert!(clean.is_none());
+/// let lossy = LinkImpairments::lossy(0.01);
+/// assert!(!lossy.is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkImpairments {
+    /// Probability a packet is silently dropped.
+    pub loss_prob: f64,
+    /// Probability a packet is delivered twice (the copy follows after
+    /// `dup_gap`).
+    pub dup_prob: f64,
+    /// Extra delay added to every packet.
+    pub extra_delay: Jitter,
+    /// Probability a packet is held back by `reorder_hold` (overtaken by
+    /// its successors — net-em's reorder knob).
+    pub reorder_prob: f64,
+    /// How long a reordered packet is held, beyond `extra_delay`.
+    pub reorder_hold: Jitter,
+    /// Gap between the original and a duplicate delivery.
+    pub dup_gap: Jitter,
+    /// Probability the frame is corrupted in flight (its trailer bytes
+    /// flip, changing its identity — the paper's "corrupted packets"
+    /// case of U, §3).
+    pub corrupt_prob: f64,
+}
+
+impl LinkImpairments {
+    /// A clean link: no impairments.
+    pub fn none() -> Self {
+        LinkImpairments {
+            loss_prob: 0.0,
+            dup_prob: 0.0,
+            extra_delay: Jitter::None,
+            reorder_prob: 0.0,
+            reorder_hold: Jitter::None,
+            dup_gap: Jitter::Const(1_000),
+            corrupt_prob: 0.0,
+        }
+    }
+
+    /// Uniform random loss.
+    pub fn lossy(p: f64) -> Self {
+        LinkImpairments {
+            loss_prob: p,
+            ..Self::none()
+        }
+    }
+
+    /// True when every knob is off (the engine skips sampling entirely).
+    pub fn is_none(&self) -> bool {
+        self.loss_prob == 0.0
+            && self.dup_prob == 0.0
+            && matches!(self.extra_delay, Jitter::None)
+            && self.reorder_prob == 0.0
+            && self.corrupt_prob == 0.0
+    }
+
+    /// Decide this packet's fate. Returns `None` for a drop, otherwise
+    /// the list of (extra delay, corrupted?) deliveries to make (one
+    /// entry normally, two when duplicated).
+    pub fn apply(&self, rng: &mut DetRng) -> Option<Deliveries> {
+        if self.loss_prob > 0.0 && rng.chance(self.loss_prob) {
+            return None;
+        }
+        let mut delay = self.extra_delay.sample_delay(rng);
+        if self.reorder_prob > 0.0 && rng.chance(self.reorder_prob) {
+            delay += self.reorder_hold.sample_delay(rng);
+        }
+        let corrupt = self.corrupt_prob > 0.0 && rng.chance(self.corrupt_prob);
+        let dup = if self.dup_prob > 0.0 && rng.chance(self.dup_prob) {
+            Some(delay + self.dup_gap.sample_delay(rng))
+        } else {
+            None
+        };
+        Some(Deliveries {
+            delay_ps: delay,
+            corrupt,
+            duplicate_delay_ps: dup,
+        })
+    }
+}
+
+impl Default for LinkImpairments {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Outcome of [`LinkImpairments::apply`] for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deliveries {
+    /// Extra delay for the (possibly corrupted) primary delivery.
+    pub delay_ps: u64,
+    /// Whether the primary delivery is corrupted.
+    pub corrupt: bool,
+    /// If duplicated: extra delay of the duplicate.
+    pub duplicate_delay_ps: Option<u64>,
+}
+
+/// Flip the last byte of a frame — enough to change a Choir-tagged
+/// packet's identity (it corrupts the tag's sequence number) while
+/// keeping the frame parseable.
+pub fn corrupt_frame(frame: &choir_packet::Frame) -> choir_packet::Frame {
+    let mut data = frame.data.to_vec();
+    if let Some(last) = data.last_mut() {
+        *last ^= 0xFF;
+    }
+    choir_packet::Frame::truncated(bytes::Bytes::from(data), frame.orig_len() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use choir_packet::{ChoirTag, Frame};
+
+    fn rng() -> DetRng {
+        DetRng::derive(77, &["impair"])
+    }
+
+    #[test]
+    fn clean_link_passes_everything_unchanged() {
+        let imp = LinkImpairments::none();
+        assert!(imp.is_none());
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = imp.apply(&mut r).expect("no loss");
+            assert_eq!(d.delay_ps, 0);
+            assert!(!d.corrupt);
+            assert_eq!(d.duplicate_delay_ps, None);
+        }
+    }
+
+    #[test]
+    fn loss_probability_is_respected() {
+        let imp = LinkImpairments::lossy(0.3);
+        let mut r = rng();
+        let n = 20_000;
+        let dropped = (0..n).filter(|_| imp.apply(&mut r).is_none()).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "loss rate {rate}");
+    }
+
+    #[test]
+    fn duplication_produces_second_delivery_after_the_first() {
+        let imp = LinkImpairments {
+            dup_prob: 1.0,
+            dup_gap: Jitter::Const(5_000),
+            ..LinkImpairments::none()
+        };
+        let mut r = rng();
+        let d = imp.apply(&mut r).unwrap();
+        assert_eq!(d.duplicate_delay_ps, Some(d.delay_ps + 5_000));
+    }
+
+    #[test]
+    fn reordering_holds_back_some_packets() {
+        let imp = LinkImpairments {
+            reorder_prob: 0.5,
+            reorder_hold: Jitter::Const(1_000_000),
+            ..LinkImpairments::none()
+        };
+        let mut r = rng();
+        let delays: Vec<u64> = (0..1_000)
+            .map(|_| imp.apply(&mut r).unwrap().delay_ps)
+            .collect();
+        let held = delays.iter().filter(|&&d| d >= 1_000_000).count();
+        assert!((400..600).contains(&held), "held {held}");
+        assert!(delays.contains(&0));
+    }
+
+    #[test]
+    fn corruption_changes_identity_but_not_length() {
+        let mut buf = vec![0u8; 60];
+        ChoirTag::new(1, 0, 9).stamp_trailer(&mut buf);
+        let f = Frame::new(Bytes::from(buf));
+        let c = corrupt_frame(&f);
+        assert_eq!(c.len(), f.len());
+        assert_eq!(c.orig_len(), f.orig_len());
+        assert_ne!(c.packet_id(), f.packet_id());
+    }
+
+    #[test]
+    fn corrupt_empty_frame_is_harmless() {
+        let f = Frame::new(Bytes::new());
+        let c = corrupt_frame(&f);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,415 @@
+//! A working Precision Time Protocol implementation (IEEE 1588
+//! delay-request/response, two-step) running over the simulated network.
+//!
+//! The paper's testbeds rely on PTP for replay scheduling (§2.2: a
+//! GPS-disciplined grandmaster, VMs syncing through `ptp_kvm`, "the
+//! original patch claims ... sub-microsecond error"). The calibrated
+//! experiment profiles *model* the resulting sync error statistically
+//! (`clock::PtpModel`); this module implements the protocol itself, so the
+//! error can instead *emerge* from network jitter:
+//!
+//! - [`PtpGrandmaster`]: emits two-step `Sync` + `Follow_Up` every
+//!   interval, answers `Delay_Req` with `Delay_Resp` (software
+//!   timestamping — its own poll jitter becomes sync error, exactly as on
+//!   a real host without hardware stamping).
+//! - [`PtpClient`]: computes the IEEE 1588 offset
+//!   `((t2 − t1) − (t4 − t3)) / 2` and disciplines its node's wall clock
+//!   through a proportional servo via
+//!   [`choir_dpdk::Dataplane::adjust_wall_clock`].
+//!
+//! Messages ride Ethernet frames with the real PTP EtherType `0x88F7`.
+
+use bytes::Bytes;
+use choir_dpdk::{App, Burst, Dataplane, PortId};
+use choir_packet::{EthernetHeader, Frame, MacAddr};
+
+/// The IEEE 1588 Ethernet EtherType.
+pub const PTP_ETHERTYPE: u16 = 0x88F7;
+
+const MSG_SYNC: u8 = 0;
+const MSG_FOLLOW_UP: u8 = 8;
+const MSG_DELAY_REQ: u8 = 1;
+const MSG_DELAY_RESP: u8 = 9;
+
+/// A decoded PTP message: kind, sequence id, and one timestamp field
+/// (whose meaning depends on the kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PtpMessage {
+    /// Message kind (`MSG_*`).
+    pub kind: u8,
+    /// Sequence id correlating Sync/Follow_Up and Delay_Req/Delay_Resp.
+    pub seq: u16,
+    /// Origin/receipt timestamp in nanoseconds (sender's clock domain).
+    pub timestamp_ns: u64,
+}
+
+/// Serialize a PTP message into an Ethernet frame.
+pub fn encode_ptp(msg: &PtpMessage, src: MacAddr, dst: MacAddr) -> Frame {
+    let mut buf = vec![0u8; EthernetHeader::LEN + 11];
+    EthernetHeader {
+        dst,
+        src,
+        ethertype: PTP_ETHERTYPE,
+    }
+    .write(&mut buf);
+    buf[14] = msg.kind;
+    buf[15..17].copy_from_slice(&msg.seq.to_be_bytes());
+    buf[17..25].copy_from_slice(&msg.timestamp_ns.to_be_bytes());
+    Frame::new(Bytes::from(buf))
+}
+
+/// Parse a PTP frame, if it is one.
+pub fn decode_ptp(frame: &Frame) -> Option<PtpMessage> {
+    let eth = EthernetHeader::parse(&frame.data)?;
+    if eth.ethertype != PTP_ETHERTYPE || frame.data.len() < EthernetHeader::LEN + 11 {
+        return None;
+    }
+    let p = &frame.data[EthernetHeader::LEN..];
+    Some(PtpMessage {
+        kind: p[0],
+        seq: u16::from_be_bytes([p[1], p[2]]),
+        timestamp_ns: u64::from_be_bytes([p[3], p[4], p[5], p[6], p[7], p[8], p[9], p[10]]),
+    })
+}
+
+/// The grandmaster application: two-step Sync on a fixed interval, plus
+/// Delay_Resp service.
+pub struct PtpGrandmaster {
+    /// Port the PTP domain hangs off.
+    pub port: PortId,
+    /// Sync interval in nanoseconds (the FABRIC deployment uses 1 s; tests
+    /// use much less).
+    pub sync_interval_ns: u64,
+    seq: u16,
+    next_sync_tsc: Option<u64>,
+    rx: Burst,
+    syncs_sent: u64,
+}
+
+impl PtpGrandmaster {
+    /// A grandmaster with the given sync cadence.
+    pub fn new(port: PortId, sync_interval_ns: u64) -> Self {
+        PtpGrandmaster {
+            port,
+            sync_interval_ns,
+            seq: 0,
+            next_sync_tsc: None,
+            rx: Burst::new(),
+            syncs_sent: 0,
+        }
+    }
+
+    /// Sync rounds emitted so far.
+    pub fn syncs_sent(&self) -> u64 {
+        self.syncs_sent
+    }
+
+    fn send(&mut self, dp: &mut dyn Dataplane, msg: PtpMessage) {
+        let frame = encode_ptp(&msg, MacAddr::local(0xFFFF), MacAddr::BROADCAST);
+        if let Ok(m) = dp.mempool().alloc(frame) {
+            let mut b = Burst::new();
+            b.push(m).expect("single packet");
+            dp.tx_burst(self.port, &mut b);
+        }
+    }
+}
+
+impl App for PtpGrandmaster {
+    fn on_wake(&mut self, dp: &mut dyn Dataplane) {
+        // Serve delay requests.
+        loop {
+            let mut rx = std::mem::take(&mut self.rx);
+            let n = dp.rx_burst(self.port, &mut rx);
+            for m in rx.drain() {
+                if let Some(req) = decode_ptp(&m.frame) {
+                    if req.kind == MSG_DELAY_REQ {
+                        // t4: receipt time at the master.
+                        let t4 = dp.wall_ns();
+                        self.send(
+                            dp,
+                            PtpMessage {
+                                kind: MSG_DELAY_RESP,
+                                seq: req.seq,
+                                timestamp_ns: t4,
+                            },
+                        );
+                    }
+                }
+            }
+            self.rx = rx;
+            if n == 0 {
+                break;
+            }
+        }
+
+        // Emit Sync + Follow_Up on schedule.
+        let interval = dp.ns_to_cycles(self.sync_interval_ns);
+        let now = dp.tsc();
+        let due = *self.next_sync_tsc.get_or_insert(now);
+        if now >= due {
+            let seq = self.seq;
+            self.seq = self.seq.wrapping_add(1);
+            self.syncs_sent += 1;
+            // Two-step: Sync carries nothing precise; Follow_Up carries
+            // the (software) transmit timestamp t1.
+            self.send(
+                dp,
+                PtpMessage {
+                    kind: MSG_SYNC,
+                    seq,
+                    timestamp_ns: 0,
+                },
+            );
+            let t1 = dp.wall_ns();
+            self.send(
+                dp,
+                PtpMessage {
+                    kind: MSG_FOLLOW_UP,
+                    seq,
+                    timestamp_ns: t1,
+                },
+            );
+            self.next_sync_tsc = Some(due + interval);
+        }
+        dp.request_wake_at_tsc(self.next_sync_tsc.expect("initialized above"));
+    }
+
+    fn name(&self) -> &str {
+        "ptp-grandmaster"
+    }
+}
+
+/// Per-round servo state.
+#[derive(Debug, Clone, Copy, Default)]
+struct Round {
+    seq: u16,
+    /// Client receive time of Sync (t2), client clock.
+    t2: Option<u64>,
+    /// Master transmit time of Sync (t1), master clock.
+    t1: Option<u64>,
+    /// Client transmit time of Delay_Req (t3), client clock.
+    t3: Option<u64>,
+}
+
+/// The client application: measures offset each sync round and slews its
+/// clock with gain `kp`.
+pub struct PtpClient {
+    /// Port facing the grandmaster.
+    pub port: PortId,
+    /// Proportional servo gain in `(0, 1]` (1 = jump by the full measured
+    /// offset each round).
+    pub kp: f64,
+    round: Round,
+    rx: Burst,
+    /// Last measured offset (client − master), ns.
+    last_offset_ns: Option<i64>,
+    rounds_completed: u64,
+}
+
+impl PtpClient {
+    /// A client with the given servo gain.
+    pub fn new(port: PortId, kp: f64) -> Self {
+        assert!(kp > 0.0 && kp <= 1.0, "gain must be in (0, 1]");
+        PtpClient {
+            port,
+            kp,
+            round: Round::default(),
+            rx: Burst::new(),
+            last_offset_ns: None,
+            rounds_completed: 0,
+        }
+    }
+
+    /// The most recent offset measurement (client − master), if any.
+    pub fn last_offset_ns(&self) -> Option<i64> {
+        self.last_offset_ns
+    }
+
+    /// Completed measurement rounds.
+    pub fn rounds_completed(&self) -> u64 {
+        self.rounds_completed
+    }
+
+    fn send(&mut self, dp: &mut dyn Dataplane, msg: PtpMessage) {
+        let frame = encode_ptp(&msg, MacAddr::local(0xC11E), MacAddr::BROADCAST);
+        if let Ok(m) = dp.mempool().alloc(frame) {
+            let mut b = Burst::new();
+            b.push(m).expect("single packet");
+            dp.tx_burst(self.port, &mut b);
+        }
+    }
+}
+
+impl App for PtpClient {
+    fn on_wake(&mut self, dp: &mut dyn Dataplane) {
+        loop {
+            let mut rx = std::mem::take(&mut self.rx);
+            let n = dp.rx_burst(self.port, &mut rx);
+            for m in rx.drain() {
+                let Some(msg) = decode_ptp(&m.frame) else {
+                    continue;
+                };
+                match msg.kind {
+                    MSG_SYNC => {
+                        // t2: software receive stamp in the client domain.
+                        self.round = Round {
+                            seq: msg.seq,
+                            t2: Some(dp.wall_ns()),
+                            t1: None,
+                            t3: None,
+                        };
+                    }
+                    MSG_FOLLOW_UP if msg.seq == self.round.seq => {
+                        self.round.t1 = Some(msg.timestamp_ns);
+                        // Kick off the delay measurement.
+                        let t3 = dp.wall_ns();
+                        self.round.t3 = Some(t3);
+                        let seq = msg.seq;
+                        self.send(
+                            dp,
+                            PtpMessage {
+                                kind: MSG_DELAY_REQ,
+                                seq,
+                                timestamp_ns: t3,
+                            },
+                        );
+                    }
+                    MSG_DELAY_RESP if msg.seq == self.round.seq => {
+                        let (Some(t1), Some(t2), Some(t3)) =
+                            (self.round.t1, self.round.t2, self.round.t3)
+                        else {
+                            continue;
+                        };
+                        let t4 = msg.timestamp_ns;
+                        // IEEE 1588: offset = ((t2 − t1) − (t4 − t3)) / 2.
+                        let offset =
+                            ((t2 as i64 - t1 as i64) - (t4 as i64 - t3 as i64)) / 2;
+                        self.last_offset_ns = Some(offset);
+                        self.rounds_completed += 1;
+                        let slew = -(offset as f64 * self.kp) as i64;
+                        if slew != 0 {
+                            dp.adjust_wall_clock(slew);
+                        }
+                        self.round = Round::default();
+                    }
+                    _ => {}
+                }
+            }
+            self.rx = rx;
+            if n == 0 {
+                break;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ptp-client"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{NodeClock, PtpModel};
+    use crate::nic::{NicRxModel, NicTxModel};
+    use crate::rng::Jitter;
+    use crate::time::{MS, NS, US};
+    use crate::{Sim, SimConfig};
+
+    #[test]
+    fn message_roundtrip() {
+        let m = PtpMessage {
+            kind: MSG_FOLLOW_UP,
+            seq: 777,
+            timestamp_ns: 123_456_789_012,
+        };
+        let f = encode_ptp(&m, MacAddr::local(1), MacAddr::BROADCAST);
+        assert_eq!(decode_ptp(&f), Some(m));
+        // Non-PTP frames decode to None.
+        let plain = choir_packet::FrameBuilder::new(100, 1, 2).build_plain();
+        assert_eq!(decode_ptp(&plain), None);
+    }
+
+    fn ptp_pair(initial_offset_ns: i64, jitter: Jitter, rounds_time_ms: u64) -> (i64, u64) {
+        let mut sim = Sim::new(SimConfig::default());
+        let gm_clock = NodeClock::ideal(1_000_000_000);
+        let mut client_clock = NodeClock::ideal(1_000_000_000);
+        client_clock.ptp = PtpModel {
+            offset_ns: initial_offset_ns,
+            drift_ns_per_s: 0.0,
+        };
+        let gm = sim.add_node(
+            "gm",
+            PtpGrandmaster::new(0, 500_000), // 0.5 ms sync interval
+            gm_clock,
+            Jitter::None,
+        );
+        let client = sim.add_node("client", PtpClient::new(0, 0.7), client_clock, Jitter::None);
+        // Software stamping happens when the poll loop sees the packet:
+        // `jitter` models that visibility latency, the sync-error source.
+        let gp = sim.add_port(
+            gm,
+            NicTxModel::ideal(100_000_000_000),
+            NicRxModel {
+                deliver_latency: jitter.clone(),
+                ..NicRxModel::ideal()
+            },
+        );
+        let cp = sim.add_port(
+            client,
+            NicTxModel::ideal(100_000_000_000),
+            NicRxModel {
+                deliver_latency: jitter,
+                ..NicRxModel::ideal()
+            },
+        );
+        sim.connect_nodes(gm, gp, client, cp, 50 * NS);
+        sim.wake_app(gm, US);
+        sim.run_until(rounds_time_ms * MS);
+        let rounds = sim.with_app::<PtpClient, _>(client, |c| c.rounds_completed());
+        // The residual sync error is what the servo itself last measured.
+        let last = sim
+            .with_app::<PtpClient, _>(client, |c| c.last_offset_ns())
+            .unwrap_or(i64::MAX);
+        (last, rounds)
+    }
+
+    #[test]
+    fn servo_converges_from_large_initial_offset() {
+        // Client boots 50 us off; after a few rounds over a clean link the
+        // measured offset shrinks to the propagation-asymmetry floor.
+        let (last, rounds) = ptp_pair(50_000, Jitter::None, 20);
+        assert!(rounds >= 10, "rounds {rounds}");
+        assert!(
+            last.abs() < 200,
+            "residual offset {last} ns after {rounds} rounds"
+        );
+    }
+
+    #[test]
+    fn poll_jitter_limits_sync_quality() {
+        // With microsecond-scale software-stamping jitter the residual sits
+        // in the hundreds-of-ns band — the "10s of nanoseconds" claim needs
+        // hardware stamping, which is exactly why the paper's FABRIC setup
+        // uses NIC PTP.
+        let (clean, _) = ptp_pair(10_000, Jitter::None, 20);
+        let (noisy, rounds) = ptp_pair(
+            10_000,
+            Jitter::Exp {
+                mean: 1.0 * US as f64,
+            },
+            20,
+        );
+        assert!(rounds >= 5);
+        assert!(
+            noisy.abs() > clean.abs() + 20,
+            "noise must hurt: {noisy} vs {clean}"
+        );
+    }
+
+    #[test]
+    fn offsets_measured_every_round() {
+        let (_, rounds) = ptp_pair(1_000, Jitter::None, 10);
+        assert!(rounds >= 5, "rounds {rounds}");
+    }
+}

@@ -1,0 +1,240 @@
+//! Deterministic per-component randomness.
+//!
+//! Reproducibility is the paper's subject, so the simulator must itself be
+//! reproducible: every stochastic component (each NIC's DMA jitter, each
+//! clock's PTP wander, the noise process, …) owns a [`DetRng`] derived
+//! from `(master_seed, component label, trial index)`. Re-running with the
+//! same seed is bit-identical; changing the trial index re-rolls exactly
+//! the processes that physically differ between replay runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A labeled deterministic RNG stream.
+pub struct DetRng {
+    rng: StdRng,
+}
+
+impl DetRng {
+    /// Derive a stream from a master seed and a label path.
+    pub fn derive(master_seed: u64, labels: &[&str]) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ master_seed;
+        for label in labels {
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h ^= 0x2e; // path separator
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        DetRng {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Derive with a numeric component (e.g. a trial index).
+    pub fn derive_indexed(master_seed: u64, labels: &[&str], index: u64) -> Self {
+        let idx = format!("#{index}");
+        let mut all: Vec<&str> = labels.to_vec();
+        all.push(&idx);
+        Self::derive(master_seed, &all)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn std_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Exponential with the given mean.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Geometric count with success probability `p` (number of failures
+    /// before a success; 0 when `p >= 1`).
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        if p >= 1.0 {
+            return 0;
+        }
+        let p = p.max(1e-12);
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        (u.ln() / (1.0 - p).ln()).floor() as u64
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p
+    }
+}
+
+/// A jitter distribution sampled in picoseconds (possibly signed).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Jitter {
+    /// Always zero.
+    None,
+    /// Constant value.
+    Const(i64),
+    /// Uniform in `[lo, hi]` ps.
+    Uniform(i64, i64),
+    /// Normal with mean and standard deviation, in ps.
+    Normal {
+        /// Mean in ps.
+        mean: f64,
+        /// Standard deviation in ps.
+        sigma: f64,
+    },
+    /// Exponential (one-sided, positive) with the given mean in ps.
+    Exp {
+        /// Mean in ps.
+        mean: f64,
+    },
+    /// Mixture: each arm is `(weight, jitter)`; weights need not sum to 1
+    /// (they are normalized).
+    Mix(Vec<(f64, Jitter)>),
+}
+
+impl Jitter {
+    /// Sample a signed ps value.
+    pub fn sample(&self, rng: &mut DetRng) -> i64 {
+        match self {
+            Jitter::None => 0,
+            Jitter::Const(v) => *v,
+            Jitter::Uniform(lo, hi) => {
+                debug_assert!(lo <= hi);
+                let span = (hi - lo) as f64;
+                *lo + (rng.f64() * span) as i64
+            }
+            Jitter::Normal { mean, sigma } => (mean + sigma * rng.std_normal()).round() as i64,
+            Jitter::Exp { mean } => rng.exp(*mean).round() as i64,
+            Jitter::Mix(arms) => {
+                let total: f64 = arms.iter().map(|(w, _)| *w).sum();
+                debug_assert!(total > 0.0, "mixture needs positive weight");
+                let mut pick = rng.f64() * total;
+                for (w, j) in arms {
+                    if pick < *w {
+                        return j.sample(rng);
+                    }
+                    pick -= w;
+                }
+                arms.last().expect("nonempty mixture").1.sample(rng)
+            }
+        }
+    }
+
+    /// Sample clamped to be non-negative (for physical delays).
+    pub fn sample_delay(&self, rng: &mut DetRng) -> u64 {
+        self.sample(rng).max(0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic_and_label_sensitive() {
+        let mut a1 = DetRng::derive(42, &["nic", "tx"]);
+        let mut a2 = DetRng::derive(42, &["nic", "tx"]);
+        let mut b = DetRng::derive(42, &["nic", "rx"]);
+        let mut c = DetRng::derive(43, &["nic", "tx"]);
+        let s1: Vec<u64> = (0..8).map(|_| a1.range_u64(0, u64::MAX - 1)).collect();
+        let s2: Vec<u64> = (0..8).map(|_| a2.range_u64(0, u64::MAX - 1)).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.range_u64(0, u64::MAX - 1)).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.range_u64(0, u64::MAX - 1)).collect();
+        assert_eq!(s1, s2);
+        assert_ne!(s1, sb);
+        assert_ne!(s1, sc);
+    }
+
+    #[test]
+    fn label_concatenation_does_not_collide() {
+        // ["ab", "c"] must differ from ["a", "bc"].
+        let mut x = DetRng::derive(1, &["ab", "c"]);
+        let mut y = DetRng::derive(1, &["a", "bc"]);
+        assert_ne!(x.range_u64(0, u64::MAX - 1), y.range_u64(0, u64::MAX - 1));
+    }
+
+    #[test]
+    fn indexed_derivation_differs_by_trial() {
+        let mut t0 = DetRng::derive_indexed(7, &["clock"], 0);
+        let mut t1 = DetRng::derive_indexed(7, &["clock"], 1);
+        assert_ne!(t0.f64(), t1.f64());
+    }
+
+    #[test]
+    fn normal_moments_roughly_right() {
+        let mut rng = DetRng::derive(5, &["normal"]);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.std_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean_roughly_right() {
+        let mut rng = DetRng::derive(5, &["exp"]);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exp(250.0)).sum::<f64>() / n as f64;
+        assert!((mean - 250.0).abs() < 10.0, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_mean_roughly_right() {
+        let mut rng = DetRng::derive(5, &["geo"]);
+        let p: f64 = 0.25;
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.geometric(p) as f64).sum::<f64>() / n as f64;
+        // E = (1-p)/p = 3.
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+        assert_eq!(rng.geometric(1.0), 0);
+    }
+
+    #[test]
+    fn jitter_sampling_behaves() {
+        let mut rng = DetRng::derive(9, &["j"]);
+        assert_eq!(Jitter::None.sample(&mut rng), 0);
+        assert_eq!(Jitter::Const(-5).sample(&mut rng), -5);
+        for _ in 0..100 {
+            let v = Jitter::Uniform(-10, 10).sample(&mut rng);
+            assert!((-10..=10).contains(&v));
+        }
+        // Negative normal samples clamp to zero as delays.
+        let j = Jitter::Normal {
+            mean: -1000.0,
+            sigma: 1.0,
+        };
+        assert_eq!(j.sample_delay(&mut rng), 0);
+        let e = Jitter::Exp { mean: 100.0 };
+        assert!(e.sample(&mut rng) >= 0);
+    }
+
+    #[test]
+    fn mixture_selects_all_arms() {
+        let mut rng = DetRng::derive(11, &["mix"]);
+        let j = Jitter::Mix(vec![(0.5, Jitter::Const(1)), (0.5, Jitter::Const(2))]);
+        let mut seen = [false, false];
+        for _ in 0..200 {
+            match j.sample(&mut rng) {
+                1 => seen[0] = true,
+                2 => seen[1] = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

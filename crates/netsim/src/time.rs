@@ -1,0 +1,49 @@
+//! Simulation time units.
+//!
+//! Everything in the simulator runs in **picoseconds** as plain `u64`: the
+//! paper buckets IAT deltas at ±10 ns, and a ~3 GHz TSC ticks every
+//! ~333 ps, so nanoseconds are too coarse and floats too lossy. A `u64` of
+//! picoseconds covers ~213 days — far beyond any experiment.
+
+/// One nanosecond, in picoseconds.
+pub const NS: u64 = 1_000;
+/// One microsecond, in picoseconds.
+pub const US: u64 = 1_000_000;
+/// One millisecond, in picoseconds.
+pub const MS: u64 = 1_000_000_000;
+/// One second, in picoseconds.
+pub const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+/// Convert picoseconds to (whole) nanoseconds.
+pub fn ps_to_ns(ps: u64) -> u64 {
+    ps / NS
+}
+
+/// Convert nanoseconds to picoseconds.
+pub fn ns_to_ps(ns: u64) -> u64 {
+    ns * NS
+}
+
+/// Convert picoseconds to seconds as `f64` (for reporting only).
+pub fn ps_to_secs(ps: u64) -> f64 {
+    ps as f64 / PS_PER_SEC as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_relations() {
+        assert_eq!(NS * 1_000, US);
+        assert_eq!(US * 1_000, MS);
+        assert_eq!(MS * 1_000, PS_PER_SEC);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ps_to_ns(1_500), 1);
+        assert_eq!(ns_to_ps(7), 7_000);
+        assert!((ps_to_secs(PS_PER_SEC / 2) - 0.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,116 @@
+//! Topology construction helpers.
+//!
+//! Both of the paper's testbeds are "everything plugged into one switch"
+//! topologies (§6: "All elements were connected through a AS9516-32D
+//! Tofino2 switch running a simple ingress to egress port forwarding
+//! program"). [`TopologyBuilder`] wraps [`Sim`] with switch-port
+//! bookkeeping so an experiment can declare unidirectional paths
+//! (`a.port -> switch -> b.port`) without hand-allocating switch ports.
+
+use choir_dpdk::PortId;
+
+use crate::engine::{NodeId, Sim};
+use crate::switchdev::{Switch, SwitchProfile};
+
+/// Allocates switch ports and wires unidirectional paths.
+pub struct TopologyBuilder {
+    sw: usize,
+    next_port: usize,
+    capacity: usize,
+}
+
+impl TopologyBuilder {
+    /// Create a switch with `ports` ports in `sim`.
+    pub fn with_switch(sim: &mut Sim, profile: SwitchProfile, ports: usize, name: &str) -> Self {
+        let sw = sim.add_switch(Switch::new(ports, profile), name);
+        TopologyBuilder {
+            sw,
+            next_port: 0,
+            capacity: ports,
+        }
+    }
+
+    /// The switch index in the simulation.
+    pub fn switch(&self) -> usize {
+        self.sw
+    }
+
+    /// Wire a unidirectional path `(a, ap) -> switch -> (b, bp)` using two
+    /// fresh switch ports, with `prop_ps` propagation per hop.
+    ///
+    /// Returns the (ingress, egress) switch ports used.
+    ///
+    /// # Panics
+    /// Panics if the switch has no free ports left.
+    pub fn path(
+        &mut self,
+        sim: &mut Sim,
+        a: NodeId,
+        ap: PortId,
+        b: NodeId,
+        bp: PortId,
+        prop_ps: u64,
+    ) -> (usize, usize) {
+        let ingress = self.alloc();
+        let egress = self.alloc();
+        sim.connect_node_switch(a, ap, self.sw, ingress, prop_ps);
+        sim.connect_node_switch(b, bp, self.sw, egress, prop_ps);
+        sim.switch_map(self.sw, ingress, egress);
+        (ingress, egress)
+    }
+
+    fn alloc(&mut self) -> usize {
+        assert!(
+            self.next_port < self.capacity,
+            "switch out of ports ({} used)",
+            self.capacity
+        );
+        let p = self.next_port;
+        self.next_port += 1;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::NodeClock;
+    use crate::engine::SimConfig;
+    use crate::nic::{NicRxModel, NicTxModel};
+    use crate::rng::Jitter;
+    use choir_dpdk::{App, Dataplane};
+
+    struct Idle;
+    impl App for Idle {
+        fn on_wake(&mut self, _dp: &mut dyn Dataplane) {}
+    }
+
+    #[test]
+    fn paths_allocate_distinct_ports() {
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_node("a", Idle, NodeClock::ideal(1_000_000_000), Jitter::None);
+        let b = sim.add_node("b", Idle, NodeClock::ideal(1_000_000_000), Jitter::None);
+        let ap = sim.add_port(a, NicTxModel::ideal(100_000_000_000), NicRxModel::ideal());
+        let bp = sim.add_port(b, NicTxModel::ideal(100_000_000_000), NicRxModel::ideal());
+        let ap2 = sim.add_port(a, NicTxModel::ideal(100_000_000_000), NicRxModel::ideal());
+        let bp2 = sim.add_port(b, NicTxModel::ideal(100_000_000_000), NicRxModel::ideal());
+
+        let mut topo =
+            TopologyBuilder::with_switch(&mut sim, SwitchProfile::tofino2(100_000_000_000), 8, "sw");
+        let (i1, e1) = topo.path(&mut sim, a, ap, b, bp, 5_000);
+        let (i2, e2) = topo.path(&mut sim, b, bp2, a, ap2, 5_000);
+        assert_eq!((i1, e1), (0, 1));
+        assert_eq!((i2, e2), (2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of ports")]
+    fn exhausting_ports_panics() {
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_node("a", Idle, NodeClock::ideal(1_000_000_000), Jitter::None);
+        let ap = sim.add_port(a, NicTxModel::ideal(1), NicRxModel::ideal());
+        let mut topo =
+            TopologyBuilder::with_switch(&mut sim, SwitchProfile::tofino2(1), 1, "sw");
+        topo.path(&mut sim, a, ap, a, ap, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! PTP protocol integration: a grandmaster and two clients across a
+//! switch, with asymmetric path jitter — the deployment shape FABRIC
+//! uses (paper §2.2), run end to end over the simulated network.
+
+use choir_netsim::clock::{NodeClock, PtpModel};
+use choir_netsim::nic::{NicRxModel, NicTxModel};
+use choir_netsim::ptp::{PtpClient, PtpGrandmaster};
+use choir_netsim::rng::Jitter;
+use choir_netsim::switchdev::{Switch, SwitchProfile};
+use choir_netsim::time::{MS, NS, US};
+use choir_netsim::{Sim, SimConfig};
+
+/// Grandmaster + two clients through one switch. `jitter_b` adds poll
+/// jitter only to client B's path.
+fn ptp_domain(jitter_b: Jitter, run_ms: u64) -> (i64, i64, u64, u64) {
+    let link = 100_000_000_000;
+    let mut sim = Sim::new(SimConfig::default());
+
+    let gm = sim.add_node(
+        "gm",
+        PtpGrandmaster::new(0, 500_000),
+        NodeClock::ideal(1_000_000_000),
+        Jitter::None,
+    );
+    let mut client_clock = NodeClock::ideal(1_000_000_000);
+    client_clock.ptp = PtpModel {
+        offset_ns: 25_000, // boots 25 us off
+        drift_ns_per_s: 0.0,
+    };
+    let ca = sim.add_node(
+        "client-a",
+        PtpClient::new(0, 0.7),
+        client_clock.clone(),
+        Jitter::None,
+    );
+    let cb = sim.add_node("client-b", PtpClient::new(0, 0.7), client_clock, Jitter::None);
+
+    let gp = sim.add_port(gm, NicTxModel::ideal(link), NicRxModel::ideal());
+    let ap = sim.add_port(
+        ca,
+        NicTxModel::ideal(link),
+        NicRxModel::ideal(),
+    );
+    let bp = sim.add_port(
+        cb,
+        NicTxModel::ideal(link),
+        NicRxModel {
+            deliver_latency: jitter_b,
+            ..NicRxModel::ideal()
+        },
+    );
+
+    // Broadcast fabric: gm's frames go to both clients (two mirror-ish
+    // forwarding entries via a per-client ingress); client requests go
+    // back to the gm.
+    let sw = sim.add_switch(Switch::new(6, SwitchProfile::tofino2(link)), "sw");
+    sim.connect_node_switch(gm, gp, sw, 0, 50 * NS);
+    sim.connect_node_switch(ca, ap, sw, 1, 50 * NS);
+    sim.connect_node_switch(cb, bp, sw, 2, 50 * NS);
+    // gm ingress(0) forwards to client A and mirrors to client B — the
+    // L2 broadcast a PTP domain relies on.
+    sim.switch_map(sw, 0, 1);
+    sim.switch_mirror(sw, 0, 2);
+    // Client ingresses forward to the gm. (Ports 1 and 2 double as
+    // ingress for the clients' Delay_Req frames.)
+    sim.switch_map(sw, 1, 0);
+    sim.switch_map(sw, 2, 0);
+
+    sim.wake_app(gm, US);
+    sim.run_until(run_ms * MS);
+    let (oa, ra) = sim.with_app::<PtpClient, _>(ca, |c| {
+        (c.last_offset_ns().unwrap_or(i64::MAX), c.rounds_completed())
+    });
+    let (ob, rb) = sim.with_app::<PtpClient, _>(cb, |c| {
+        (c.last_offset_ns().unwrap_or(i64::MAX), c.rounds_completed())
+    });
+    (oa, ob, ra, rb)
+}
+
+#[test]
+fn both_clients_converge_through_the_switch() {
+    let (oa, ob, ra, rb) = ptp_domain(Jitter::None, 20);
+    assert!(ra >= 10, "client A rounds {ra}");
+    assert!(rb >= 10, "client B rounds {rb}");
+    // Both started 25 us off; the servo pulls the residual to the
+    // sub-microsecond regime the ptp_kvm patch claims (§2.2).
+    assert!(oa.abs() < 1_000, "client A residual {oa} ns");
+    assert!(ob.abs() < 1_000, "client B residual {ob} ns");
+}
+
+#[test]
+fn path_jitter_degrades_only_the_jittery_client() {
+    let (oa, ob, _, rb) = ptp_domain(
+        Jitter::Exp {
+            mean: 2.0 * US as f64,
+        },
+        30,
+    );
+    assert!(rb >= 5);
+    assert!(
+        ob.abs() > oa.abs(),
+        "jittery client must sync worse: A {oa} ns vs B {ob} ns"
+    );
+}

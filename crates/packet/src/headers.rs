@@ -1,0 +1,339 @@
+//! Minimal Ethernet / IPv4 / UDP header construction and parsing.
+//!
+//! Choir is protocol-agnostic (paper §9: "no reliance on specific hardware
+//! or protocols"), but its evaluation traffic is UDP-in-IPv4 Ethernet
+//! frames, so those are the headers this substrate provides. Everything is
+//! plain big-endian serialization into caller-provided buffers — no
+//! per-packet allocation.
+
+use std::fmt;
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address ff:ff:ff:ff:ff:ff.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// A locally-administered unicast address derived from a small id —
+    /// handy for simulated topologies.
+    pub fn local(id: u32) -> Self {
+        let b = id.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// True if the multicast bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// EtherType values used in this workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4 = 0x0800,
+    /// Choir's out-of-band control frames (an experimental ethertype).
+    ChoirControl = 0x88B5,
+}
+
+impl EtherType {
+    /// Parse a raw ethertype, returning `None` for values this crate does
+    /// not model.
+    pub fn from_u16(v: u16) -> Option<Self> {
+        match v {
+            0x0800 => Some(EtherType::Ipv4),
+            0x88B5 => Some(EtherType::ChoirControl),
+            _ => None,
+        }
+    }
+}
+
+/// Ethernet II header (14 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType as a raw value (see [`EtherType`]).
+    pub ethertype: u16,
+}
+
+impl EthernetHeader {
+    /// Serialized size in bytes.
+    pub const LEN: usize = 14;
+
+    /// Write the header into the first 14 bytes of `buf`.
+    ///
+    /// # Panics
+    /// Panics if `buf` is shorter than [`Self::LEN`].
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0..6].copy_from_slice(&self.dst.0);
+        buf[6..12].copy_from_slice(&self.src.0);
+        buf[12..14].copy_from_slice(&self.ethertype.to_be_bytes());
+    }
+
+    /// Parse a header from the start of `buf`, if long enough.
+    pub fn parse(buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::LEN {
+            return None;
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        Some(EthernetHeader {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype: u16::from_be_bytes([buf[12], buf[13]]),
+        })
+    }
+}
+
+/// IPv4 header (20 bytes, no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Total length field: header + payload bytes.
+    pub total_len: u16,
+    /// Identification field (we thread a stream id through here for
+    /// debuggability; identity for the metrics comes from the trailer tag).
+    pub identification: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Protocol number (17 = UDP).
+    pub protocol: u8,
+    /// Source address as a big-endian u32.
+    pub src: u32,
+    /// Destination address as a big-endian u32.
+    pub dst: u32,
+}
+
+impl Ipv4Header {
+    /// Serialized size in bytes (no options).
+    pub const LEN: usize = 20;
+    /// Protocol number for UDP.
+    pub const PROTO_UDP: u8 = 17;
+
+    /// Write the header (with a valid checksum) into the first 20 bytes of
+    /// `buf`.
+    ///
+    /// # Panics
+    /// Panics if `buf` is shorter than [`Self::LEN`].
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0] = 0x45; // version 4, IHL 5
+        buf[1] = 0; // DSCP/ECN
+        buf[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        buf[6..8].copy_from_slice(&[0, 0]); // flags/fragment
+        buf[8] = self.ttl;
+        buf[9] = self.protocol;
+        buf[10..12].copy_from_slice(&[0, 0]); // checksum placeholder
+        buf[12..16].copy_from_slice(&self.src.to_be_bytes());
+        buf[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        let csum = ipv4_checksum(&buf[0..20]);
+        buf[10..12].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Parse a header from the start of `buf`. Does not verify the
+    /// checksum; call [`Ipv4Header::checksum_ok`] for that.
+    pub fn parse(buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::LEN || buf[0] >> 4 != 4 {
+            return None;
+        }
+        Some(Ipv4Header {
+            total_len: u16::from_be_bytes([buf[2], buf[3]]),
+            identification: u16::from_be_bytes([buf[4], buf[5]]),
+            ttl: buf[8],
+            protocol: buf[9],
+            src: u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]),
+            dst: u32::from_be_bytes([buf[16], buf[17], buf[18], buf[19]]),
+        })
+    }
+
+    /// Verify the header checksum of a serialized IPv4 header.
+    pub fn checksum_ok(buf: &[u8]) -> bool {
+        buf.len() >= Self::LEN && ipv4_checksum(&buf[0..Self::LEN]) == 0
+    }
+}
+
+/// UDP header (8 bytes). The checksum is left zero (legal for IPv4), as
+/// high-speed replay tooling conventionally does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// UDP length field: header + payload bytes.
+    pub len: u16,
+}
+
+impl UdpHeader {
+    /// Serialized size in bytes.
+    pub const LEN: usize = 8;
+
+    /// Write the header into the first 8 bytes of `buf`.
+    ///
+    /// # Panics
+    /// Panics if `buf` is shorter than [`Self::LEN`].
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.len.to_be_bytes());
+        buf[6..8].copy_from_slice(&[0, 0]); // checksum: none
+    }
+
+    /// Parse a header from the start of `buf`, if long enough.
+    pub fn parse(buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::LEN {
+            return None;
+        }
+        Some(UdpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            len: u16::from_be_bytes([buf[4], buf[5]]),
+        })
+    }
+}
+
+/// Internet checksum (RFC 1071) over `data`, with the checksum field
+/// included as stored (write zeros there first when computing).
+fn ipv4_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += (*last as u32) << 8;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Combined header sizes for a UDP-in-IPv4 Ethernet frame.
+pub const UDP_FRAME_HEADER_LEN: usize = EthernetHeader::LEN + Ipv4Header::LEN + UdpHeader::LEN;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display_and_local() {
+        let m = MacAddr::local(0x01020304);
+        assert_eq!(m.to_string(), "02:00:01:02:03:04");
+        assert!(!m.is_multicast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+    }
+
+    #[test]
+    fn ethernet_roundtrip() {
+        let h = EthernetHeader {
+            dst: MacAddr::local(1),
+            src: MacAddr::local(2),
+            ethertype: EtherType::Ipv4 as u16,
+        };
+        let mut buf = [0u8; 14];
+        h.write(&mut buf);
+        assert_eq!(EthernetHeader::parse(&buf), Some(h));
+    }
+
+    #[test]
+    fn ethernet_parse_short_buffer() {
+        assert_eq!(EthernetHeader::parse(&[0u8; 13]), None);
+    }
+
+    #[test]
+    fn ethertype_from_u16() {
+        assert_eq!(EtherType::from_u16(0x0800), Some(EtherType::Ipv4));
+        assert_eq!(EtherType::from_u16(0x88B5), Some(EtherType::ChoirControl));
+        assert_eq!(EtherType::from_u16(0x86DD), None);
+    }
+
+    #[test]
+    fn ipv4_roundtrip_and_checksum() {
+        let h = Ipv4Header {
+            total_len: 1386,
+            identification: 42,
+            ttl: 64,
+            protocol: Ipv4Header::PROTO_UDP,
+            src: 0x0a000001,
+            dst: 0x0a000002,
+        };
+        let mut buf = [0u8; 20];
+        h.write(&mut buf);
+        assert!(Ipv4Header::checksum_ok(&buf));
+        assert_eq!(Ipv4Header::parse(&buf), Some(h));
+    }
+
+    #[test]
+    fn ipv4_corrupted_checksum_detected() {
+        let h = Ipv4Header {
+            total_len: 100,
+            identification: 1,
+            ttl: 64,
+            protocol: 17,
+            src: 1,
+            dst: 2,
+        };
+        let mut buf = [0u8; 20];
+        h.write(&mut buf);
+        buf[8] ^= 0xff; // corrupt TTL
+        assert!(!Ipv4Header::checksum_ok(&buf));
+    }
+
+    #[test]
+    fn ipv4_rejects_non_v4() {
+        let mut buf = [0u8; 20];
+        buf[0] = 0x65; // version 6
+        assert_eq!(Ipv4Header::parse(&buf), None);
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        let h = UdpHeader {
+            src_port: 5000,
+            dst_port: 6000,
+            len: 1366,
+        };
+        let mut buf = [0u8; 8];
+        h.write(&mut buf);
+        assert_eq!(UdpHeader::parse(&buf), Some(h));
+    }
+
+    #[test]
+    fn udp_parse_short() {
+        assert_eq!(UdpHeader::parse(&[0u8; 7]), None);
+    }
+
+    #[test]
+    fn checksum_odd_length() {
+        // RFC 1071 handles odd-length data; exercise the remainder path.
+        let data = [0x12u8, 0x34, 0x56];
+        let c = ipv4_checksum(&data);
+        // Manually: 0x1234 + 0x5600 = 0x6834 -> !0x6834 = 0x97CB.
+        assert_eq!(c, 0x97CB);
+    }
+
+    #[test]
+    fn header_len_constant() {
+        assert_eq!(UDP_FRAME_HEADER_LEN, 42);
+    }
+}

@@ -1,0 +1,99 @@
+//! Packet identity for the consistency metrics.
+//!
+//! Paper §3 (Eq. 1): "Packets between A and B are the same if they are
+//! identical in all regions the evaluator determines define a packet." The
+//! evaluator here is [`PacketId`]: a 128-bit identity either decoded from a
+//! Choir trailer tag or derived by hashing frame contents (FNV-1a folded to
+//! 128 bits) when no tag is present.
+
+use crate::tag::ChoirTag;
+
+/// 128-bit packet identity.
+///
+/// For tagged packets the layout is `[tag-kind marker | replayer | stream |
+/// seq]`, which keeps ids from different replayers distinct — the property
+/// §6.2's dual-replayer analysis depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u128);
+
+const TAGGED_MARKER: u128 = 1 << 127;
+
+impl PacketId {
+    /// Identity from a Choir trailer tag (exact, collision-free).
+    pub fn from_tag(tag: &ChoirTag) -> Self {
+        let v = TAGGED_MARKER
+            | ((tag.replayer as u128) << 80)
+            | ((tag.stream as u128) << 64)
+            | tag.seq as u128;
+        PacketId(v)
+    }
+
+    /// Identity by hashing frame contents (for untagged traffic).
+    pub fn from_bytes(data: &[u8]) -> Self {
+        PacketId(fnv1a_128(data) & !TAGGED_MARKER)
+    }
+
+    /// True when this identity came from a trailer tag.
+    pub fn is_tagged(&self) -> bool {
+        self.0 & TAGGED_MARKER != 0
+    }
+
+    /// Recover the tag fields from a tagged identity.
+    pub fn tag_fields(&self) -> Option<(u16, u16, u64)> {
+        if !self.is_tagged() {
+            return None;
+        }
+        Some((
+            ((self.0 >> 80) & 0xffff) as u16,
+            ((self.0 >> 64) & 0xffff) as u16,
+            self.0 as u64,
+        ))
+    }
+}
+
+/// FNV-1a, 128-bit variant.
+fn fnv1a_128(data: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip_through_id() {
+        let t = ChoirTag::new(7, 3, 123456789);
+        let id = PacketId::from_tag(&t);
+        assert!(id.is_tagged());
+        assert_eq!(id.tag_fields(), Some((7, 3, 123456789)));
+    }
+
+    #[test]
+    fn hash_ids_not_tagged() {
+        let id = PacketId::from_bytes(b"some payload");
+        assert!(!id.is_tagged());
+        assert_eq!(id.tag_fields(), None);
+    }
+
+    #[test]
+    fn hash_deterministic_and_sensitive() {
+        assert_eq!(PacketId::from_bytes(b"x"), PacketId::from_bytes(b"x"));
+        assert_ne!(PacketId::from_bytes(b"x"), PacketId::from_bytes(b"y"));
+        assert_ne!(PacketId::from_bytes(b""), PacketId::from_bytes(b"\0"));
+    }
+
+    #[test]
+    fn tagged_and_hashed_never_collide() {
+        // The marker bit partitions the id space.
+        let t = PacketId::from_tag(&ChoirTag::new(0, 0, 0));
+        let h = PacketId::from_bytes(&t.0.to_be_bytes());
+        assert_ne!(t, h);
+    }
+}

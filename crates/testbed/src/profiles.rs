@@ -1,0 +1,496 @@
+//! The nine evaluation environments of §6–§7, as calibrated simulator
+//! parameter sets.
+//!
+//! ## Calibration philosophy
+//!
+//! The paper measures *distributions of timing deltas between replay
+//! runs*; the authors themselves could not attribute the inter-testbed
+//! differences to specific components ("We do not have the ability to
+//! clearly establish what component could be introducing the extra
+//! nanoseconds of variation", §8.1). Each profile below therefore encodes
+//! a *hypothesis* — which noise processes are active and how strong —
+//! chosen so the resulting metric values land in the paper's reported
+//! bands. The knobs and their physical stories:
+//!
+//! - `wake_jitter` — poll-loop scheduling noise: nanoseconds on bare
+//!   metal, heavy-tailed (vCPU preemption) in FABRIC VMs.
+//! - `doorbell`/`batch`/`pull_gap` — PCIe doorbell latency and DMA pull
+//!   batching. Aggressive batching with irregular pull cadence is the
+//!   hypothesis for FABRIC's anomalous I ≈ 0.5 runs: packets leave the
+//!   NIC bunched back-to-back with phase that differs run to run, so at
+//!   40 Gbps (284.8 ns spacing) a large fraction of packets see IAT
+//!   deltas of a whole gap.
+//! - `shared_vf` — SR-IOV contention: queueing behind co-tenant frames
+//!   plus occasional PF-scheduler pauses (§7.1's iperf3 noise bouncing
+//!   between 35 and 50 Gbps).
+//! - `recorder_ts` — E810-style realtime stamps locally vs ConnectX-style
+//!   sampled-clock conversion on FABRIC (§8.1).
+//! - `ts_slope_sigma_ppb` — per-run residual rate error of the recorder's
+//!   timestamp clock (PHC servo slew + thermal wander + vCPU steal
+//!   effects). Over a 0.3 s trial this ramps latency deltas into the
+//!   0.5–5 µs band the paper reports (§6.1), and its per-run re-sampling
+//!   produces the "one spike far to one side or two spikes symmetrically
+//!   across 0" histograms (§7).
+//! - `replay_start_skew` — per-replayer, per-run arming skew of the
+//!   replay start. Irrelevant for single-replayer runs (latency is
+//!   anchored per trial) but the driver of §6.2's dual-replayer burst
+//!   interleaving, whose edit-script distances Table 1 reports.
+
+use choir_netsim::clock::TimestampModel;
+use choir_netsim::nic::BatchDist;
+use choir_netsim::rng::Jitter;
+use choir_netsim::switchdev::SwitchProfile;
+use choir_netsim::time::{MS, NS, US};
+
+/// Identifies one of the paper's evaluation environments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum EnvKind {
+    /// §6.1: local testbed, one replayer, 40 Gbps.
+    LocalSingle,
+    /// §6.2: local testbed, two parallel replayers, 2×20 Gbps.
+    LocalDual,
+    /// §7 test 1: FABRIC dedicated smart NICs, 40 Gbps (the anomalous
+    /// high-IAT-variance test).
+    FabricDedicated40A,
+    /// §7 test 2: FABRIC shared (SR-IOV VF) NICs, 40 Gbps.
+    FabricShared40,
+    /// §7 test 3: FABRIC dedicated NICs again, 40 Gbps (confirmed the
+    /// anomaly, with higher latency variation).
+    FabricDedicated40B,
+    /// §7: FABRIC dedicated NICs at 80 Gbps.
+    FabricDedicated80,
+    /// §7: FABRIC shared NICs at 80 Gbps.
+    FabricShared80,
+    /// §7.1: dedicated NICs at 80 Gbps with a noisy co-tenant (no
+    /// bandwidth impact — dedicated hardware shields the data path).
+    FabricDedicated80Noisy,
+    /// §7.1: shared NICs at 40 Gbps with a noisy co-tenant (drops appear).
+    FabricShared40Noisy,
+}
+
+impl EnvKind {
+    /// All environments, in the order the paper presents them (Table 2).
+    pub fn all() -> [EnvKind; 9] {
+        [
+            EnvKind::LocalSingle,
+            EnvKind::LocalDual,
+            EnvKind::FabricDedicated40A,
+            EnvKind::FabricShared40,
+            EnvKind::FabricDedicated40B,
+            EnvKind::FabricDedicated80,
+            EnvKind::FabricShared80,
+            EnvKind::FabricDedicated80Noisy,
+            EnvKind::FabricShared40Noisy,
+        ]
+    }
+
+    /// The Table 2 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EnvKind::LocalSingle => "Local Single-Replayer",
+            EnvKind::LocalDual => "Local Dual-Replayer",
+            EnvKind::FabricDedicated40A => "FABRIC Dedicated 40 Gbps 1",
+            EnvKind::FabricShared40 => "FABRIC Shared 40 Gbps",
+            EnvKind::FabricDedicated40B => "FABRIC Dedicated 40 Gbps 2",
+            EnvKind::FabricDedicated80 => "FABRIC Dedicated 80 Gbps",
+            EnvKind::FabricShared80 => "FABRIC Shared 80 Gbps",
+            EnvKind::FabricDedicated80Noisy => "FABRIC Ded. 80 Gbps Noisy",
+            EnvKind::FabricShared40Noisy => "FABRIC Shd. 40 Gbps Noisy",
+        }
+    }
+
+    /// Build the calibrated profile.
+    pub fn profile(self) -> EnvProfile {
+        match self {
+            EnvKind::LocalSingle => EnvProfile::local(self, 40_000_000_000, 1),
+            EnvKind::LocalDual => EnvProfile::local(self, 40_000_000_000, 2),
+            EnvKind::FabricDedicated40A => {
+                EnvProfile::fabric_dedicated(self, 40_000_000_000, 30_000.0)
+            }
+            EnvKind::FabricShared40 => EnvProfile::fabric_shared(self, 40_000_000_000, false),
+            EnvKind::FabricDedicated40B => {
+                EnvProfile::fabric_dedicated(self, 40_000_000_000, 500_000.0)
+            }
+            EnvKind::FabricDedicated80 => {
+                EnvProfile::fabric_dedicated(self, 80_000_000_000, 10_000.0)
+            }
+            EnvKind::FabricShared80 => EnvProfile::fabric_shared(self, 80_000_000_000, false),
+            EnvKind::FabricDedicated80Noisy => {
+                // §7.1: "almost identical to the earlier 80 Gbps test" —
+                // the dedicated NIC shields the data path from the noise.
+                EnvProfile::fabric_dedicated(self, 80_000_000_000, 10_000.0)
+            }
+            EnvKind::FabricShared40Noisy => EnvProfile::fabric_shared(self, 40_000_000_000, true),
+        }
+    }
+}
+
+/// Co-tenant contention parameters (constructed per run by the runner).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SharedVfSpec {
+    /// Utilization random-walk bounds (fraction of line rate).
+    pub util_min: f64,
+    /// Upper bound.
+    pub util_max: f64,
+    /// Walk step sigma.
+    pub util_step: f64,
+    /// Walk update period, ps.
+    pub util_period_ps: u64,
+    /// Mean microburst queueing wait, ps.
+    pub burst_wait_mean_ps: f64,
+    /// PF-scheduler pause duration.
+    pub pause: Jitter,
+    /// Per-packet pause probability.
+    pub pause_prob: f64,
+}
+
+/// A complete environment description. Serializable, so custom
+/// environments can be dumped (`repro dump-profile`), hand-edited and
+/// re-run (`repro custom my_env.json`).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EnvProfile {
+    /// Which environment this is.
+    pub kind: EnvKind,
+    /// Aggregate traffic rate in bits per second.
+    pub rate_bps: u64,
+    /// Frame length in bytes (the paper always uses 1400).
+    pub frame_len: usize,
+    /// Recorded stream duration in ps (the paper records 0.3 s).
+    pub duration_ps: u64,
+    /// Number of replay nodes (1 or 2).
+    pub replayers: usize,
+    /// Number of replay runs (the paper's A–E).
+    pub runs: usize,
+    /// NIC/link rate in bits per second (always 100 Gbps hardware).
+    pub link_rate_bps: u64,
+    /// Node TSC frequency.
+    pub tsc_hz: u64,
+    /// Switch profile.
+    pub switch: SwitchProfile,
+    /// Replayer poll-loop wake jitter.
+    pub wake_jitter: Jitter,
+    /// Replayer receive-poll visibility latency: how long after wire
+    /// arrival the poll loop sees a packet. Larger values make the
+    /// middlebox pick up (and record) multi-packet bursts, which is what
+    /// both testbeds' capture structure shows (§6.2: packets "moved as
+    /// whole bursts").
+    pub poll_latency: Jitter,
+    /// Replayer NIC doorbell latency.
+    pub doorbell: Jitter,
+    /// Replayer NIC DMA pull batching.
+    pub batch: BatchDist,
+    /// Replayer NIC pull-engine re-arm latency (idle -> busy).
+    pub pull_rearm: Jitter,
+    /// Replayer NIC per-pull descriptor read latency.
+    pub pull_read: Jitter,
+    /// SR-IOV contention (shared-NIC environments only).
+    pub shared_vf: Option<SharedVfSpec>,
+    /// Recorder NIC timestamping model.
+    pub recorder_ts: TimestampModel,
+    /// Recorder-side random drop probability (noisy shared VF only).
+    pub recorder_drop_prob: f64,
+    /// PTP offset sigma (ns) re-sampled per run.
+    pub ptp_offset_sigma_ns: f64,
+    /// PTP drift sigma (ns/s) re-sampled per run.
+    pub ptp_drift_sigma: f64,
+    /// Recorder timestamp-clock slope sigma (ppb) re-sampled per run.
+    pub ts_slope_sigma_ppb: f64,
+    /// Per-replayer, per-run replay arming skew.
+    pub replay_start_skew: Jitter,
+}
+
+impl EnvProfile {
+    /// Shared scaffolding for all environments.
+    fn base(kind: EnvKind, rate_bps: u64, replayers: usize) -> EnvProfile {
+        EnvProfile {
+            kind,
+            rate_bps,
+            frame_len: 1400,
+            duration_ps: 300 * MS, // 0.3 s
+            replayers,
+            runs: 5,
+            link_rate_bps: 100_000_000_000,
+            tsc_hz: 2_500_000_000,
+            switch: SwitchProfile::tofino2(100_000_000_000),
+            wake_jitter: Jitter::None,
+            poll_latency: Jitter::Const(4 * US as i64),
+            doorbell: Jitter::None,
+            batch: BatchDist::One,
+            pull_rearm: Jitter::None,
+            pull_read: Jitter::None,
+            shared_vf: None,
+            recorder_ts: TimestampModel::exact(),
+            recorder_drop_prob: 0.0,
+            ptp_offset_sigma_ns: 30.0,
+            ptp_drift_sigma: 5.0,
+            ts_slope_sigma_ppb: 0.0,
+            replay_start_skew: Jitter::None,
+        }
+    }
+
+    /// The local bare-metal testbed (§6): Tofino2 switch, host-OS
+    /// applications, E810 recorder with realtime hardware timestamps.
+    fn local(kind: EnvKind, rate_bps: u64, replayers: usize) -> EnvProfile {
+        let mut p = Self::base(kind, rate_bps, replayers);
+        p.switch = SwitchProfile::tofino2(p.link_rate_bps);
+        // Bare metal: nanosecond-scale poll noise with a thin tail of
+        // interrupt/SMI excursions — calibrated so ~92% of IAT deltas
+        // stay within ±10 ns while I lands near 0.029 (§6.1).
+        // Bare-metal poll lateness: exponential with a ~100 ns mean.
+        // Boundary packets of each recorded burst inherit it, which is
+        // what puts ~8% of IAT deltas outside +-10 ns (Fig. 4a) while
+        // intra-burst gaps stay serialization-exact.
+        p.wake_jitter = Jitter::Exp {
+            mean: 100.0 * NS as f64,
+        };
+        p.poll_latency = Jitter::Const((3.5 * US as f64) as i64);
+        p.doorbell = Jitter::Normal {
+            mean: 300.0 * NS as f64,
+            sigma: 1.5 * NS as f64,
+        };
+        // E810: realtime hardware stamps, ±1.5 ns white noise.
+        p.recorder_ts = TimestampModel::HwRealtime {
+            noise: Jitter::Normal {
+                mean: 0.0,
+                sigma: 1.5 * NS as f64,
+            },
+        };
+        // Latency wander: a few ppm of effective clock-rate error ramps
+        // to the 0.5–5 us deltas of Fig. 4b over 0.3 s.
+        p.ts_slope_sigma_ppb = 7_000.0;
+        if replayers == 2 {
+            // §6.2: the dual-replayer runs interleave whole bursts
+            // differently per run. Millisecond-scale arming skew matches
+            // Table 1's move distances (thousands of packets). Each
+            // replayer carries 20 Gbps, so the poll window is widened to
+            // keep recorded bursts at the single-replayer size.
+            p.replay_start_skew = Jitter::Normal {
+                mean: 0.0,
+                sigma: 8_000.0 * US as f64,
+            };
+            p.poll_latency = Jitter::Const(20 * US as i64);
+        }
+        p
+    }
+
+    /// FABRIC with dedicated ConnectX-6 smart NICs (§7 tests 1/3 and the
+    /// 80 Gbps runs). `slope_sigma_ppb` differs between the two 40 Gbps
+    /// tests — the paper measured L an order of magnitude apart on the
+    /// same hardware.
+    fn fabric_dedicated(kind: EnvKind, rate_bps: u64, slope_sigma_ppb: f64) -> EnvProfile {
+        let mut p = Self::base(kind, rate_bps, 1);
+        p.switch = SwitchProfile::cisco5700(p.link_rate_bps);
+        p.wake_jitter = Self::vm_wake_jitter();
+        // Dedicated smart NIC in passthrough: the DMA engine pulls
+        // batches with an irregular cadence (our hypothesis for the
+        // anomalous I ~ 0.5 at 40 Gbps: descriptors accumulate during
+        // pull pauses and leave back-to-back).
+        p.doorbell = Jitter::Normal {
+            mean: 700.0 * NS as f64,
+            sigma: 50.0 * NS as f64,
+        };
+        p.batch = BatchDist::Geometric { p: 0.62, max: 24 };
+        p.pull_rearm = Jitter::Exp {
+            mean: 600.0 * NS as f64,
+        };
+        // Descriptor-fetch cadence, load-adaptive like real completion
+        // moderation: lightly loaded (40 Gbps) the engine lazily batches
+        // fetches ~1.6 us apart, pacing the wire into phase-shifting
+        // mini-clumps (I ~ 0.5); at high load (80 Gbps) moderation tightens
+        // and fetch latency hides behind serialization, so IATs "get a
+        // little more consistent" (§7) — I ~ 0.1.
+        p.pull_read = if rate_bps >= 80_000_000_000 {
+            Jitter::Exp {
+                mean: 250.0 * NS as f64,
+            }
+        } else {
+            Jitter::Exp {
+                mean: 1_600.0 * NS as f64,
+            }
+        };
+        p.recorder_ts = Self::connectx_ts();
+        p.ts_slope_sigma_ppb = slope_sigma_ppb;
+        p
+    }
+
+    /// FABRIC with shared SR-IOV VF NICs (§7 test 2, 80 Gbps shared, and
+    /// §7.1's noisy variant).
+    fn fabric_shared(kind: EnvKind, rate_bps: u64, noisy: bool) -> EnvProfile {
+        let mut p = Self::base(kind, rate_bps, 1);
+        p.switch = SwitchProfile::cisco5700(p.link_rate_bps);
+        p.wake_jitter = Self::vm_wake_jitter();
+        // The PF scheduler paces VF descriptors individually — our
+        // hypothesis for why the *shared* NIC showed smaller IAT
+        // deviation than the dedicated one at 40 Gbps (§7's "surprising
+        // result"): no multi-descriptor bunching, just per-packet
+        // scheduling noise.
+        // The PF scheduler handles VF descriptors one at a time; each
+        // idle re-arm costs a scheduling decision with per-packet jitter.
+        p.doorbell = Jitter::Normal {
+            mean: 900.0 * NS as f64,
+            sigma: 12.0 * NS as f64,
+        };
+        p.batch = BatchDist::One;
+        p.pull_rearm = Jitter::Exp {
+            mean: 60.0 * NS as f64,
+        };
+        p.recorder_ts = Self::connectx_ts();
+        p.ts_slope_sigma_ppb = 20_000.0;
+        p.shared_vf = Some(if noisy {
+            // §7.1: 8 iperf3 streams bouncing between 35 and 50 Gbps.
+            SharedVfSpec {
+                util_min: 0.35,
+                util_max: 0.50,
+                util_step: 0.02,
+                util_period_ps: MS,
+                burst_wait_mean_ps: 300.0 * NS as f64,
+                pause: Jitter::Exp {
+                    mean: 15.0 * US as f64,
+                },
+                pause_prob: 1e-3,
+            }
+        } else {
+            // Idle site: only hypervisor chatter on the PF.
+            SharedVfSpec {
+                util_min: 0.01,
+                util_max: 0.05,
+                util_step: 0.01,
+                util_period_ps: MS,
+                burst_wait_mean_ps: 150.0 * NS as f64,
+                pause: Jitter::Exp {
+                    mean: 5.0 * US as f64,
+                },
+                pause_prob: 2e-5,
+            }
+        });
+        if noisy {
+            p.recorder_drop_prob = 2.0e-4;
+            p.ts_slope_sigma_ppb = 250_000.0;
+        }
+        p
+    }
+
+    /// VM poll-loop jitter common to all FABRIC profiles: mostly tens of
+    /// ns, with vCPU-preemption tails.
+    fn vm_wake_jitter() -> Jitter {
+        Jitter::Mix(vec![
+            (
+                0.93,
+                Jitter::Normal {
+                    mean: 0.0,
+                    sigma: 25.0 * NS as f64,
+                },
+            ),
+            (
+                0.065,
+                Jitter::Exp {
+                    mean: 800.0 * NS as f64,
+                },
+            ),
+            (
+                0.005,
+                Jitter::Exp {
+                    mean: 8.0 * US as f64,
+                },
+            ),
+        ])
+    }
+
+    /// ConnectX-6 timestamping: sampled-clock conversion wander plus
+    /// white noise (§8.1).
+    fn connectx_ts() -> TimestampModel {
+        TimestampModel::HwClockConverted {
+            noise: Jitter::Normal {
+                mean: 0.0,
+                sigma: 12.0 * NS as f64,
+            },
+            wander_amplitude_ps: 25 * NS as i64,
+            wander_period_ps: 250 * US,
+        }
+    }
+
+    /// Packets in the recorded stream at full scale.
+    pub fn full_packet_count(&self) -> u64 {
+        choir_packet::FrameSpec::new(self.frame_len, self.rate_bps).packets_in(self.duration_ps)
+    }
+
+    /// Inter-packet gap of the aggregate stream, ps.
+    pub fn gap_ps(&self) -> u64 {
+        choir_packet::FrameSpec::new(self.frame_len, self.rate_bps).gap_ps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_construct() {
+        for kind in EnvKind::all() {
+            let p = kind.profile();
+            assert_eq!(p.kind, kind);
+            assert!(p.rate_bps >= 40_000_000_000);
+            assert!(p.runs >= 2);
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn packet_counts_match_paper_scale() {
+        let p = EnvKind::LocalSingle.profile();
+        let n = p.full_packet_count();
+        // Paper: 1,055,648 packets from 0.3 s at 40 Gbps.
+        assert!((1_040_000..1_070_000).contains(&n), "{n}");
+        let p80 = EnvKind::FabricDedicated80.profile();
+        let n80 = p80.full_packet_count();
+        // 6.97 Mpps * 0.3 s ~ 2.09M.
+        assert!((2_080_000..2_120_000).contains(&n80), "{n80}");
+    }
+
+    #[test]
+    fn dual_replayer_has_skew_and_two_replayers() {
+        let p = EnvKind::LocalDual.profile();
+        assert_eq!(p.replayers, 2);
+        assert!(p.replay_start_skew != Jitter::None);
+        let single = EnvKind::LocalSingle.profile();
+        assert_eq!(single.replayers, 1);
+        assert_eq!(single.replay_start_skew, Jitter::None);
+    }
+
+    #[test]
+    fn shared_profiles_have_vf_dedicated_do_not() {
+        assert!(EnvKind::FabricShared40.profile().shared_vf.is_some());
+        assert!(EnvKind::FabricShared40Noisy.profile().shared_vf.is_some());
+        assert!(EnvKind::FabricDedicated40A.profile().shared_vf.is_none());
+        assert!(EnvKind::LocalSingle.profile().shared_vf.is_none());
+    }
+
+    #[test]
+    fn only_noisy_shared_drops() {
+        for kind in EnvKind::all() {
+            let p = kind.profile();
+            if kind == EnvKind::FabricShared40Noisy {
+                assert!(p.recorder_drop_prob > 0.0);
+            } else {
+                assert_eq!(p.recorder_drop_prob, 0.0, "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_co_tenant_bounces_between_35_and_50_percent() {
+        let p = EnvKind::FabricShared40Noisy.profile();
+        let vf = p.shared_vf.unwrap();
+        assert_eq!(vf.util_min, 0.35);
+        assert_eq!(vf.util_max, 0.50);
+    }
+
+    #[test]
+    fn dedicated_noisy_mirrors_dedicated_80() {
+        // §7.1: dedicated hardware shields the data path.
+        let a = EnvKind::FabricDedicated80.profile();
+        let b = EnvKind::FabricDedicated80Noisy.profile();
+        assert_eq!(a.rate_bps, b.rate_bps);
+        assert_eq!(a.ts_slope_sigma_ppb, b.ts_slope_sigma_ppb);
+    }
+}

@@ -1,0 +1,402 @@
+//! The experiment runner: builds the paper's topology in the simulator,
+//! orchestrates record-then-replay-N-times, and produces the consistency
+//! reports.
+//!
+//! Pipeline per environment (§6's test setup: "a generator, replayer, and
+//! recorder, with traffic flowing from the generator through the replayer
+//! to the recorder", all through one switch):
+//!
+//! 1. **Record.** The middlebox is told to record, then the generator
+//!    streams `N` CBR packets through it. The middlebox stamps each
+//!    forwarded packet with a unique trailer tag and holds the transmitted
+//!    bursts in RAM with their TSC times.
+//! 2. **Replay ×R.** Each replay is scheduled at a future wall-clock
+//!    time. Before each run the between-run clock state is re-sampled
+//!    (PTP resync; recorder timestamp-servo slope) — the minutes that
+//!    separate real runs, compressed.
+//! 3. **Compare.** The recorder's per-run captures become [`Trial`]s
+//!    (re-zeroed to their own first arrival, as Eqs. 3–4 require); runs
+//!    B… are analyzed against run A exactly as the paper does.
+
+use choir_capture::{Recorder, RecorderConfig};
+use choir_core::metrics::report::{analyze_runs_parallel, RunReport, TrialComparison};
+use choir_core::metrics::Trial;
+use choir_core::replay::middlebox::{ChoirMiddlebox, MiddleboxConfig};
+use choir_dpdk::ControlMsg;
+use choir_netsim::clock::{NodeClock, PtpModel};
+use choir_netsim::nic::{NicRxModel, NicTxModel, SharedVfModel, UtilProcess};
+use choir_netsim::rng::{DetRng, Jitter};
+use choir_netsim::time::MS;
+use choir_netsim::topology::TopologyBuilder;
+use choir_netsim::{Sim, SimConfig};
+use choir_pktgen::{Generator, GeneratorConfig};
+
+use crate::profiles::EnvProfile;
+
+/// What to run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The environment.
+    pub profile: EnvProfile,
+    /// Fraction of the paper's full packet count (1.0 = ~1M packets at
+    /// 40 Gbps; tests use much smaller scales).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Full-scale experiment with the default seed.
+    pub fn full(profile: EnvProfile) -> Self {
+        ExperimentConfig {
+            profile,
+            scale: 1.0,
+            seed: 0x00C4_0112,
+        }
+    }
+
+    /// Packets per recorded stream under this config.
+    pub fn packet_count(&self) -> u64 {
+        ((self.profile.full_packet_count() as f64 * self.scale) as u64).max(50)
+    }
+}
+
+/// Everything an experiment produces.
+#[derive(Debug)]
+pub struct ExperimentOutput {
+    /// Per-run comparisons against run A, plus the environment mean
+    /// (a Table 2 row).
+    pub report: RunReport,
+    /// The raw re-zeroed trials (run A first).
+    pub trials: Vec<Trial>,
+    /// Packets held in the middlebox recording(s).
+    pub recorded_packets: u64,
+    /// Simulator events processed (diagnostics).
+    pub events: u64,
+}
+
+/// Run one environment end to end.
+///
+/// # Panics
+/// Panics if the pipeline produces fewer than two trials (nothing to
+/// compare) — that would indicate a wiring bug, not a measurement.
+pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutput {
+    let p = &cfg.profile;
+    let n_packets = cfg.packet_count();
+    let label = p.kind.label();
+
+    let mut sim = Sim::new(SimConfig {
+        master_seed: cfg.seed,
+        trial: 0,
+        pool_slots: (n_packets as usize) * 2 + 65_536,
+    });
+    let mut rng = DetRng::derive(cfg.seed, &["runner", label]);
+
+    // --- Nodes ------------------------------------------------------
+    let clock = |rng: &mut DetRng, p: &EnvProfile| NodeClock {
+        tsc_hz: p.tsc_hz,
+        tsc_offset: rng.range_u64(0, 1 << 40),
+        freq_error_ppb: rng.range_u64(0, 60) as i64 - 30,
+        ptp: PtpModel::sampled(rng, p.ptp_offset_sigma_ns, p.ptp_drift_sigma),
+    };
+
+    let mut gen_cfg = GeneratorConfig::cbr(p.rate_bps, n_packets);
+    gen_cfg.ports = (0..p.replayers).collect();
+    let gen = sim.add_node(
+        "generator",
+        Generator::new(gen_cfg),
+        clock(&mut rng, p),
+        p.wake_jitter.clone(),
+    );
+    for _ in 0..p.replayers {
+        sim.add_port(
+            gen,
+            NicTxModel {
+                doorbell: p.doorbell.clone(),
+                ..NicTxModel::ideal(p.link_rate_bps)
+            },
+            NicRxModel::ideal(),
+        );
+    }
+
+    let mut mbs = Vec::new();
+    for r in 0..p.replayers {
+        let mb = sim.add_node(
+            &format!("replayer{r}"),
+            ChoirMiddlebox::new(MiddleboxConfig {
+                rx_port: 0,
+                tx_port: 1,
+                replayer_id: r as u16,
+                stamp_tags: true,
+                in_band_control: false,
+                tx_retries: 3,
+                rolling_window: None,
+                bridge_reverse: false,
+            }),
+            clock(&mut rng, p),
+            p.wake_jitter.clone(),
+        );
+        // rx port: the poll loop sees arrivals after the profile's poll
+        // visibility latency (this sets the recorded burst structure).
+        sim.add_port(
+            mb,
+            NicTxModel::ideal(p.link_rate_bps),
+            NicRxModel {
+                ring_cap: 8192,
+                deliver_latency: p.poll_latency.clone(),
+                ..NicRxModel::ideal()
+            },
+        );
+        // tx port: the environment's NIC behaviour lives here.
+        let shared = p.shared_vf.as_ref().map(|s| SharedVfModel {
+            util: UtilProcess::new(s.util_min, s.util_max, s.util_step, s.util_period_ps),
+            noise_pkt_wire_bytes: 1538,
+            burst_wait_mean_ps: s.burst_wait_mean_ps,
+            pause: s.pause.clone(),
+            pause_prob: s.pause_prob,
+        });
+        sim.add_port(
+            mb,
+            NicTxModel {
+                line_rate_bps: p.link_rate_bps,
+                ring_cap: 4096,
+                doorbell: p.doorbell.clone(),
+                batch: p.batch.clone(),
+                rearm_latency: p.pull_rearm.clone(),
+                pull_read_latency: p.pull_read.clone(),
+                shared,
+            },
+            NicRxModel::ideal(),
+        );
+        mbs.push(mb);
+    }
+
+    let rec = sim.add_node(
+        "recorder",
+        Recorder::new(RecorderConfig::default()),
+        clock(&mut rng, p),
+        p.wake_jitter.clone(),
+    );
+    sim.add_port(
+        rec,
+        NicTxModel::ideal(p.link_rate_bps),
+        NicRxModel {
+            ring_cap: 1 << 14,
+            timestamp: p.recorder_ts.clone(),
+            drop_prob: p.recorder_drop_prob,
+            deliver_latency: Jitter::Const(100_000), // 100 ns poll latency
+            clock_slope_ppb: 0,
+            slope_base_ps: 0,
+        },
+    );
+
+    // --- Topology: everything through one switch ---------------------
+    let mut topo = TopologyBuilder::with_switch(
+        &mut sim,
+        p.switch.clone(),
+        4 * p.replayers,
+        "switch0",
+    );
+    for (r, &mb) in mbs.iter().enumerate() {
+        topo.path(&mut sim, gen, r, mb, 0, 5_000);
+        topo.path(&mut sim, mb, 1, rec, 0, 5_000);
+    }
+
+    // --- Phase 1: record the stream ----------------------------------
+    let gap = p.gap_ps();
+    let duration = n_packets * gap;
+    let t_rec_start = MS;
+    let t_gen_start = 2 * MS;
+    let t_stop = t_gen_start + duration + 2 * MS;
+    for &mb in &mbs {
+        sim.send_control(mb, ControlMsg::StartRecord, t_rec_start);
+        sim.send_control(mb, ControlMsg::StopRecord, t_stop);
+    }
+    sim.wake_app(gen, t_gen_start);
+    sim.run_until(t_stop + MS);
+    // Discard the recording-phase capture.
+    sim.with_app::<Recorder, _>(rec, |r| {
+        r.take_trials();
+    });
+
+    let recorded_packets: u64 = mbs
+        .iter()
+        .map(|&mb| sim.with_app::<ChoirMiddlebox, _>(mb, |m| m.recording().packets() as u64))
+        .sum();
+
+    // --- Phase 2: replays --------------------------------------------
+    let mut resync = DetRng::derive(cfg.seed, &["resync", label]);
+    let margin = 3 * MS;
+    for _run in 0..p.runs {
+        // Between-run clock wander: PTP resync on every node, timestamp
+        // servo re-steered on the recorder.
+        for &node in mbs.iter().chain([gen, rec].iter()) {
+            sim.set_ptp(
+                node,
+                PtpModel::sampled(&mut resync, p.ptp_offset_sigma_ns, p.ptp_drift_sigma),
+            );
+        }
+        let slope = (p.ts_slope_sigma_ppb * resync.std_normal()) as i64;
+        sim.set_rx_clock_slope(rec, 0, slope);
+
+        let start_wall_ns = (sim.now_ps() + margin) / 1_000;
+        let mut max_skew_ps: u64 = 0;
+        for &mb in &mbs {
+            let skew_ns = p.replay_start_skew.sample(&mut resync) / 1_000;
+            let start = (start_wall_ns as i64 + skew_ns).max(0) as u64;
+            max_skew_ps = max_skew_ps.max(skew_ns.unsigned_abs() * 1_000);
+            sim.send_control(
+                mb,
+                ControlMsg::ScheduleReplay {
+                    start_wall_ns: start,
+                },
+                sim.now_ps(),
+            );
+        }
+        let end = sim.now_ps() + margin + duration + margin + max_skew_ps;
+        sim.run_until(end);
+        sim.with_app::<Recorder, _>(rec, |r| r.cut_trial());
+    }
+
+    let trials: Vec<Trial> = sim
+        .with_app::<Recorder, _>(rec, |r| r.take_trials())
+        .into_iter()
+        .map(|t| t.rezeroed())
+        .collect();
+    assert!(
+        trials.len() >= 2,
+        "experiment produced {} trials; wiring bug",
+        trials.len()
+    );
+
+    // Each run's analysis (matching, LIS, histograms) is independent —
+    // fan them out across threads; at the paper's full scale this is the
+    // post-processing hot spot.
+    let comparisons: Vec<TrialComparison> = analyze_runs_parallel(&trials[0], &trials[1..]);
+    let report = RunReport::new(label, comparisons);
+
+    ExperimentOutput {
+        report,
+        trials,
+        recorded_packets,
+        events: sim.events_processed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::EnvKind;
+
+    fn quick(kind: EnvKind, scale: f64, seed: u64) -> ExperimentOutput {
+        let mut profile = kind.profile();
+        profile.runs = 3; // A + two comparisons is enough for tests
+        run_experiment(&ExperimentConfig {
+            profile,
+            scale,
+            seed,
+        })
+    }
+
+    #[test]
+    fn local_single_pipeline_end_to_end() {
+        let out = quick(EnvKind::LocalSingle, 0.003, 7);
+        // ~3100 packets recorded and replayed intact.
+        assert!(out.recorded_packets > 3_000, "{}", out.recorded_packets);
+        assert_eq!(out.trials.len(), 3);
+        for t in &out.trials {
+            assert_eq!(t.len() as u64, out.recorded_packets, "no drops expected");
+            assert!(t.is_time_ordered());
+        }
+        for run in &out.report.runs {
+            assert_eq!(run.metrics.u, 0.0, "no uniqueness variation");
+            assert_eq!(run.metrics.o, 0.0, "no reordering");
+            assert!(run.metrics.kappa > 0.9, "kappa {}", run.metrics.kappa);
+        }
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let a = quick(EnvKind::LocalSingle, 0.001, 42);
+        let b = quick(EnvKind::LocalSingle, 0.001, 42);
+        assert_eq!(a.trials, b.trials, "same seed, same capture");
+        let c = quick(EnvKind::LocalSingle, 0.001, 43);
+        assert_ne!(a.trials, c.trials, "different seed differs");
+    }
+
+    #[test]
+    fn replays_reproduce_identical_packet_sets() {
+        let out = quick(EnvKind::LocalSingle, 0.001, 9);
+        let ids: Vec<Vec<_>> = out
+            .trials
+            .iter()
+            .map(|t| t.observations().iter().map(|o| o.id).collect())
+            .collect();
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[1], ids[2]);
+    }
+
+    #[test]
+    fn dual_replayer_tags_both_nodes_and_reorders() {
+        let out = quick(EnvKind::LocalDual, 0.004, 11);
+        let t = &out.trials[0];
+        let mut replayers: Vec<u16> = t
+            .observations()
+            .iter()
+            .filter_map(|o| o.id.tag_fields().map(|(r, _, _)| r))
+            .collect();
+        replayers.dedup();
+        let distinct: std::collections::HashSet<u16> = replayers.iter().copied().collect();
+        assert_eq!(distinct.len(), 2, "both replayers must contribute");
+        // The §6.2 signature: ordering variation appears.
+        let any_reorder = out.report.runs.iter().any(|r| r.metrics.o > 0.0);
+        assert!(any_reorder, "dual replayer must reorder");
+    }
+
+    #[test]
+    fn three_replayers_also_work() {
+        // Fig. 1 shows a THREE-way split; the runner is generic in the
+        // replayer count even though the paper's tables use 1 and 2.
+        let mut profile = EnvKind::LocalDual.profile();
+        profile.replayers = 3;
+        profile.runs = 2;
+        let out = run_experiment(&ExperimentConfig {
+            profile,
+            scale: 0.003,
+            seed: 31,
+        });
+        let replayer_ids: std::collections::HashSet<u16> = out.trials[0]
+            .observations()
+            .iter()
+            .filter_map(|o| o.id.tag_fields().map(|(r, _, _)| r))
+            .collect();
+        assert_eq!(replayer_ids.len(), 3, "all three replayers contribute");
+        assert_eq!(out.trials[0].len() as u64, out.recorded_packets);
+    }
+
+    #[test]
+    fn noisy_shared_drops_packets() {
+        let out = quick(EnvKind::FabricShared40Noisy, 0.004, 13);
+        let missing: usize = out.report.runs.iter().map(|r| r.missing).sum();
+        let extra: usize = out.report.runs.iter().map(|r| r.extra).sum();
+        assert!(
+            missing + extra > 0,
+            "noisy shared environment must lose packets"
+        );
+        let any_u = out.report.runs.iter().any(|r| r.metrics.u > 0.0);
+        assert!(any_u);
+    }
+
+    #[test]
+    fn fabric_less_consistent_than_local() {
+        let local = quick(EnvKind::LocalSingle, 0.002, 21);
+        let fabric = quick(EnvKind::FabricDedicated40A, 0.002, 21);
+        assert!(
+            fabric.report.mean.i > local.report.mean.i * 3.0,
+            "FABRIC I {} vs local {}",
+            fabric.report.mean.i,
+            local.report.mean.i
+        );
+        assert!(fabric.report.mean.kappa < local.report.mean.kappa);
+    }
+}

@@ -1,0 +1,44 @@
+//! §7.1's experiment: what does a noisy co-tenant do to replay
+//! consistency on shared vs dedicated hardware?
+//!
+//! Runs the FABRIC shared-NIC environment with and without the iperf3-like
+//! co-tenant and shows how drops appear and κ falls — while the dedicated
+//! NIC barely notices.
+//!
+//! ```text
+//! cargo run --release --example noisy_neighbor [scale]
+//! ```
+
+use choir::testbed::{run_experiment, EnvKind, ExperimentConfig};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    println!("the noisy-neighbor effect (scale {scale})\n");
+
+    let pairs = [
+        ("shared NIC, idle site", EnvKind::FabricShared40),
+        ("shared NIC, noisy co-tenant", EnvKind::FabricShared40Noisy),
+        ("dedicated NIC, 80G idle", EnvKind::FabricDedicated80),
+        ("dedicated NIC, 80G noisy", EnvKind::FabricDedicated80Noisy),
+    ];
+
+    for (label, kind) in pairs {
+        let out = run_experiment(&ExperimentConfig {
+            profile: kind.profile(),
+            scale,
+            seed: 0x10E5,
+        });
+        let drops: usize = out.report.runs.iter().map(|r| r.missing).sum();
+        println!(
+            "{:<30} kappa {:.4}   I {:.4}   U {:.2e}   dropped packets across runs: {}",
+            label, out.report.mean.kappa, out.report.mean.i, out.report.mean.u, drops
+        );
+    }
+
+    println!("\nShared hardware under load loses packets and its kappa falls by ~0.2;");
+    println!("dedicated hardware shields the data path and is nearly unchanged —");
+    println!("the paper's argument for measuring your testbed before trusting it.");
+}

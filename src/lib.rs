@@ -1,0 +1,70 @@
+//! # Choir
+//!
+//! A Rust implementation of **Choir** — the 100 Gbps in-situ traffic
+//! replayer — and the **κ network-consistency metric**, reproducing
+//! *"Network Replay and Consistency Across Testbeds"* (SC Workshops '25),
+//! together with a deterministic network simulator that stands in for the
+//! paper's hardware testbeds.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`metrics`] | `choir-core` | U/O/L/I variation metrics, κ, histograms, edit scripts |
+//! | [`replay`] | `choir-core` | the Choir middlebox: record without copy, TSC-delta replay |
+//! | [`dpdk`] | `choir-dpdk` | mini dataplane: mempools, bursts, rings, the `Dataplane` trait |
+//! | [`netsim`] | `choir-netsim` | discrete-event simulator: NICs, switches, clocks, noise |
+//! | [`packet`] | `choir-packet` | frames, Choir trailer tags, pcap I/O |
+//! | [`pktgen`] | `choir-pktgen` | CBR traffic generator app |
+//! | [`capture`] | `choir-capture` | recorder app producing [`metrics::Trial`]s |
+//! | [`testbed`] | `choir-testbed` | the paper's nine environments + experiment runner |
+//! | [`fabric`] | `choir-fabric` | FABRIC resource model: sites, slices, L2 services |
+//!
+//! ## Thirty-second tour
+//!
+//! ```
+//! use choir::metrics::{compare, Trial};
+//!
+//! // Two captures of "the same" traffic...
+//! let mut a = Trial::new();
+//! let mut b = Trial::new();
+//! for i in 0..1_000u64 {
+//!     a.push_tagged(0, 0, i, i * 284_800); // 40 Gbps spacing, ps
+//!     b.push_tagged(0, 0, i, i * 284_800 + (i % 5) * 2_000);
+//! }
+//! // ...scored on the paper's 0-to-1 consistency scale.
+//! let m = compare(&a, &b);
+//! assert!(m.kappa > 0.98);
+//! ```
+//!
+//! Run `cargo run --release -p choir-bench --bin repro -- all` to
+//! regenerate every table and figure of the paper; see EXPERIMENTS.md for
+//! the paper-vs-measured record.
+
+pub use choir_capture as capture;
+pub use choir_dpdk as dpdk;
+pub use choir_fabric as fabric;
+pub use choir_netsim as netsim;
+pub use choir_packet as packet;
+pub use choir_pktgen as pktgen;
+pub use choir_testbed as testbed;
+
+/// The paper's core contribution: consistency metrics (`metrics`) and the
+/// replay application (`replay`).
+pub use choir_core as core;
+
+pub use choir_core::metrics;
+pub use choir_core::replay;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile_and_link() {
+        let t = crate::metrics::Trial::new();
+        assert!(t.is_empty());
+        let pool = crate::dpdk::Mempool::new("facade", 4);
+        assert_eq!(pool.capacity(), 4);
+        let spec = crate::packet::FrameSpec::new(1400, 40_000_000_000);
+        assert!(spec.pps() > 3.0e6);
+    }
+}
