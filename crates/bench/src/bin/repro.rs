@@ -14,6 +14,7 @@
 //!   table1             dual-replayer edit-script distance statistics
 //!   table2             mean metrics for all nine environments
 //!   throughput         real-time replay engine rate (the 100 Gbps claim)
+//!   chaos              fault-rate sweep: κ vs graceful degradation, seeded
 //!   calibrate          compact paper-vs-measured sweep over all envs
 //!   ablate             noise-mechanism ablation on the dedicated-NIC env
 //!   dump-profile ENV   write an environment profile as editable JSON
@@ -111,6 +112,7 @@ fn main() {
         "table1" => table1(&opts),
         "table2" => table2(&opts),
         "throughput" => throughput(),
+        "chaos" => chaos(&opts),
         "calibrate" => calibrate(&opts),
         "ablate" => ablate(&opts),
         "demo-pcaps" => demo_pcaps(),
@@ -275,6 +277,184 @@ fn table2(opts: &Opts) {
         print!("{}", fmt::table2_pair(*kind, &row.mean, &out.report.mean));
     }
     println!();
+}
+
+/// Chaos sweep: replay one recording through a fault-injecting dataplane
+/// at increasing fault rates, printing the consistency metrics next to
+/// the graceful-degradation counters for each rate. Everything — the
+/// virtual clock, the fault scenario, the resulting κ — is a pure
+/// function of `--seed`, so two invocations with the same seed print
+/// bit-identical tables (the final digest line makes that checkable at
+/// a glance).
+fn chaos(opts: &Opts) {
+    use choir_core::metrics::report::analyze_runs_parallel;
+    use choir_core::replay::{EngineConfig, run_replay_supervised};
+    use choir_dpdk::{Burst, Dataplane, FaultConfig, FaultyDataplane, PortStats};
+    use std::cell::Cell;
+
+    println!("== chaos: fault-rate sweep over the supervised replay engine (seed {}) ==", opts.seed);
+
+    /// A deterministic stand-in for a NIC + clock: the "TSC" advances a
+    /// fixed step on every read (so spin loops terminate identically on
+    /// every host) and transmitted tags are logged with their send time.
+    struct VirtualSink {
+        pool: Mempool,
+        now: Cell<u64>,
+        log: Vec<(u64, ChoirTag)>,
+    }
+    /// Virtual nanoseconds per TSC read: each poll of the clock "costs"
+    /// this much simulated time.
+    const TSC_STEP_NS: u64 = 25;
+    impl Dataplane for VirtualSink {
+        fn num_ports(&self) -> usize {
+            1
+        }
+        fn mempool(&self) -> &Mempool {
+            &self.pool
+        }
+        fn rx_burst(&mut self, _p: usize, out: &mut Burst) -> usize {
+            out.clear();
+            0
+        }
+        fn tx_burst(&mut self, _p: usize, burst: &mut Burst) -> usize {
+            let n = burst.len();
+            let t = self.now.get();
+            for m in burst.drain() {
+                if let Some(tag) = m.frame.tag() {
+                    self.log.push((t, tag));
+                }
+            }
+            n
+        }
+        fn tsc(&self) -> u64 {
+            let t = self.now.get() + TSC_STEP_NS;
+            self.now.set(t);
+            t
+        }
+        fn tsc_hz(&self) -> u64 {
+            1_000_000_000
+        }
+        fn wall_ns(&self) -> u64 {
+            self.now.get()
+        }
+        fn request_wake_at_tsc(&mut self, _t: u64) {}
+        fn stats(&self, _p: usize) -> PortStats {
+            PortStats::default()
+        }
+    }
+
+    // One tagged recording, replayed under every fault rate.
+    let pool = Mempool::new("chaos", 1 << 16);
+    let builder = FrameBuilder::new(256, 1, 2);
+    let bursts = 512usize;
+    let per = 8usize;
+    let mut rec = Recording::new();
+    let mut seq = 0u64;
+    for b in 0..bursts {
+        let pkts: Vec<_> = (0..per)
+            .map(|_| {
+                let f = builder.build_tagged_snap(ChoirTag::new(0, 0, seq));
+                seq += 1;
+                pool.alloc(f).unwrap()
+            })
+            .collect();
+        rec.push_burst(b as u64 * 4_000, pkts.iter());
+    }
+    let total_packets = (bursts * per) as u64;
+
+    // A bounded-but-forgiving supervision envelope: enough retries that
+    // transient faults heal, few enough that a wedged ring degrades into
+    // abandoned bursts instead of a hang.
+    let engine_cfg = EngineConfig {
+        max_retries_per_burst: 6,
+        backoff_start_cycles: 64,
+        backoff_max_cycles: 1024,
+        deadline_ns: Some(60 * 60 * 1_000_000_000), // virtual hour; never binds
+        ..EngineConfig::default()
+    };
+
+    let rates = [0.0f64, 0.05, 0.1, 0.2, 0.4];
+    let mut trials = Vec::new();
+    let mut lines = Vec::new();
+    for &rate in &rates {
+        let sink = VirtualSink {
+            pool: pool.clone(),
+            now: Cell::new(0),
+            log: Vec::new(),
+        };
+        let mut dp = FaultyDataplane::new(
+            sink,
+            FaultConfig {
+                seed: opts.seed,
+                tx_reject_rate: rate,
+                tx_stall_rate: rate / 4.0,
+                tx_stall_calls: 4,
+                tsc_jump_rate: rate / 8.0,
+                tsc_jump_cycles: 10_000,
+                ..FaultConfig::quiet(opts.seed)
+            },
+        );
+        let (stats, degradation) = match run_replay_supervised(&rec, &mut dp, 0, &engine_cfg) {
+            Ok(report) => (report.stats, report.degradation),
+            Err(e) => (e.stats, e.degradation),
+        };
+        let faults = dp.fault_stats();
+        let sink = dp.into_inner();
+        let mut trial = Trial::new();
+        for &(t_ns, tag) in &sink.log {
+            trial.push_tagged(tag.replayer, tag.stream, tag.seq, t_ns * 1_000);
+        }
+        trials.push(trial);
+        lines.push((rate, stats, degradation, faults));
+    }
+
+    let comparisons = analyze_runs_parallel(&trials[0], &trials[1..]);
+    println!(
+        "{:>6} | {:>7} {:>9} {:>9} {:>9} {:>9} | {:>9} {:>8} {:>8} {:>9} | {:>9} {:>7}",
+        "rate", "kappa", "U", "O", "I", "L", "pkts", "rejects", "retries", "abandoned", "injected", "stalls"
+    );
+    let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    let mut fold = |v: u64| {
+        digest ^= v;
+        digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for (i, (rate, stats, deg, faults)) in lines.iter().enumerate() {
+        // Rate 0 is the baseline run A; its metrics against itself are
+        // trivially perfect, so print dashes there.
+        let m = if i == 0 {
+            None
+        } else {
+            Some(comparisons[i - 1].metrics)
+        };
+        println!(
+            "{:>6} | {:>7} {:>9} {:>9} {:>9} {:>9} | {:>9} {:>8} {:>8} {:>9} | {:>9} {:>7}",
+            format!("{rate:.2}"),
+            m.map_or("  --  ".into(), |m| format!("{:.4}", m.kappa)),
+            m.map_or("--".into(), |m| fmt::sci(m.u)),
+            m.map_or("--".into(), |m| fmt::sci(m.o)),
+            m.map_or("--".into(), |m| fmt::sci(m.i)),
+            m.map_or("--".into(), |m| fmt::sci(m.l)),
+            format!("{}/{}", stats.packets_sent, total_packets),
+            deg.tx_rejections,
+            deg.tx_retries,
+            deg.packets_abandoned,
+            faults.tx_packets_rejected,
+            faults.tx_stalls_triggered,
+        );
+        fold(stats.packets_sent);
+        fold(deg.tx_rejections);
+        fold(deg.tx_retries);
+        fold(deg.backoffs);
+        fold(deg.packets_abandoned);
+        fold(faults.total_events());
+        if let Some(m) = m {
+            fold(m.kappa.to_bits());
+            fold(m.u.to_bits());
+        }
+    }
+    println!(
+        "\nsweep digest: {digest:016x}  (same seed => same digest, bit-for-bit)\n"
+    );
 }
 
 /// Compact calibration sweep: one line per environment (parallel).

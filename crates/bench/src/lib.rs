@@ -61,22 +61,22 @@ pub fn run_envs_parallel_with(
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<ExperimentOutput>> = Vec::new();
     slots.resize_with(kinds.len(), || None);
-    let slots = parking_lot::Mutex::new(slots);
-    crossbeam::thread::scope(|s| {
+    let slots = std::sync::Mutex::new(slots);
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= kinds.len() {
                     break;
                 }
                 let out = run_one(kinds[i]);
-                slots.lock()[i] = Some(out);
+                slots.lock().expect("slots mutex")[i] = Some(out);
             });
         }
-    })
-    .expect("experiment scope");
+    });
     slots
         .into_inner()
+        .expect("slots mutex")
         .into_iter()
         .map(|o| o.expect("every slot filled"))
         .collect()

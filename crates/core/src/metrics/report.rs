@@ -109,13 +109,13 @@ pub fn analyze_with(
 /// runs.
 pub fn analyze_runs_parallel(baseline: &Trial, runs: &[Trial]) -> Vec<TrialComparison> {
     const LABELS: [&str; 12] = ["B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M"];
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = runs
             .iter()
             .enumerate()
             .map(|(i, t)| {
                 let label = LABELS.get(i).copied().unwrap_or("?");
-                s.spawn(move |_| analyze(label, baseline, t))
+                s.spawn(move || analyze(label, baseline, t))
             })
             .collect();
         handles
@@ -123,7 +123,6 @@ pub fn analyze_runs_parallel(baseline: &Trial, runs: &[Trial]) -> Vec<TrialCompa
             .map(|h| h.join().expect("analysis thread"))
             .collect()
     })
-    .expect("analysis scope")
 }
 
 /// All runs of one environment compared against run A — one evaluation
@@ -140,6 +139,11 @@ pub struct RunReport {
     /// the paper's per-section run lists exhibit (its FABRIC dedicated κ
     /// varied from 0.65 to 0.82 within one test, §7).
     pub kappa_stddev: f64,
+    /// Graceful-degradation events aggregated across the experiment's
+    /// middleboxes and replay engines (all-zero for a clean run), so a
+    /// κ value is always read next to how degraded the run that
+    /// produced it was.
+    pub degradation: crate::replay::DegradationReport,
 }
 
 impl RunReport {
@@ -157,7 +161,14 @@ impl RunReport {
             runs,
             mean,
             kappa_stddev,
+            degradation: crate::replay::DegradationReport::default(),
         }
+    }
+
+    /// Attach the experiment's aggregated degradation counters.
+    pub fn with_degradation(mut self, degradation: crate::replay::DegradationReport) -> Self {
+        self.degradation = degradation;
+        self
     }
 
     /// A merged IAT histogram across all runs (used when rendering a

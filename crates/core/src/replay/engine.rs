@@ -18,6 +18,7 @@
 
 use choir_dpdk::{Dataplane, PortId};
 
+use super::degrade::{DegradationReport, ReplayError, ReplayErrorKind};
 use super::recording::Recording;
 use super::scheduler::ReplayStats;
 
@@ -26,6 +27,8 @@ use super::scheduler::ReplayStats;
 pub struct EngineReport {
     /// Transmit counters.
     pub stats: ReplayStats,
+    /// Graceful-degradation counters (all zero on a healthy backend).
+    pub degradation: DegradationReport,
     /// Wall time the replay took, in nanoseconds.
     pub elapsed_ns: u64,
     /// Achieved packet rate over the active replay window.
@@ -35,45 +38,164 @@ pub struct EngineReport {
     pub wire_bps: f64,
 }
 
+/// Supervision limits for [`run_replay_supervised`]: how hard to push a
+/// misbehaving NIC before degrading, and how long the whole replay may
+/// take before aborting with a partial result.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Divides the recorded inter-burst gaps (1 = as recorded;
+    /// `u64::MAX` effectively back-to-back).
+    pub speedup: u64,
+    /// Transmit retries allowed per burst before it is abandoned (or the
+    /// replay aborts, per [`EngineConfig::abandon_bursts`]).
+    pub max_retries_per_burst: u32,
+    /// First retry backoff, in cycles; doubled per retry.
+    pub backoff_start_cycles: u64,
+    /// Backoff ceiling, in cycles.
+    pub backoff_max_cycles: u64,
+    /// Wall-clock budget for the whole replay, in nanoseconds. `None`
+    /// removes the deadline (and its per-spin check from the hot loop).
+    pub deadline_ns: Option<u64>,
+    /// On retry exhaustion: `true` drops the burst's remaining packets,
+    /// counts them, and continues (graceful degradation); `false` aborts
+    /// the replay with [`ReplayErrorKind::TxBudgetExhausted`].
+    pub abandon_bursts: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            speedup: 1,
+            max_retries_per_burst: 256,
+            backoff_start_cycles: 64,
+            backoff_max_cycles: 1 << 16,
+            deadline_ns: None,
+            abandon_bursts: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The unsupervised configuration [`run_replay_spin`] uses: retry
+    /// forever, no deadline — the paper's original loop.
+    pub fn unbounded(speedup: u64) -> Self {
+        EngineConfig {
+            speedup,
+            max_retries_per_burst: u32::MAX,
+            deadline_ns: None,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// A supervised configuration with a wall-clock budget.
+    pub fn with_deadline(deadline_ns: u64) -> Self {
+        EngineConfig {
+            deadline_ns: Some(deadline_ns),
+            ..EngineConfig::default()
+        }
+    }
+}
+
 /// Replay `recording` on `port`, spinning on the TSC for each burst's
 /// release time. `speedup` divides the recorded inter-burst gaps (1 = as
 /// recorded; `u64::MAX` effectively back-to-back), letting benches probe
 /// the loop's ceiling beyond the recorded rate.
 ///
 /// Returns once every burst is transmitted. Packets the NIC rejects are
-/// retried in a bounded spin (order preservation), so `packets_sent`
-/// always equals the recording's packet count on return.
+/// retried in an unbounded spin (order preservation), so `packets_sent`
+/// always equals the recording's packet count on return — a wedged NIC
+/// hangs this loop forever. Use [`run_replay_supervised`] when the
+/// backend is not trusted to drain.
 pub fn run_replay_spin<D: Dataplane>(
     recording: &Recording,
     dp: &mut D,
     port: PortId,
     speedup: u64,
 ) -> EngineReport {
-    assert!(speedup >= 1, "speedup must be >= 1");
+    run_replay_supervised(recording, dp, port, &EngineConfig::unbounded(speedup))
+        .expect("unbounded replay cannot abort")
+}
+
+/// [`run_replay_spin`] with bounded patience: per-burst transmit retries
+/// with exponential backoff, and an optional wall-clock deadline. When a
+/// burst exhausts its retry budget it is either abandoned (counted in
+/// [`DegradationReport`], replay continues) or the replay aborts, per
+/// [`EngineConfig::abandon_bursts`]. A deadline abort returns a typed
+/// [`ReplayError`] carrying the partial [`ReplayStats`] accumulated so
+/// far — under a persistently rejecting NIC this function still
+/// terminates within the deadline (plus one backoff).
+pub fn run_replay_supervised<D: Dataplane>(
+    recording: &Recording,
+    dp: &mut D,
+    port: PortId,
+    cfg: &EngineConfig,
+) -> Result<EngineReport, Box<ReplayError>> {
+    assert!(cfg.speedup >= 1, "speedup must be >= 1");
     let mut stats = ReplayStats::default();
+    let mut degradation = DegradationReport::default();
     let first = match recording.first_tsc() {
         Some(f) => f,
         None => {
-            return EngineReport {
+            return Ok(EngineReport {
                 stats,
+                degradation,
                 elapsed_ns: 0,
                 pps: 0.0,
                 wire_bps: 0.0,
-            }
+            })
         }
     };
 
     let start_tsc = dp.tsc();
+    let start_wall = dp.wall_ns();
+    let deadline_wall = cfg.deadline_ns.map(|d| start_wall.saturating_add(d));
     let mut wire_bytes: u64 = 0;
     // One burst buffer reused across the whole replay: the hot loop
     // allocates nothing.
     let mut burst = choir_dpdk::Burst::new();
 
-    for rb in recording.bursts() {
-        let release = start_tsc + (rb.tsc - first) / speedup;
+    let abort = |kind: ReplayErrorKind,
+                 stats: ReplayStats,
+                 degradation: DegradationReport,
+                 burst_index: usize,
+                 dp: &D| {
+        Box::new(ReplayError {
+            kind,
+            stats,
+            degradation,
+            elapsed_ns: dp.wall_ns().saturating_sub(start_wall),
+            aborted_at_burst: burst_index,
+        })
+    };
+
+    for (bi, rb) in recording.bursts().iter().enumerate() {
+        let release = start_tsc + (rb.tsc - first) / cfg.speedup;
         // The paper's spin: loop over a TSC read until the burst is due.
-        while dp.tsc() < release {
-            std::hint::spin_loop();
+        // Without a deadline this is a bare TSC read (the hot path the
+        // throughput claim measures); with one, each pass also checks
+        // the wall clock.
+        match deadline_wall {
+            None => {
+                while dp.tsc() < release {
+                    std::hint::spin_loop();
+                }
+            }
+            Some(dl) => {
+                while dp.tsc() < release {
+                    if dp.wall_ns() >= dl {
+                        return Err(abort(
+                            ReplayErrorKind::DeadlineExceeded {
+                                deadline_ns: cfg.deadline_ns.unwrap_or(0),
+                            },
+                            stats,
+                            degradation,
+                            bi,
+                            dp,
+                        ));
+                    }
+                    std::hint::spin_loop();
+                }
+            }
         }
         // Lateness is how far past the release time the spin loop woke —
         // measured before transmission so tx time isn't miscounted.
@@ -88,18 +210,69 @@ pub fn run_replay_spin<D: Dataplane>(
         }
         let total = burst.len() as u64;
         let mut sent = 0u64;
+        let mut retries = 0u32;
+        let mut backoff = cfg.backoff_start_cycles.max(1);
         loop {
-            sent += dp.tx_burst(port, &mut burst) as u64;
+            let accepted = dp.tx_burst(port, &mut burst) as u64;
+            if accepted == 0 && !burst.is_empty() {
+                degradation.tx_rejections += 1;
+            }
+            sent += accepted;
+            stats.packets_sent += accepted;
             if burst.is_empty() {
                 break;
             }
+            if retries >= cfg.max_retries_per_burst {
+                if cfg.abandon_bursts {
+                    let left = burst.len() as u64;
+                    degradation.bursts_abandoned += 1;
+                    degradation.packets_abandoned += left;
+                    burst.clear();
+                    break;
+                }
+                return Err(abort(
+                    ReplayErrorKind::TxBudgetExhausted {
+                        burst_index: bi,
+                        retries,
+                    },
+                    stats,
+                    degradation,
+                    bi,
+                    dp,
+                ));
+            }
+            retries += 1;
             stats.tx_retries += 1;
-            std::hint::spin_loop();
+            degradation.tx_retries += 1;
+            // Exponential backoff: give a backed-up ring time to drain
+            // instead of hammering the doorbell.
+            degradation.backoffs += 1;
+            degradation.backoff_cycles += backoff;
+            let resume = dp.tsc().saturating_add(backoff);
+            while dp.tsc() < resume {
+                std::hint::spin_loop();
+            }
+            backoff = backoff.saturating_mul(2).min(cfg.backoff_max_cycles.max(1));
+            if let Some(dl) = deadline_wall {
+                if dp.wall_ns() >= dl {
+                    return Err(abort(
+                        ReplayErrorKind::DeadlineExceeded {
+                            deadline_ns: cfg.deadline_ns.unwrap_or(0),
+                        },
+                        stats,
+                        degradation,
+                        bi,
+                        dp,
+                    ));
+                }
+            }
         }
-        debug_assert_eq!(sent, total);
-        stats.packets_sent += sent;
-        stats.bursts_sent += 1;
-        for m in rb.pkts.iter() {
+        if sent == total {
+            stats.bursts_sent += 1;
+        }
+        // Bursts drain from the front, so the first `sent` packets are
+        // the transmitted ones.
+        for m in rb.pkts.iter().take(sent as usize) {
             wire_bytes += m.frame.wire_len() as u64;
         }
     }
@@ -107,12 +280,13 @@ pub fn run_replay_spin<D: Dataplane>(
     let elapsed_cycles = dp.tsc() - start_tsc;
     let elapsed_ns = dp.cycles_to_ns(elapsed_cycles).max(1);
     let secs = elapsed_ns as f64 / 1e9;
-    EngineReport {
+    Ok(EngineReport {
         stats,
+        degradation,
         elapsed_ns,
         pps: stats.packets_sent as f64 / secs,
         wire_bps: wire_bytes as f64 * 8.0 / secs,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -211,5 +385,139 @@ mod tests {
         let mut plane = RealtimePlane::new(pool, RealClock::new());
         let pid = plane.add_port(port);
         run_replay_spin(&Recording::new(), &mut plane, pid, 0);
+    }
+
+    /// A wedged NIC: every transmit is rejected, forever.
+    struct RejectingPlane {
+        pool: Mempool,
+        clock: RealClock,
+        tx_calls: u64,
+    }
+
+    impl RejectingPlane {
+        fn new(pool: Mempool) -> Self {
+            RejectingPlane {
+                pool,
+                clock: RealClock::new(),
+                tx_calls: 0,
+            }
+        }
+    }
+
+    impl Dataplane for RejectingPlane {
+        fn num_ports(&self) -> usize {
+            1
+        }
+        fn mempool(&self) -> &Mempool {
+            &self.pool
+        }
+        fn rx_burst(&mut self, _p: PortId, out: &mut choir_dpdk::Burst) -> usize {
+            out.clear();
+            0
+        }
+        fn tx_burst(&mut self, _p: PortId, _burst: &mut choir_dpdk::Burst) -> usize {
+            self.tx_calls += 1;
+            0
+        }
+        fn tsc(&self) -> u64 {
+            self.clock.elapsed_ns()
+        }
+        fn tsc_hz(&self) -> u64 {
+            1_000_000_000
+        }
+        fn wall_ns(&self) -> u64 {
+            self.clock.elapsed_ns()
+        }
+        fn request_wake_at_tsc(&mut self, _t: u64) {}
+        fn stats(&self, _p: PortId) -> choir_dpdk::PortStats {
+            choir_dpdk::PortStats::default()
+        }
+    }
+
+    #[test]
+    fn persistent_rejection_aborts_at_deadline_with_partial_stats() {
+        let pool = Mempool::new("e", 1 << 10);
+        let rec = recording_of(&pool, 4, 8, 1_000);
+        let mut dp = RejectingPlane::new(pool.clone());
+        let deadline_ns = 20_000_000; // 20 ms
+        let cfg = EngineConfig {
+            max_retries_per_burst: u32::MAX, // only the deadline can stop it
+            ..EngineConfig::with_deadline(deadline_ns)
+        };
+        let t0 = std::time::Instant::now();
+        let err = run_replay_supervised(&rec, &mut dp, 0, &cfg).unwrap_err();
+        // Terminates promptly: the 20 ms budget plus scheduling slack,
+        // nowhere near a hang.
+        assert!(t0.elapsed().as_secs() < 5, "took {:?}", t0.elapsed());
+        assert_eq!(
+            err.kind,
+            ReplayErrorKind::DeadlineExceeded { deadline_ns },
+            "{err}"
+        );
+        assert!(err.elapsed_ns >= deadline_ns);
+        assert_eq!(err.aborted_at_burst, 0, "first burst never went out");
+        // Partial stats are consistent: nothing was ever accepted, every
+        // tx call was a rejection, and each retry took one backoff.
+        assert_eq!(err.stats.packets_sent, 0);
+        assert_eq!(err.stats.bursts_sent, 0);
+        assert!(err.degradation.tx_rejections > 0);
+        assert_eq!(err.degradation.tx_rejections, dp.tx_calls);
+        assert_eq!(err.degradation.tx_retries, err.degradation.backoffs);
+        assert_eq!(err.stats.tx_retries, err.degradation.tx_retries);
+        assert!(err.degradation.backoff_cycles > 0);
+    }
+
+    #[test]
+    fn retry_budget_abandons_bursts_and_finishes() {
+        let pool = Mempool::new("e", 1 << 10);
+        let rec = recording_of(&pool, 4, 8, 1_000);
+        let mut dp = RejectingPlane::new(pool.clone());
+        let cfg = EngineConfig {
+            max_retries_per_burst: 3,
+            backoff_start_cycles: 16,
+            ..EngineConfig::default()
+        };
+        let report = run_replay_supervised(&rec, &mut dp, 0, &cfg).unwrap();
+        assert_eq!(report.stats.packets_sent, 0);
+        assert_eq!(report.degradation.bursts_abandoned, 4);
+        assert_eq!(report.degradation.packets_abandoned, 32);
+        assert_eq!(report.degradation.tx_retries, 4 * 3);
+        assert_eq!(report.wire_bps, 0.0, "no wire bytes for unsent packets");
+    }
+
+    #[test]
+    fn strict_mode_errors_on_retry_exhaustion() {
+        let pool = Mempool::new("e", 1 << 10);
+        let rec = recording_of(&pool, 2, 4, 1_000);
+        let mut dp = RejectingPlane::new(pool.clone());
+        let cfg = EngineConfig {
+            max_retries_per_burst: 2,
+            backoff_start_cycles: 16,
+            abandon_bursts: false,
+            ..EngineConfig::default()
+        };
+        let err = run_replay_supervised(&rec, &mut dp, 0, &cfg).unwrap_err();
+        assert_eq!(
+            err.kind,
+            ReplayErrorKind::TxBudgetExhausted {
+                burst_index: 0,
+                retries: 2,
+            }
+        );
+        assert_eq!(err.aborted_at_burst, 0);
+    }
+
+    #[test]
+    fn supervised_clean_run_reports_no_degradation() {
+        let pool = Mempool::new("e", 1 << 12);
+        let (port, _drain) = LoopbackPort::sink(1 << 12);
+        let mut plane = RealtimePlane::new(pool.clone(), RealClock::new());
+        let pid = plane.add_port(port);
+        let rec = recording_of(&pool, 10, 4, 1_000);
+        let report =
+            run_replay_supervised(&rec, &mut plane, pid, &EngineConfig::with_deadline(5_000_000_000))
+                .unwrap();
+        assert_eq!(report.stats.packets_sent, 40);
+        assert!(report.degradation.is_clean(), "{:?}", report.degradation);
     }
 }

@@ -24,7 +24,8 @@ use choir_dpdk::{App, Burst, ControlMsg, Dataplane, PortId};
 use choir_packet::tag::{ChoirTag, TAG_LEN};
 use choir_packet::Frame;
 
-use super::control::{decode_control, is_control_frame};
+use super::control::{decode_control_pdu, encode_control_ack, is_control_frame, ControlPdu};
+use super::degrade::DegradationReport;
 use super::recording::{Recording, RollingRecorder};
 use super::scheduler::{ReplayScheduler, ReplayStats, SchedulerState};
 
@@ -63,6 +64,12 @@ pub struct MiddleboxConfig {
     /// interfaces" (paper §5). Reverse traffic is forwarded verbatim:
     /// never stamped, never recorded.
     pub bridge_reverse: bool,
+    /// Mempool slots kept free for forwarding: when availability falls
+    /// below this reserve, packets are still forwarded but no longer
+    /// recorded (drop-from-recording-and-count) so a long record cannot
+    /// starve the dataplane of buffers. The truncated recording remains
+    /// internally consistent and replayable.
+    pub pool_reserve: usize,
 }
 
 impl Default for MiddleboxConfig {
@@ -76,6 +83,7 @@ impl Default for MiddleboxConfig {
             tx_retries: 2,
             rolling_window: None,
             bridge_reverse: false,
+            pool_reserve: 128,
         }
     }
 }
@@ -98,6 +106,14 @@ pub struct ForwardStats {
     pub control_frames: u64,
     /// Packets dropped because the transmit ring stayed full.
     pub tx_dropped: u64,
+    /// Packets forwarded but not recorded because the mempool fell
+    /// below [`MiddleboxConfig::pool_reserve`].
+    pub record_skipped: u64,
+    /// Acks transmitted for sequenced in-band control frames.
+    pub control_acks_sent: u64,
+    /// Duplicate sequenced control deliveries suppressed (re-acked but
+    /// not re-applied).
+    pub control_duplicates: u64,
 }
 
 /// The Choir middlebox application.
@@ -111,6 +127,10 @@ pub struct ChoirMiddlebox {
     rx_buf: Burst,
     stats: ForwardStats,
     last_replay_stats: Option<ReplayStats>,
+    /// Sequence of the most recently applied reliable control frame;
+    /// an identical sequence is re-acked but not re-applied
+    /// (stop-and-wait makes exact-match dedupe sufficient).
+    last_ctrl_seq: Option<u32>,
 }
 
 impl ChoirMiddlebox {
@@ -127,6 +147,7 @@ impl ChoirMiddlebox {
             rx_buf: Burst::new(),
             stats: ForwardStats::default(),
             last_replay_stats: None,
+            last_ctrl_seq: None,
         }
     }
 
@@ -143,6 +164,17 @@ impl ChoirMiddlebox {
     /// Forwarding-path counters.
     pub fn forward_stats(&self) -> ForwardStats {
         self.stats
+    }
+
+    /// This middlebox's graceful-degradation events, in the shared
+    /// vocabulary `choir-testbed` aggregates into run reports.
+    pub fn degradation_report(&self) -> DegradationReport {
+        DegradationReport {
+            record_skipped_packets: self.stats.record_skipped,
+            forward_dropped_packets: self.stats.tx_dropped,
+            control_duplicates: self.stats.control_duplicates,
+            ..DegradationReport::default()
+        }
     }
 
     /// Statistics of the most recently completed replay.
@@ -232,9 +264,30 @@ impl ChoirMiddlebox {
                     // Intercepted, not forwarded. The staged burst is
                     // flushed first so a mid-burst StartRecord/StopRecord
                     // takes effect exactly at its in-band position.
-                    if let Some(msg) = decode_control(&m.frame) {
-                        self.flush_tx(&mut tx, dp);
-                        self.handle_control(&msg, dp);
+                    match decode_control_pdu(&m.frame) {
+                        Some(ControlPdu::Msg { msg, seq: None }) => {
+                            self.flush_tx(&mut tx, dp);
+                            self.handle_control(&msg, dp);
+                        }
+                        Some(ControlPdu::Msg {
+                            msg,
+                            seq: Some(seq),
+                        }) => {
+                            // Reliable delivery: always ack; apply only
+                            // if this is not a retransmission of the
+                            // last applied command.
+                            self.send_ack(seq, &m.frame, dp);
+                            if self.last_ctrl_seq == Some(seq) {
+                                self.stats.control_duplicates += 1;
+                            } else {
+                                self.last_ctrl_seq = Some(seq);
+                                self.flush_tx(&mut tx, dp);
+                                self.handle_control(&msg, dp);
+                            }
+                        }
+                        // Acks are addressed to a controller, not to us;
+                        // malformed frames are dropped. Neither forwards.
+                        Some(ControlPdu::Ack { .. }) | None => {}
                     }
                     continue;
                 }
@@ -252,17 +305,49 @@ impl ChoirMiddlebox {
         }
     }
 
+    /// Acknowledge a sequenced control frame back out the port it came
+    /// in on, source/destination swapped from the original frame. An
+    /// allocation or transmit failure is tolerated: the controller's
+    /// retransmission recovers the lost ack.
+    fn send_ack(&mut self, seq: u32, frame: &Frame, dp: &mut dyn Dataplane) {
+        let Some(eth) = choir_packet::EthernetHeader::parse(&frame.data) else {
+            return;
+        };
+        let ack = encode_control_ack(seq, eth.dst, eth.src);
+        let Ok(mbuf) = dp.mempool().alloc(ack) else {
+            return;
+        };
+        let mut burst = Burst::new();
+        let _ = burst.push(mbuf);
+        if dp.tx_burst(self.cfg.rx_port, &mut burst) == 1 {
+            self.stats.control_acks_sent += 1;
+        }
+    }
+
     /// Transmit (and, while recording, record) the staged burst.
     fn flush_tx(&mut self, tx: &mut Burst, dp: &mut dyn Dataplane) {
         if tx.is_empty() {
             return;
         }
         let tsc = dp.tsc();
+        // Holding recorded mbufs pins their pool slots; once the pool
+        // drops below the reserve, forwarding continues but recording
+        // degrades to drop-and-count (the recording stays consistent —
+        // it is simply shorter than the traffic that passed).
+        let may_record = dp.mempool().available() >= self.cfg.pool_reserve;
         if self.state == State::Recording {
-            self.recording.push_burst(tsc, tx.iter());
-            self.stats.recorded += tx.len() as u64;
+            if may_record {
+                self.recording.push_burst(tsc, tx.iter());
+                self.stats.recorded += tx.len() as u64;
+            } else {
+                self.stats.record_skipped += tx.len() as u64;
+            }
         } else if let Some(roller) = &mut self.roller {
-            roller.push_burst(tsc, tx.iter());
+            if may_record {
+                roller.push_burst(tsc, tx.iter());
+            } else {
+                self.stats.record_skipped += tx.len() as u64;
+            }
         }
         let mut attempts = 0;
         let total = tx.len() as u64;
@@ -344,6 +429,8 @@ mod tests {
         wake: Option<u64>,
         rx_q: VecDeque<Mbuf>,
         tx_log: Vec<(u64, Mbuf)>,
+        /// Frames transmitted back out port 0 (control acks).
+        ack_log: Vec<Mbuf>,
         tx_capacity_per_call: usize,
     }
 
@@ -355,6 +442,7 @@ mod tests {
                 wake: None,
                 rx_q: VecDeque::new(),
                 tx_log: Vec::new(),
+                ack_log: Vec::new(),
                 tx_capacity_per_call: 64,
             }
         }
@@ -397,6 +485,12 @@ mod tests {
             n
         }
         fn tx_burst(&mut self, port: PortId, burst: &mut Burst) -> usize {
+            if port == 0 {
+                // The only legitimate reverse traffic here is control acks.
+                let n = burst.len();
+                self.ack_log.extend(burst.drain());
+                return n;
+            }
             assert_eq!(port, 1, "middlebox must tx on its tx port");
             let n = burst.len().min(self.tx_capacity_per_call);
             let now = self.now;
@@ -772,6 +866,72 @@ mod tests {
         // during the explicit window.
         assert_eq!(app.recording().packets(), 5);
         assert_eq!(app.rolling().unwrap().packets(), 0);
+    }
+
+    #[test]
+    fn sequenced_control_is_acked_and_deduplicated() {
+        use crate::replay::control::{decode_control_pdu, encode_control_seq, ControlPdu};
+        let mut dp = BridgePlane::new();
+        let mut app = mb();
+        let src = MacAddr::local(9);
+        let dst = MacAddr::local(3);
+        dp.inject(encode_control_seq(&ControlMsg::StartRecord, 7, src, dst));
+        dp.inject_data(2);
+        // A retransmitted StartRecord: must be re-acked but NOT re-applied
+        // (re-applying would clear the recording and reset the sequence).
+        dp.inject(encode_control_seq(&ControlMsg::StartRecord, 7, src, dst));
+        dp.inject_data(1);
+        app.on_wake(&mut dp);
+
+        // Both copies acked, back out the rx port, addressed to the sender.
+        assert_eq!(dp.ack_log.len(), 2);
+        for m in &dp.ack_log {
+            assert_eq!(
+                decode_control_pdu(&m.frame),
+                Some(ControlPdu::Ack { seq: 7 })
+            );
+            let eth = choir_packet::EthernetHeader::parse(&m.frame.data).unwrap();
+            assert_eq!(eth.dst, src, "ack returns to the controller");
+            assert_eq!(eth.src, dst);
+        }
+        let st = app.forward_stats();
+        assert_eq!(st.control_acks_sent, 2);
+        assert_eq!(st.control_duplicates, 1);
+        // The command was applied exactly once: all 3 data packets landed
+        // in one recording with an unbroken tag sequence.
+        assert_eq!(app.recording().packets(), 3);
+        let seqs: Vec<u64> = dp
+            .tx_log
+            .iter()
+            .map(|(_, m)| m.frame.tag().unwrap().seq)
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(app.degradation_report().control_duplicates, 1);
+    }
+
+    #[test]
+    fn pool_pressure_degrades_recording_but_not_forwarding() {
+        let mut dp = BridgePlane::new();
+        // Reserve larger than the whole pool: recording is always skipped.
+        let mut app = ChoirMiddlebox::new(MiddleboxConfig {
+            pool_reserve: usize::MAX,
+            in_band_control: false,
+            ..MiddleboxConfig::default()
+        });
+        app.on_control(&ControlMsg::StartRecord, &mut dp);
+        dp.inject_data(5);
+        app.on_wake(&mut dp);
+        app.on_control(&ControlMsg::StopRecord, &mut dp);
+
+        let st = app.forward_stats();
+        assert_eq!(st.forwarded, 5, "forwarding is never sacrificed");
+        assert_eq!(dp.tx_log.len(), 5);
+        assert_eq!(st.recorded, 0);
+        assert_eq!(st.record_skipped, 5);
+        assert!(app.recording().is_empty(), "recording stays consistent");
+        let report = app.degradation_report();
+        assert_eq!(report.record_skipped_packets, 5);
+        assert!(!report.is_clean());
     }
 
     #[test]

@@ -18,16 +18,26 @@
 //!   `App::on_control` directly).
 //! - [`engine`] — a real-time replay driver whose hot loop is the paper's
 //!   `while (rte_rdtsc() < release) ;` spin, used for the 100 Gbps
-//!   throughput claim.
+//!   throughput claim; its supervised variant bounds retries and wall
+//!   time.
+//! - [`degrade`] — typed replay-abort causes and the degradation
+//!   counters the supervised paths report instead of hanging.
+//! - [`reliable`] — stop-and-wait reliability (sequence numbers, acks,
+//!   bounded retransmission) layered over the in-band control channel.
 
 pub mod control;
 pub mod debugger;
+pub mod degrade;
 pub mod engine;
 pub mod middlebox;
 pub mod recording;
+pub mod reliable;
 pub mod scheduler;
 
 pub use debugger::{Breakpoint, ReplayDebugger, StopReason};
+pub use degrade::{DegradationReport, ReplayError, ReplayErrorKind};
+pub use engine::{run_replay_spin, run_replay_supervised, EngineConfig, EngineReport};
 pub use middlebox::{ChoirMiddlebox, MiddleboxConfig};
 pub use recording::{Recording, RecordedBurst, RollingRecorder};
+pub use reliable::{ControlEvent, ControlLinkStats, ControllerConfig, ReliableController};
 pub use scheduler::{ReplayScheduler, ReplayStats, SchedulerState};

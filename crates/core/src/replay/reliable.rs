@@ -1,0 +1,465 @@
+//! Stop-and-wait reliability for the in-band control channel.
+//!
+//! The paper runs control in-band "to conserve resources" (§5) and
+//! implicitly assumes the control frames arrive: a lost `StartRecord`
+//! silently yields an empty recording, a lost `ScheduleReplay` a replay
+//! that never happens. This module hardens that channel: the
+//! [`ReliableController`] stamps each outgoing command with a sequence
+//! number (the extension layout in [`super::control`]), requests an
+//! acknowledgement, and retransmits on timeout with exponential backoff
+//! until the command is acked or a bounded retry budget runs out. The
+//! receiving middlebox acks sequenced frames and suppresses duplicate
+//! deliveries, so a retransmitted command is applied exactly once.
+//!
+//! One command is in flight at a time (stop-and-wait): control traffic
+//! is a handful of frames per experiment, so pipelining would buy
+//! nothing and a single `Option<Inflight>` keeps the state machine
+//! trivially auditable. [`ReliableController::send`] hands back the
+//! message when the link is busy rather than queueing it.
+
+use choir_dpdk::{Burst, ControlMsg, Dataplane, PortId};
+use choir_packet::MacAddr;
+
+use super::control::{decode_control_pdu, encode_control_seq, ControlPdu};
+use super::degrade::DegradationReport;
+
+/// Configuration for a [`ReliableController`].
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// Source MAC stamped on outgoing control frames.
+    pub src: MacAddr,
+    /// Destination MAC (the middlebox being commanded).
+    pub dst: MacAddr,
+    /// Port the controller transmits on.
+    pub port: PortId,
+    /// Retransmissions attempted after the initial send before the
+    /// command is declared failed.
+    pub max_retries: u32,
+    /// Initial ack timeout in nanoseconds; doubles per retransmission.
+    pub ack_timeout_ns: u64,
+    /// Upper bound on the doubled timeout.
+    pub max_timeout_ns: u64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            src: MacAddr::local(0xC0),
+            dst: MacAddr::BROADCAST,
+            port: 0,
+            max_retries: 5,
+            ack_timeout_ns: 1_000_000, // 1 ms
+            max_timeout_ns: 16_000_000,
+        }
+    }
+}
+
+/// Counters for the reliable control link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlLinkStats {
+    /// Commands handed to [`ReliableController::send`] and transmitted.
+    pub sent: u64,
+    /// Commands confirmed by an ack.
+    pub acked: u64,
+    /// Timeout-driven retransmissions.
+    pub retransmits: u64,
+    /// Commands that exhausted their retry budget unacked.
+    pub failed: u64,
+    /// Acks received for a sequence no longer in flight.
+    pub duplicate_acks: u64,
+}
+
+impl ControlLinkStats {
+    /// Project the link counters into the shared degradation vocabulary.
+    pub fn degradation_report(&self) -> DegradationReport {
+        DegradationReport {
+            control_retransmits: self.retransmits,
+            control_failures: self.failed,
+            ..DegradationReport::default()
+        }
+    }
+}
+
+/// Delivery outcome surfaced by [`ReliableController::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlEvent {
+    /// The in-flight command was acknowledged.
+    Acked {
+        /// Sequence number of the confirmed command.
+        seq: u32,
+    },
+    /// The in-flight command exhausted its retries without an ack.
+    Failed {
+        /// Sequence number of the abandoned command.
+        seq: u32,
+        /// The command itself, returned so the caller can fall back
+        /// (e.g. deliver out-of-band) or escalate.
+        msg: ControlMsg,
+        /// Total transmissions attempted (initial send + retries).
+        attempts: u32,
+    },
+}
+
+struct Inflight {
+    msg: ControlMsg,
+    seq: u32,
+    /// Transmissions so far (the initial send counts as 1).
+    attempts: u32,
+    /// Current timeout; doubles per retransmission up to the cap.
+    timeout_ns: u64,
+    /// Wall-clock instant after which the send is retransmitted.
+    deadline_wall_ns: u64,
+}
+
+/// Stop-and-wait sender for in-band control commands.
+///
+/// Drive it from the controller's event loop: [`send`] to start a
+/// delivery, [`on_rx_frame`] for every received frame (it consumes
+/// matching acks and ignores everything else), and [`poll`] once per
+/// loop pass to fire timeouts. `poll` returns a [`ControlEvent`] when a
+/// delivery resolves.
+///
+/// [`send`]: ReliableController::send
+/// [`on_rx_frame`]: ReliableController::on_rx_frame
+/// [`poll`]: ReliableController::poll
+pub struct ReliableController {
+    cfg: ControllerConfig,
+    next_seq: u32,
+    inflight: Option<Inflight>,
+    stats: ControlLinkStats,
+}
+
+impl ReliableController {
+    /// A controller with no delivery in flight.
+    pub fn new(cfg: ControllerConfig) -> Self {
+        ReliableController {
+            cfg,
+            next_seq: 1,
+            inflight: None,
+            stats: ControlLinkStats::default(),
+        }
+    }
+
+    /// True when no delivery is awaiting an ack.
+    pub fn idle(&self) -> bool {
+        self.inflight.is_none()
+    }
+
+    /// Link counters so far.
+    pub fn stats(&self) -> ControlLinkStats {
+        self.stats
+    }
+
+    /// Begin delivering `msg`: transmit it with a fresh sequence number
+    /// and arm the ack timeout. Returns the assigned sequence, or gives
+    /// `msg` back if a delivery is already in flight (stop-and-wait).
+    ///
+    /// A transmit that fails outright (pool exhausted, ring full) is
+    /// tolerated: the frame is treated as lost and the retransmission
+    /// machinery recovers it.
+    pub fn send<D: Dataplane>(&mut self, msg: ControlMsg, dp: &mut D) -> Result<u32, ControlMsg> {
+        if self.inflight.is_some() {
+            return Err(msg);
+        }
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.transmit(&msg, seq, dp);
+        self.stats.sent += 1;
+        self.inflight = Some(Inflight {
+            msg,
+            seq,
+            attempts: 1,
+            timeout_ns: self.cfg.ack_timeout_ns,
+            deadline_wall_ns: dp.wall_ns().saturating_add(self.cfg.ack_timeout_ns),
+        });
+        Ok(seq)
+    }
+
+    /// Offer a received frame to the controller. Returns `true` if the
+    /// frame was a control ack (and therefore should not be forwarded
+    /// or processed further), `false` otherwise.
+    pub fn on_rx_frame(&mut self, frame: &choir_packet::Frame) -> bool {
+        let Some(ControlPdu::Ack { seq }) = decode_control_pdu(frame) else {
+            return false;
+        };
+        match &self.inflight {
+            Some(inflight) if inflight.seq == seq => {
+                self.inflight = None;
+                self.stats.acked += 1;
+            }
+            _ => self.stats.duplicate_acks += 1,
+        }
+        true
+    }
+
+    /// Fire the ack timeout if it has elapsed: retransmit with a doubled
+    /// timeout while retries remain, otherwise declare the delivery
+    /// failed. Returns the resolving event, if any.
+    pub fn poll<D: Dataplane>(&mut self, dp: &mut D) -> Option<ControlEvent> {
+        let now = dp.wall_ns();
+        let inflight = self.inflight.as_mut()?;
+        if now < inflight.deadline_wall_ns {
+            return None;
+        }
+        if inflight.attempts > self.cfg.max_retries {
+            let done = self.inflight.take().expect("checked above");
+            self.stats.failed += 1;
+            return Some(ControlEvent::Failed {
+                seq: done.seq,
+                msg: done.msg,
+                attempts: done.attempts,
+            });
+        }
+        inflight.attempts += 1;
+        inflight.timeout_ns = (inflight.timeout_ns * 2).min(self.cfg.max_timeout_ns);
+        inflight.deadline_wall_ns = now.saturating_add(inflight.timeout_ns);
+        let (msg, seq) = (inflight.msg, inflight.seq);
+        self.transmit(&msg, seq, dp);
+        self.stats.retransmits += 1;
+        None
+    }
+
+    fn transmit<D: Dataplane>(&self, msg: &ControlMsg, seq: u32, dp: &mut D) {
+        let frame = encode_control_seq(msg, seq, self.cfg.src, self.cfg.dst);
+        let Ok(mbuf) = dp.mempool().alloc(frame) else {
+            return; // treated as a lost frame; retransmission recovers
+        };
+        let mut burst = Burst::new();
+        let _ = burst.push(mbuf);
+        dp.tx_burst(self.cfg.port, &mut burst);
+        // Anything the ring rejected is dropped here — same recovery.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::control::encode_control_ack;
+    use choir_dpdk::{Mempool, PortStats};
+    use choir_packet::Frame;
+
+    struct TestPlane {
+        pool: Mempool,
+        now: u64,
+        /// Frames handed to `tx_burst`, decoded.
+        sent: Vec<ControlPdu>,
+        /// When true, `tx_burst` accepts nothing (wedged ring).
+        reject_tx: bool,
+    }
+
+    impl TestPlane {
+        fn new() -> Self {
+            TestPlane {
+                pool: Mempool::new("reliable-test", 64),
+                now: 0,
+                sent: Vec::new(),
+                reject_tx: false,
+            }
+        }
+    }
+
+    impl Dataplane for TestPlane {
+        fn num_ports(&self) -> usize {
+            1
+        }
+        fn mempool(&self) -> &Mempool {
+            &self.pool
+        }
+        fn rx_burst(&mut self, _p: PortId, out: &mut Burst) -> usize {
+            out.clear();
+            0
+        }
+        fn tx_burst(&mut self, _p: PortId, burst: &mut Burst) -> usize {
+            if self.reject_tx {
+                return 0;
+            }
+            let n = burst.len();
+            for m in burst.drain_front(n) {
+                if let Some(pdu) = decode_control_pdu(&Frame::new(m.frame.data.clone())) {
+                    self.sent.push(pdu);
+                }
+            }
+            n
+        }
+        fn tsc(&self) -> u64 {
+            self.now
+        }
+        fn tsc_hz(&self) -> u64 {
+            1_000_000_000
+        }
+        fn wall_ns(&self) -> u64 {
+            self.now
+        }
+        fn request_wake_at_tsc(&mut self, _tsc: u64) {}
+        fn stats(&self, _p: PortId) -> PortStats {
+            PortStats::default()
+        }
+    }
+
+    fn cfg() -> ControllerConfig {
+        ControllerConfig {
+            src: MacAddr::local(1),
+            dst: MacAddr::local(2),
+            port: 0,
+            max_retries: 3,
+            ack_timeout_ns: 100,
+            max_timeout_ns: 400,
+        }
+    }
+
+    fn ack(seq: u32) -> Frame {
+        encode_control_ack(seq, MacAddr::local(2), MacAddr::local(1))
+    }
+
+    #[test]
+    fn acked_send_resolves_cleanly() {
+        let mut dp = TestPlane::new();
+        let mut ctl = ReliableController::new(cfg());
+        let seq = ctl.send(ControlMsg::StartRecord, &mut dp).unwrap();
+        assert!(!ctl.idle());
+        assert_eq!(
+            dp.sent,
+            vec![ControlPdu::Msg {
+                msg: ControlMsg::StartRecord,
+                seq: Some(seq),
+            }]
+        );
+        assert!(ctl.on_rx_frame(&ack(seq)));
+        assert!(ctl.idle());
+        let s = ctl.stats();
+        assert_eq!((s.sent, s.acked, s.retransmits, s.failed), (1, 1, 0, 0));
+    }
+
+    #[test]
+    fn busy_link_returns_the_message() {
+        let mut dp = TestPlane::new();
+        let mut ctl = ReliableController::new(cfg());
+        ctl.send(ControlMsg::StartRecord, &mut dp).unwrap();
+        assert_eq!(
+            ctl.send(ControlMsg::StopRecord, &mut dp),
+            Err(ControlMsg::StopRecord)
+        );
+    }
+
+    #[test]
+    fn timeout_retransmits_with_doubling_backoff() {
+        let mut dp = TestPlane::new();
+        let mut ctl = ReliableController::new(cfg());
+        let seq = ctl.send(ControlMsg::StopRecord, &mut dp).unwrap();
+        // Before the deadline: nothing happens.
+        dp.now = 99;
+        assert_eq!(ctl.poll(&mut dp), None);
+        assert_eq!(dp.sent.len(), 1);
+        // Deadline passes: retransmit, timeout doubles to 200.
+        dp.now = 100;
+        assert_eq!(ctl.poll(&mut dp), None);
+        assert_eq!(dp.sent.len(), 2);
+        // Next deadline is now + 200 = 300.
+        dp.now = 299;
+        assert_eq!(ctl.poll(&mut dp), None);
+        assert_eq!(dp.sent.len(), 2);
+        dp.now = 300;
+        assert_eq!(ctl.poll(&mut dp), None);
+        assert_eq!(dp.sent.len(), 3);
+        assert_eq!(ctl.stats().retransmits, 2);
+        // A late ack still resolves the delivery.
+        assert!(ctl.on_rx_frame(&ack(seq)));
+        assert!(ctl.idle());
+        assert_eq!(ctl.stats().acked, 1);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_reports_failure() {
+        let mut dp = TestPlane::new();
+        dp.reject_tx = true; // every transmission is lost
+        let mut ctl = ReliableController::new(cfg());
+        let seq = ctl
+            .send(ControlMsg::Custom(7), &mut dp)
+            .expect("link starts idle");
+        // Timeouts: 100, 200, 400, 400 (capped), then failure.
+        let mut event = None;
+        for _ in 0..16 {
+            dp.now += 1_000; // always past the deadline
+            if let Some(e) = ctl.poll(&mut dp) {
+                event = Some(e);
+                break;
+            }
+        }
+        assert_eq!(
+            event,
+            Some(ControlEvent::Failed {
+                seq,
+                msg: ControlMsg::Custom(7),
+                attempts: 4, // initial send + max_retries = 3
+            })
+        );
+        assert!(ctl.idle());
+        let s = ctl.stats();
+        assert_eq!((s.retransmits, s.failed), (3, 1));
+        assert_eq!(
+            s.degradation_report().control_failures,
+            1,
+            "failure projects into the degradation vocabulary"
+        );
+        // The link is usable again after a failure.
+        assert!(ctl.send(ControlMsg::StartRecord, &mut dp).is_ok());
+    }
+
+    #[test]
+    fn stray_and_duplicate_acks_are_counted_not_applied() {
+        let mut dp = TestPlane::new();
+        let mut ctl = ReliableController::new(cfg());
+        // Stray ack with nothing in flight.
+        assert!(ctl.on_rx_frame(&ack(99)));
+        assert_eq!(ctl.stats().duplicate_acks, 1);
+        let seq = ctl.send(ControlMsg::StartRecord, &mut dp).unwrap();
+        // Ack for the wrong sequence leaves the delivery in flight.
+        assert!(ctl.on_rx_frame(&ack(seq + 1)));
+        assert!(!ctl.idle());
+        assert_eq!(ctl.stats().duplicate_acks, 2);
+        // The right ack, twice: second is a duplicate.
+        assert!(ctl.on_rx_frame(&ack(seq)));
+        assert!(ctl.on_rx_frame(&ack(seq)));
+        assert_eq!(ctl.stats().acked, 1);
+        assert_eq!(ctl.stats().duplicate_acks, 3);
+    }
+
+    #[test]
+    fn non_ack_frames_are_not_consumed() {
+        let mut ctl = ReliableController::new(cfg());
+        let cmd = crate::replay::control::encode_control(
+            &ControlMsg::StartRecord,
+            MacAddr::local(5),
+            MacAddr::local(6),
+        );
+        assert!(!ctl.on_rx_frame(&cmd), "commands pass through");
+        let junk = Frame::new(bytes::Bytes::from_static(b"not a control frame"));
+        assert!(!ctl.on_rx_frame(&junk));
+    }
+
+    #[test]
+    fn pool_exhaustion_on_send_is_recovered_by_retransmit() {
+        let mut dp = TestPlane::new();
+        // Drain the pool so the first transmit cannot allocate.
+        let hold: Vec<_> = (0..64)
+            .map(|_| {
+                dp.pool
+                    .alloc(Frame::new(bytes::Bytes::from_static(&[0u8; 16])))
+                    .unwrap()
+            })
+            .collect();
+        let mut ctl = ReliableController::new(cfg());
+        let seq = ctl.send(ControlMsg::StartRecord, &mut dp).unwrap();
+        assert_eq!(dp.sent.len(), 0, "nothing hit the wire");
+        drop(hold); // pool recovers
+        dp.now = 100;
+        assert_eq!(ctl.poll(&mut dp), None);
+        assert_eq!(
+            dp.sent,
+            vec![ControlPdu::Msg {
+                msg: ControlMsg::StartRecord,
+                seq: Some(seq),
+            }]
+        );
+    }
+}

@@ -23,6 +23,7 @@
 //! model.
 
 pub mod burst;
+pub mod fault;
 pub mod loopback;
 pub mod mbuf;
 pub mod plane;
@@ -30,6 +31,7 @@ pub mod ring;
 pub mod stats;
 
 pub use burst::{Burst, MAX_BURST};
+pub use fault::{FaultConfig, FaultStats, FaultyDataplane};
 pub use mbuf::{Mbuf, Mempool, PoolExhausted};
 pub use plane::{App, ControlMsg, Dataplane, PortId};
 pub use ring::SpscRing;

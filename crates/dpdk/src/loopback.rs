@@ -118,6 +118,16 @@ impl RealtimePlane {
         }
     }
 
+    /// A self-contained single-port plane: a fresh pool of `depth` buffers
+    /// and one port whose transmit side loops back into its receive side.
+    /// Convenient for tests and examples that need a working plane without
+    /// wiring ports by hand.
+    pub fn self_loop(depth: usize) -> Self {
+        let mut plane = RealtimePlane::new(Mempool::new("self-loop", depth), RealClock::new());
+        plane.add_port(LoopbackPort::self_loop(depth));
+        plane
+    }
+
     /// Attach a port; returns its id.
     pub fn add_port(&mut self, port: LoopbackPort) -> PortId {
         self.ports.push(port);

@@ -132,6 +132,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutput {
                 tx_retries: 3,
                 rolling_window: None,
                 bridge_reverse: false,
+                pool_reserve: 128,
             }),
             clock(&mut rng, p),
             p.wake_jitter.clone(),
@@ -273,7 +274,16 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutput {
     // fan them out across threads; at the paper's full scale this is the
     // post-processing hot spot.
     let comparisons: Vec<TrialComparison> = analyze_runs_parallel(&trials[0], &trials[1..]);
-    let report = RunReport::new(label, comparisons);
+
+    // Every middlebox's graceful-degradation counters ride along with
+    // the consistency numbers: a κ is only interpretable next to how
+    // degraded the run that produced it was.
+    let mut degradation = choir_core::replay::DegradationReport::default();
+    for &mb in &mbs {
+        let d = sim.with_app::<ChoirMiddlebox, _>(mb, |m| m.degradation_report());
+        degradation.absorb(&d);
+    }
+    let report = RunReport::new(label, comparisons).with_degradation(degradation);
 
     ExperimentOutput {
         report,
@@ -313,6 +323,11 @@ mod tests {
             assert_eq!(run.metrics.o, 0.0, "no reordering");
             assert!(run.metrics.kappa > 0.9, "kappa {}", run.metrics.kappa);
         }
+        assert!(
+            out.report.degradation.is_clean(),
+            "a clean local run must report zero degradation: {:?}",
+            out.report.degradation
+        );
     }
 
     #[test]

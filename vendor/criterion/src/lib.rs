@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros —
+//! backed by a simple wall-clock timer instead of criterion's statistical
+//! machinery. Each bench runs a short warm-up, then a fixed number of
+//! timed samples, and prints the median per-iteration time (plus
+//! element/byte throughput when configured). Good enough to compare
+//! orders of magnitude and to keep `cargo bench` / bench target builds
+//! working hermetically; not a precision instrument.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque blackbox to defeat constant folding (`criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-rate annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements (e.g. packets).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures handed to it by a bench body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and a probe of how many iterations fit in a sample.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~2ms per sample, capped so slow benches still finish.
+        let iters = (Duration::from_millis(2).as_nanos() / probe.as_nanos())
+            .clamp(1, 10_000) as u32;
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        s.sort();
+        s.get(s.len() / 2).copied().unwrap_or_default()
+    }
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_count: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Annotate subsequent benches with a work rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the number of timed samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Run `f` as a benchmark named `id` within this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_count,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Run `f` with `input` as a benchmark named `id`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_count,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Finish the group (prints nothing extra; provided for API parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let med = b.median();
+        let ns = med.as_nanos().max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.3} Melem/s", n as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.3} MiB/s", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!("{}/{:<32} {:>12.1} ns/iter{rate}", self.name, id, ns);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_count: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_count = self.default_sample_count;
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_count,
+            _criterion: self,
+        }
+    }
+
+    /// Run `f` as a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle bench functions into a group runner, like `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, like `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("vendored");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("sum64", |b| {
+            b.iter(|| (0u64..64).map(black_box).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::new("scaled", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("in_order", 50).to_string(), "in_order/50");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

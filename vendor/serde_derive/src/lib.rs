@@ -1,0 +1,430 @@
+//! Derive backend for the vendored `serde` stand-in.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls that convert
+//! through the `serde::Content` tree. Because the build environment has no
+//! crates.io access, this macro parses the item shape straight from the
+//! `proc_macro::TokenStream` instead of using `syn`/`quote`. Supported
+//! shapes are the ones the workspace actually derives on: non-generic
+//! structs (named, tuple, unit) and enums with unit / tuple / struct
+//! variants, with no `#[serde(...)]` attributes. Anything else produces a
+//! `compile_error!` naming the unsupported construct.
+//!
+//! Encoding matches serde's externally tagged defaults: structs → maps,
+//! newtype structs → the inner value, tuple structs → sequences, enum
+//! variants → `"Name"` / `{"Name": value}` / `{"Name": [..]}` /
+//! `{"Name": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Derive `serde::Serialize` (conversion to `serde::Content`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` (conversion from `serde::Content`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive generated invalid code: {e}\");")
+            .parse()
+            .unwrap()
+    })
+}
+
+// --- parsing -----------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err(format!("expected a name after `{kw}`")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+
+    let body = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            _ => return Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("expected `{{ .. }}` after `enum {name}`")),
+        },
+        other => {
+            return Err(format!(
+                "vendored serde_derive cannot derive for `{other}` items"
+            ))
+        }
+    };
+    Ok(Item { name, body })
+}
+
+/// Skip leading `#[attr]` attributes (incl. doc comments) and a `pub` /
+/// `pub(..)` visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Advance past one type (or expression) until a top-level `,`, tracking
+/// `<`/`>` nesting so commas inside generics don't split fields. The comma
+/// itself is consumed. `->` is tolerated (its `>` is not a closer).
+fn skip_to_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    let mut prev_dash = false;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if !prev_dash => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        skip_to_top_level_comma(&tokens, &mut i);
+        names.push(name);
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_to_top_level_comma(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_to_top_level_comma(&tokens, &mut i);
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// --- code generation ---------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Unit) => "::serde::Content::Null".to_string(),
+        Body::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::to_content(&self.0)".to_string()
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Body::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => \
+                         ::serde::Content::Str(::std::string::String::from({v:?})),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Content::Map(::std::vec![\
+                         (::std::string::String::from({v:?}), \
+                         ::serde::Serialize::to_content(f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from({v:?}), \
+                             ::serde::Content::Seq(::std::vec![{}]))]),",
+                            binders.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {} }} => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from({v:?}), \
+                             ::serde::Content::Map(::std::vec![{}]))]),",
+                            fs.join(", "),
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Unit) => format!(
+            "match c {{ ::serde::Content::Null => ::std::result::Result::Ok({name}), \
+             other => ::std::result::Result::Err(::serde::DeError::custom(\
+             ::std::format!(\"expected null for unit struct {name}, got {{}}\", other.kind()))) }}"
+        ),
+        Body::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))"
+        ),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = c.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                 ::std::format!(\"expected sequence for {name}, got {{}}\", c.kind())))?;\n\
+                 if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::custom(::std::format!(\
+                 \"expected {n} elements for {name}, got {{}}\", seq.len()))); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(::serde::field(map, {f:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let map = c.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                 ::std::format!(\"expected map for struct {name}, got {{}}\", c.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(1) => Some(format!(
+                        "{v:?} => ::std::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::from_content(value)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{\n\
+                             let seq = value.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                             ::std::format!(\"expected sequence for {name}::{v}, got {{}}\", \
+                             value.kind())))?;\n\
+                             if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::custom(::std::format!(\
+                             \"expected {n} elements for {name}::{v}, got {{}}\", seq.len()))); }}\n\
+                             ::std::result::Result::Ok({name}::{v}({}))\n}}",
+                            items.join(", ")
+                        ))
+                    }
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_content(\
+                                     ::serde::field(map, {f:?})?)?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{\n\
+                             let map = value.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                             ::std::format!(\"expected map for {name}::{v}, got {{}}\", \
+                             value.kind())))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{ {} }})\n}}",
+                            inits.join(" ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match c {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{other}}` for enum {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(m) if m.len() == 1 => {{\n\
+                 let (tag, value) = &m[0];\n\
+                 let _ = value;\n\
+                 match tag.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{other}}` for enum {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"expected variant of {name}, got {{}}\", other.kind()))),\n\
+                 }}"
+            , unit_arms.join("\n"), data_arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
