@@ -6,6 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
+use choir_core::metrics::allpairs::{all_pairs_serial, all_pairs_sharded, TrialIndex};
 use choir_core::metrics::matching::Matching;
 use choir_core::metrics::ordering::ordering;
 use choir_core::metrics::report::analyze;
@@ -95,5 +96,56 @@ fn bench_full_analysis(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_compare, bench_ordering_reordered, bench_matching, bench_full_analysis);
+fn bench_all_pairs(c: &mut Criterion) {
+    // The sharded all-pairs engine vs the serial reference over an
+    // 8-trial sweep (28 pairs). The engine must be bit-identical, so
+    // the interesting axis here is purely wall-clock.
+    let mut g = c.benchmark_group("metric_all_pairs");
+    g.sample_size(10);
+    let n = 50_000u64;
+    let trials: Vec<Trial> = (0..8).map(|k| cbr_trial(n, 3 + k)).collect();
+    g.throughput(Throughput::Elements(n * 28));
+    g.bench_function("serial_8_trials", |bench| {
+        bench.iter(|| all_pairs_serial(&trials).summary());
+    });
+    for &shards in &[1usize, 2, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("sharded_8_trials", shards),
+            &shards,
+            |bench, &shards| {
+                bench.iter(|| all_pairs_sharded(&trials, shards).summary());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_trial_index(c: &mut Criterion) {
+    // Cost of building the per-trial precomputation cache, and the
+    // matched lookup path it enables.
+    let mut g = c.benchmark_group("metric_trial_index");
+    let n = 1_000_000u64;
+    let a = cbr_trial(n, 0);
+    let b = cbr_trial(n, 3);
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("build_1m", |bench| {
+        bench.iter(|| TrialIndex::build(&a).len());
+    });
+    let ia = TrialIndex::build(&a);
+    let ib = TrialIndex::build(&b);
+    g.bench_function("matching_indexed_1m", |bench| {
+        bench.iter(|| choir_core::metrics::allpairs::matching_indexed(&ia, &ib).common());
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compare,
+    bench_ordering_reordered,
+    bench_matching,
+    bench_full_analysis,
+    bench_all_pairs,
+    bench_trial_index
+);
 criterion_main!(benches);

@@ -13,6 +13,8 @@
 //!   noisy-dedicated    FABRIC dedicated 80 Gbps with noisy co-tenant
 //!   table1             dual-replayer edit-script distance statistics
 //!   table2             mean metrics for all nine environments
+//!   matrix             all-pairs κ matrix + sharded-engine benchmark
+//!                      (writes BENCH_matrix.json; default 16 runs)
 //!   throughput         real-time replay engine rate (the 100 Gbps claim)
 //!   chaos              fault-rate sweep: κ vs graceful degradation, seeded
 //!   calibrate          compact paper-vs-measured sweep over all envs
@@ -111,6 +113,7 @@ fn main() {
         }
         "table1" => table1(&opts),
         "table2" => table2(&opts),
+        "matrix" => matrix(&opts),
         "throughput" => throughput(),
         "chaos" => chaos(&opts),
         "calibrate" => calibrate(&opts),
@@ -277,6 +280,169 @@ fn table2(opts: &Opts) {
         print!("{}", fmt::table2_pair(*kind, &row.mean, &out.report.mean));
     }
     println!();
+}
+
+/// All-pairs κ matrix over one environment's runs, with the consistency
+/// engine benchmarked three ways over the same trials:
+///
+/// - **naive**: one spawned thread and one uncached analysis per pair —
+///   `analyze_runs_parallel`'s thread-per-comparison strategy applied to
+///   the full matrix (the pre-engine baseline);
+/// - **sharded**: the bounded worker pool over shared `TrialIndex`es;
+/// - **serial**: the uncached single-thread reference.
+///
+/// All three must agree bit-for-bit; the timings and the per-stage
+/// breakdown are written to `BENCH_matrix.json` so the perf trajectory is
+/// tracked across PRs.
+fn matrix(opts: &Opts) {
+    use choir_core::metrics::allpairs::{
+        all_pairs_serial_with, all_pairs_sharded_with, pair_count,
+    };
+    use choir_core::metrics::report::{analyze_with, trial_label, TrialComparison};
+    use choir_core::metrics::KappaConfig;
+    use std::time::Instant;
+
+    let mut profile = EnvKind::LocalSingle.profile();
+    profile.runs = opts.runs.unwrap_or(16);
+    println!(
+        "== matrix: all-pairs κ over {} runs of {} (scale {}, seed {}) ==",
+        profile.runs,
+        profile.kind.label(),
+        opts.scale,
+        opts.seed
+    );
+    let out = choir_testbed::run_experiment(&choir_testbed::ExperimentConfig {
+        profile,
+        scale: opts.scale,
+        seed: opts.seed,
+    });
+    let trials = &out.trials;
+    let n = trials.len();
+    let pairs = pair_count(n);
+    let cfg = KappaConfig::paper();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "   {} trials x {} packets -> {} pairs; {} CPU(s), shards = {}",
+        n,
+        trials[0].len(),
+        pairs,
+        cpus,
+        cpus
+    );
+
+    // Naive baseline: thread per pair, every comparison rebuilding its
+    // hash tables and span statistics from scratch.
+    let t_naive = Instant::now();
+    let naive: Vec<TrialComparison> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+            .map(|(i, j)| {
+                let cfg = &cfg;
+                s.spawn(move || {
+                    let label = format!("{}-{}", trial_label(i), trial_label(j));
+                    analyze_with(label, &trials[i], &trials[j], cfg)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pair thread"))
+            .collect()
+    });
+    let naive_ns = t_naive.elapsed().as_nanos() as u64;
+
+    // The sharded engine: per-trial indexes built once, bounded pool.
+    let t_sharded = Instant::now();
+    let (m, engine) = all_pairs_sharded_with(trials, cpus, &cfg);
+    let sharded_ns = t_sharded.elapsed().as_nanos() as u64;
+
+    // Uncached single-thread reference — the ground truth.
+    let t_serial = Instant::now();
+    let serial = all_pairs_serial_with(trials, &cfg);
+    let serial_ns = t_serial.elapsed().as_nanos() as u64;
+
+    for (k, cell) in m.cells.iter().enumerate() {
+        assert_eq!(
+            cell.metrics.kappa.to_bits(),
+            serial.cells[k].metrics.kappa.to_bits(),
+            "sharded vs serial mismatch at {}",
+            cell.label
+        );
+        assert_eq!(
+            cell.metrics.kappa.to_bits(),
+            naive[k].metrics.kappa.to_bits(),
+            "sharded vs naive mismatch at {}",
+            cell.label
+        );
+    }
+    println!("   bit-identical κ across sharded / naive / serial paths ({pairs} pairs)");
+
+    print!("{}", fmt::kappa_matrix(&m));
+    let summary = m.summary().expect("two or more trials");
+    println!(
+        "   off-diagonal κ: min {:.4}  median {:.4}  max {:.4}  (baseline-row mean {:.4})",
+        summary.kappa_min, summary.kappa_median, summary.kappa_max, out.report.mean.kappa
+    );
+    let totals = m.total_timings();
+    print!("   {}", fmt::stage_timings(&totals, pairs));
+
+    let speedup_naive = naive_ns as f64 / sharded_ns.max(1) as f64;
+    let speedup_serial = serial_ns as f64 / sharded_ns.max(1) as f64;
+    let pairs_per_sec = pairs as f64 / (sharded_ns.max(1) as f64 / 1e9);
+    println!(
+        "   naive thread-per-pair {:.1} ms | sharded {:.1} ms ({:.0} pairs/s, peak {} worker(s)) | serial {:.1} ms",
+        naive_ns as f64 / 1e6,
+        sharded_ns as f64 / 1e6,
+        pairs_per_sec,
+        engine.peak_workers,
+        serial_ns as f64 / 1e6,
+    );
+    println!(
+        "   speedup vs naive {speedup_naive:.2}x, vs serial {speedup_serial:.2}x  \
+         (index build {:.2} ms)",
+        engine.index_build_ns as f64 / 1e6
+    );
+
+    #[derive(serde::Serialize)]
+    struct MatrixBench {
+        trials: usize,
+        pairs: usize,
+        packets_per_trial: usize,
+        cpus: usize,
+        shards_used: usize,
+        peak_workers: usize,
+        index_build_ns: u64,
+        naive_thread_per_pair_ns: u64,
+        sharded_ns: u64,
+        serial_ns: u64,
+        speedup_vs_naive: f64,
+        speedup_vs_serial: f64,
+        pairs_per_sec: f64,
+        stage_totals: choir_core::metrics::StageTimings,
+        summary: choir_core::metrics::MatrixSummary,
+    }
+    let bench = MatrixBench {
+        trials: n,
+        pairs,
+        packets_per_trial: trials[0].len(),
+        cpus,
+        shards_used: engine.shards_used,
+        peak_workers: engine.peak_workers,
+        index_build_ns: engine.index_build_ns,
+        naive_thread_per_pair_ns: naive_ns,
+        sharded_ns,
+        serial_ns,
+        speedup_vs_naive: speedup_naive,
+        speedup_vs_serial: speedup_serial,
+        pairs_per_sec,
+        stage_totals: totals,
+        summary,
+    };
+    let body = serde_json::to_string_pretty(&bench).expect("serialize bench record");
+    std::fs::write("BENCH_matrix.json", body).expect("write BENCH_matrix.json");
+    println!("   [wrote BENCH_matrix.json]\n");
 }
 
 /// Chaos sweep: replay one recording through a fault-injecting dataplane

@@ -1,0 +1,671 @@
+//! The sharded all-pairs consistency engine.
+//!
+//! The paper reports κ per environment by comparing every run against
+//! baseline A (Tables 1–2), but its §7 run lists show κ varying 0.65–0.82
+//! *within one test* — understanding that spread needs the full N×N
+//! upper-triangular κ matrix, not just the baseline column. Rebuilt
+//! naively that is `N(N−1)/2` independent [`analyze_with`] calls, each of
+//! which re-hashes both trials and re-derives their gap/span statistics
+//! from scratch.
+//!
+//! This module scales that computation two ways:
+//!
+//! - **[`TrialIndex`]** — a per-trial precomputation cache (packet-identity
+//!   hash table with per-occurrence position lists, occurrence ranks,
+//!   inter-arrival gaps, first-arrival offset, min/max timestamp span)
+//!   built **once per trial** and shared immutably across every pair that
+//!   trial participates in. The indexed matching/latency/IAT paths are
+//!   bit-identical to the uncached reference implementations — same
+//!   arithmetic on the same operands in the same order.
+//! - **A bounded worker pool** — at most `shards` worker threads, never a
+//!   thread per pair. Workers steal pair indices from a shared atomic
+//!   cursor, so an expensive pair (heavy reordering → long LIS stage)
+//!   doesn't stall the pool behind a static partition.
+//!
+//! Invariants (enforced by unit tests here and the property tests in
+//! `tests/allpairs_properties.rs`):
+//!
+//! 1. `all_pairs_sharded(trials, s)` is bit-identical to
+//!    [`all_pairs_serial`] — the unchanged, uncached serial reference —
+//!    for every shard count `s ≥ 1`.
+//! 2. No more than `shards` workers are ever alive at once
+//!    ([`EngineStats::peak_workers`] observes this).
+//! 3. A [`TrialIndex`] is immutable after construction; pairs only read.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use choir_packet::ident::PacketId;
+
+use super::histogram::DeltaHistogram;
+use super::iat::IatResult;
+use super::kappa::KappaConfig;
+use super::latency::LatencyResult;
+use super::matching::{MatchedPair, Matching};
+use super::ordering::ordering;
+use super::report::{abs_percentiles_ns, analyze_with, trial_label, StageTimings, TrialComparison};
+use super::stats;
+use super::trial::Trial;
+use super::uniqueness::uniqueness;
+
+/// Per-trial precomputation cache: everything a pairwise comparison needs
+/// from one side that does not depend on the other side.
+///
+/// Built once per trial in O(n), then shared immutably (`&TrialIndex`)
+/// across all N−1 pairs the trial participates in, instead of being
+/// rebuilt inside every `Matching::build` / `iat` / `latency` call.
+#[derive(Debug)]
+pub struct TrialIndex<'t> {
+    trial: &'t Trial,
+    /// Identity → positions of its occurrences, in arrival order.
+    by_id: HashMap<PacketId, Vec<u32>>,
+    /// Occurrence rank of each position within its identity (0 for the
+    /// first copy of an identity, 1 for the second, …).
+    occ: Vec<u32>,
+    /// `gap_ps(i)` for every position (0 for the first packet).
+    gaps_ps: Vec<i64>,
+    /// First-arrival offset `t_X0` (0 for an empty trial).
+    start_ps: u64,
+    /// Min/max timestamp span (the IAT/latency denominators).
+    minmax_span_ps: u64,
+}
+
+impl<'t> TrialIndex<'t> {
+    /// Index a trial. O(n) time, O(n) memory.
+    pub fn build(trial: &'t Trial) -> Self {
+        let n = trial.len();
+        assert!(n <= u32::MAX as usize, "trial too large to index");
+        let mut by_id: HashMap<PacketId, Vec<u32>> = HashMap::with_capacity(n);
+        let mut occ = Vec::with_capacity(n);
+        for (i, o) in trial.observations().iter().enumerate() {
+            let positions = by_id.entry(o.id).or_default();
+            occ.push(positions.len() as u32);
+            positions.push(i as u32);
+        }
+        let mut gaps_ps = Vec::with_capacity(n);
+        for i in 0..n {
+            gaps_ps.push(trial.gap_ps(i));
+        }
+        TrialIndex {
+            trial,
+            by_id,
+            occ,
+            gaps_ps,
+            start_ps: trial.start_ps(),
+            minmax_span_ps: trial.minmax_span_ps(),
+        }
+    }
+
+    /// Number of packets in the indexed trial.
+    pub fn len(&self) -> usize {
+        self.occ.len()
+    }
+
+    /// True when the indexed trial holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.occ.is_empty()
+    }
+
+    /// The indexed trial.
+    pub fn trial(&self) -> &'t Trial {
+        self.trial
+    }
+}
+
+/// Occurrence-wise matching from two prebuilt indexes — bit-identical to
+/// [`Matching::build`] on the underlying trials, but with no per-pair
+/// hash-table construction: only B's arrival scan remains, each packet
+/// resolved with one lookup into A's (shared, immutable) identity table.
+pub fn matching_indexed(a: &TrialIndex<'_>, b: &TrialIndex<'_>) -> Matching {
+    let mut pairs = Vec::with_capacity(a.len().min(b.len()));
+    for (j, o) in b.trial.observations().iter().enumerate() {
+        if let Some(positions) = a.by_id.get(&o.id) {
+            // The k-th occurrence in B pairs with the k-th in A, exactly
+            // as the reference's consumed-queue formulation.
+            if let Some(&ai) = positions.get(b.occ[j] as usize) {
+                pairs.push(MatchedPair {
+                    a_idx: ai as usize,
+                    b_idx: j,
+                });
+            }
+        }
+    }
+    Matching {
+        pairs,
+        a_len: a.len(),
+        b_len: b.len(),
+    }
+}
+
+/// [`super::iat::iat_full`] on cached gaps and spans — bit-identical.
+pub fn iat_full_indexed(a: &TrialIndex<'_>, b: &TrialIndex<'_>, m: &Matching) -> IatResult {
+    let mc = m.common();
+    if mc == 0 {
+        return IatResult {
+            i: 0.0,
+            deltas_ns: Vec::new(),
+        };
+    }
+    let mut num: u128 = 0;
+    let mut deltas_ns = Vec::with_capacity(mc);
+    for p in &m.pairs {
+        let d = a.gaps_ps[p.a_idx] - b.gaps_ps[p.b_idx];
+        num += d.unsigned_abs() as u128;
+        deltas_ns.push(d as f64 / 1000.0);
+    }
+    let denom = a.minmax_span_ps as u128 + b.minmax_span_ps as u128;
+    // Degenerate-denominator semantics (see iat.rs): exactly 0.0 for ≤1
+    // common packet or a zero joint span — never NaN.
+    let i = if mc <= 1 || denom == 0 {
+        0.0
+    } else {
+        (num as f64 / denom as f64).min(1.0)
+    };
+    IatResult { i, deltas_ns }
+}
+
+/// [`super::latency::latency_full`] on cached offsets and spans —
+/// bit-identical.
+pub fn latency_full_indexed(
+    a: &TrialIndex<'_>,
+    b: &TrialIndex<'_>,
+    m: &Matching,
+) -> LatencyResult {
+    let mc = m.common();
+    if mc == 0 {
+        return LatencyResult {
+            l: 0.0,
+            deltas_ns: Vec::new(),
+        };
+    }
+    let ta0 = a.start_ps as i128;
+    let tb0 = b.start_ps as i128;
+    let mut num: u128 = 0;
+    let mut deltas_ns = Vec::with_capacity(mc);
+    for p in &m.pairs {
+        let la = a.trial.time(p.a_idx) as i128 - ta0;
+        let lb = b.trial.time(p.b_idx) as i128 - tb0;
+        let d = la - lb;
+        num += d.unsigned_abs();
+        deltas_ns.push(d as f64 / 1000.0);
+    }
+    let reach = (a.minmax_span_ps as i128).max(b.minmax_span_ps as i128);
+    let denom = mc as i128 * reach;
+    let l = if mc <= 1 || denom <= 0 {
+        0.0
+    } else {
+        (num as f64 / denom as f64).min(1.0)
+    };
+    LatencyResult { l, deltas_ns }
+}
+
+/// Analyze one pair from prebuilt indexes, recording per-stage wall-clock
+/// time. Metric output is bit-identical to [`analyze_with`] on the
+/// underlying trials (only the `timings` field differs run to run).
+pub fn analyze_indexed(
+    label: impl Into<String>,
+    a: &TrialIndex<'_>,
+    b: &TrialIndex<'_>,
+    cfg: &KappaConfig,
+) -> TrialComparison {
+    let t0 = Instant::now();
+    let m = matching_indexed(a, b);
+    let t1 = Instant::now();
+    let u = uniqueness(&m);
+    let ord = ordering(&m);
+    let t2 = Instant::now();
+    let lat = latency_full_indexed(a, b, &m);
+    let t3 = Instant::now();
+    let ia = iat_full_indexed(a, b, &m);
+    let t4 = Instant::now();
+    let metrics = cfg.combine(u, ord.o, lat.l, ia.i);
+
+    let iat_hist = DeltaHistogram::of(ia.deltas_ns.iter().copied());
+    let latency_hist = DeltaHistogram::of(lat.deltas_ns.iter().copied());
+    let within = stats::fraction_within(ia.deltas_ns.iter().copied(), 10.0);
+    let iat_abs_percentiles_ns = abs_percentiles_ns(&ia.deltas_ns);
+    let latency_abs_percentiles_ns = abs_percentiles_ns(&lat.deltas_ns);
+    let t5 = Instant::now();
+
+    TrialComparison {
+        label: label.into(),
+        metrics,
+        a_len: m.a_len,
+        b_len: m.b_len,
+        common: m.common(),
+        missing: m.missing_in_b(),
+        extra: m.extra_in_b(),
+        moved: ord.moved(),
+        iat_within_10ns: within,
+        iat_abs_percentiles_ns,
+        latency_abs_percentiles_ns,
+        edit_stats: ord.stats(),
+        iat_hist,
+        latency_hist,
+        timings: StageTimings {
+            match_ns: (t1 - t0).as_nanos() as u64,
+            order_ns: (t2 - t1).as_nanos() as u64,
+            latency_ns: (t3 - t2).as_nanos() as u64,
+            iat_ns: (t4 - t3).as_nanos() as u64,
+            histogram_ns: (t5 - t4).as_nanos() as u64,
+        },
+    }
+}
+
+/// Summary statistics of the off-diagonal κ values — the "how unstable is
+/// this environment run-to-run" number the per-baseline view hides.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatrixSummary {
+    /// Number of trials (N).
+    pub trials: usize,
+    /// Number of off-diagonal pairs (N(N−1)/2).
+    pub pairs: usize,
+    /// Smallest off-diagonal κ.
+    pub kappa_min: f64,
+    /// Median off-diagonal κ.
+    pub kappa_median: f64,
+    /// Largest off-diagonal κ.
+    pub kappa_max: f64,
+}
+
+/// The full upper-triangular κ matrix over N trials.
+///
+/// Cell `(i, j)` with `i < j` holds the complete [`TrialComparison`] of
+/// trial `j` against trial `i`; the diagonal is implicit (κ = 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KappaMatrix {
+    /// Per-trial labels ("A", "B", … "Z", "AA", …).
+    pub labels: Vec<String>,
+    /// Upper-triangular cells in row-major `(i, j), i < j` order.
+    pub cells: Vec<TrialComparison>,
+}
+
+impl KappaMatrix {
+    /// Number of trials.
+    pub fn trials(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of off-diagonal pairs.
+    pub fn pairs(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn offset(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.labels.len());
+        let n = self.labels.len();
+        i * n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// The comparison for `(i, j)` (either order); `None` on the diagonal
+    /// or out of range.
+    pub fn get(&self, i: usize, j: usize) -> Option<&TrialComparison> {
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        if i == j || j >= self.labels.len() {
+            return None;
+        }
+        self.cells.get(self.offset(i, j))
+    }
+
+    /// κ of `(i, j)`; 1.0 on the diagonal.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn kappa(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.labels.len() && j < self.labels.len(), "index out of range");
+        if i == j {
+            1.0
+        } else {
+            self.get(i, j).expect("in-range off-diagonal cell").metrics.kappa
+        }
+    }
+
+    /// The baseline row (everything vs trial 0), relabelled per run — a
+    /// drop-in for the paper's B-vs-A, C-vs-A, … comparisons.
+    pub fn baseline_row(&self) -> Vec<TrialComparison> {
+        (1..self.trials())
+            .map(|j| {
+                let mut c = self.get(0, j).expect("baseline cell").clone();
+                c.label = self.labels[j].clone();
+                c
+            })
+            .collect()
+    }
+
+    /// Min/median/max of the off-diagonal κ values; `None` for fewer than
+    /// two trials.
+    pub fn summary(&self) -> Option<MatrixSummary> {
+        if self.cells.is_empty() {
+            return None;
+        }
+        let mut kappas: Vec<f64> = self.cells.iter().map(|c| c.metrics.kappa).collect();
+        kappas.sort_by(|a, b| a.partial_cmp(b).expect("kappa not NaN"));
+        Some(MatrixSummary {
+            trials: self.trials(),
+            pairs: self.pairs(),
+            kappa_min: kappas[0],
+            kappa_median: stats::percentile_sorted(&kappas, 50.0),
+            kappa_max: *kappas.last().expect("non-empty"),
+        })
+    }
+
+    /// Sum of every cell's per-stage wall-clock timings.
+    pub fn total_timings(&self) -> StageTimings {
+        let mut t = StageTimings::default();
+        for c in &self.cells {
+            t.add(&c.timings);
+        }
+        t
+    }
+}
+
+/// Diagnostics from one sharded run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Worker threads actually used (min of `shards` and the pair count).
+    pub shards_used: usize,
+    /// Peak number of workers observed alive at once (≤ `shards`).
+    pub peak_workers: usize,
+    /// Wall-clock spent building the per-trial indexes, ns.
+    pub index_build_ns: u64,
+    /// Wall-clock of the pair computation (pool start to last join), ns.
+    pub pair_wall_ns: u64,
+}
+
+/// Serial reference: the full matrix via the original uncached
+/// [`analyze_with`] path, one pair at a time. This is the ground truth the
+/// sharded engine must reproduce bit-for-bit.
+pub fn all_pairs_serial(trials: &[Trial]) -> KappaMatrix {
+    all_pairs_serial_with(trials, &KappaConfig::paper())
+}
+
+/// [`all_pairs_serial`] with a custom κ configuration.
+pub fn all_pairs_serial_with(trials: &[Trial], cfg: &KappaConfig) -> KappaMatrix {
+    let labels: Vec<String> = (0..trials.len()).map(trial_label).collect();
+    let mut cells = Vec::with_capacity(pair_count(trials.len()));
+    for i in 0..trials.len() {
+        for j in i + 1..trials.len() {
+            let label = format!("{}-{}", labels[i], labels[j]);
+            cells.push(analyze_with(label, &trials[i], &trials[j], cfg));
+        }
+    }
+    KappaMatrix { labels, cells }
+}
+
+/// Sharded all-pairs analysis with the paper's κ configuration.
+pub fn all_pairs_sharded(trials: &[Trial], shards: usize) -> KappaMatrix {
+    all_pairs_sharded_with(trials, shards, &KappaConfig::paper()).0
+}
+
+/// Sharded all-pairs analysis: build every [`TrialIndex`] once, then let a
+/// bounded pool of at most `shards` workers steal pair indices from a
+/// shared cursor. Bit-identical to [`all_pairs_serial_with`] for any
+/// `shards ≥ 1`.
+pub fn all_pairs_sharded_with(
+    trials: &[Trial],
+    shards: usize,
+    cfg: &KappaConfig,
+) -> (KappaMatrix, EngineStats) {
+    let n = trials.len();
+    let labels: Vec<String> = (0..n).map(trial_label).collect();
+    let pairs: Vec<(u32, u32)> = (0..n as u32)
+        .flat_map(|i| (i + 1..n as u32).map(move |j| (i, j)))
+        .collect();
+
+    let t_index = Instant::now();
+    let indexes: Vec<TrialIndex<'_>> = trials.iter().map(TrialIndex::build).collect();
+    let index_build_ns = t_index.elapsed().as_nanos() as u64;
+
+    let workers = shards.max(1).min(pairs.len().max(1));
+    let analyze_pair = |&(i, j): &(u32, u32)| {
+        let (i, j) = (i as usize, j as usize);
+        let label = format!("{}-{}", labels[i], labels[j]);
+        analyze_indexed(label, &indexes[i], &indexes[j], cfg)
+    };
+
+    let t_pairs = Instant::now();
+    let mut stats = EngineStats {
+        shards_used: workers,
+        peak_workers: usize::from(!pairs.is_empty()),
+        index_build_ns,
+        pair_wall_ns: 0,
+    };
+    let cells: Vec<TrialComparison> = if workers <= 1 {
+        pairs.iter().map(analyze_pair).collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let mut slots: Vec<Option<TrialComparison>> = Vec::new();
+        slots.resize_with(pairs.len(), || None);
+        let slots = Mutex::new(slots);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let alive = live.fetch_add(1, AtomicOrdering::SeqCst) + 1;
+                    peak.fetch_max(alive, AtomicOrdering::SeqCst);
+                    loop {
+                        let k = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                        if k >= pairs.len() {
+                            break;
+                        }
+                        let cell = analyze_pair(&pairs[k]);
+                        slots.lock().expect("cell slots")[k] = Some(cell);
+                    }
+                    live.fetch_sub(1, AtomicOrdering::SeqCst);
+                });
+            }
+        });
+        stats.peak_workers = peak.load(AtomicOrdering::SeqCst);
+        slots
+            .into_inner()
+            .expect("cell slots")
+            .into_iter()
+            .map(|c| c.expect("every pair computed"))
+            .collect()
+    };
+    stats.pair_wall_ns = t_pairs.elapsed().as_nanos() as u64;
+
+    (KappaMatrix { labels, cells }, stats)
+}
+
+/// Number of off-diagonal pairs for `n` trials.
+pub fn pair_count(n: usize) -> usize {
+    n * (n - 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::iat::iat_full;
+    use crate::metrics::latency::latency_full;
+    use crate::metrics::report::analyze;
+
+    fn cbr_trial(n: u64, gap: u64, jitter: impl Fn(u64) -> i64) -> Trial {
+        let mut t = Trial::new();
+        for i in 0..n {
+            let base = (i * gap) as i64;
+            t.push_tagged(0, 0, i, (base + jitter(i)).max(0) as u64);
+        }
+        t
+    }
+
+    fn jittered_set(n_trials: u64, n_packets: u64) -> Vec<Trial> {
+        (0..n_trials)
+            .map(|k| cbr_trial(n_packets, 1000, move |i| ((i % (k + 2)) * 31) as i64))
+            .collect()
+    }
+
+    fn assert_cells_equal(x: &TrialComparison, y: &TrialComparison) {
+        assert_eq!(x.label, y.label);
+        assert_eq!(x.metrics.kappa.to_bits(), y.metrics.kappa.to_bits());
+        assert_eq!(x.metrics.u.to_bits(), y.metrics.u.to_bits());
+        assert_eq!(x.metrics.o.to_bits(), y.metrics.o.to_bits());
+        assert_eq!(x.metrics.l.to_bits(), y.metrics.l.to_bits());
+        assert_eq!(x.metrics.i.to_bits(), y.metrics.i.to_bits());
+        assert_eq!(
+            (x.a_len, x.b_len, x.common, x.missing, x.extra, x.moved),
+            (y.a_len, y.b_len, y.common, y.missing, y.extra, y.moved)
+        );
+        assert_eq!(x.iat_within_10ns.to_bits(), y.iat_within_10ns.to_bits());
+        assert_eq!(x.iat_abs_percentiles_ns, y.iat_abs_percentiles_ns);
+        assert_eq!(x.latency_abs_percentiles_ns, y.latency_abs_percentiles_ns);
+        assert_eq!(x.edit_stats, y.edit_stats);
+        assert_eq!(x.iat_hist.total(), y.iat_hist.total());
+        assert_eq!(x.latency_hist.total(), y.latency_hist.total());
+    }
+
+    #[test]
+    fn indexed_matching_matches_reference() {
+        let mut a = Trial::new();
+        let mut b = Trial::new();
+        // Duplicates, drops, extras, reordering all at once.
+        for (s, t) in [(5u64, 0u64), (5, 100), (6, 200), (7, 300)] {
+            a.push_tagged(0, 0, s, t);
+        }
+        for (s, t) in [(6u64, 0u64), (5, 100), (9, 150), (5, 200)] {
+            b.push_tagged(0, 0, s, t);
+        }
+        let ia = TrialIndex::build(&a);
+        let ib = TrialIndex::build(&b);
+        let m = matching_indexed(&ia, &ib);
+        let reference = Matching::build(&a, &b);
+        assert_eq!(m.pairs, reference.pairs);
+        assert_eq!((m.a_len, m.b_len), (reference.a_len, reference.b_len));
+    }
+
+    #[test]
+    fn indexed_metrics_bit_identical_to_uncached() {
+        let trials = jittered_set(4, 300);
+        for i in 0..trials.len() {
+            for j in 0..trials.len() {
+                let (a, b) = (&trials[i], &trials[j]);
+                let (ia, ib) = (TrialIndex::build(a), TrialIndex::build(b));
+                let m = Matching::build(a, b);
+                let mi = matching_indexed(&ia, &ib);
+                assert_eq!(m.pairs, mi.pairs);
+                let lat = latency_full(a, b, &m);
+                let lat_i = latency_full_indexed(&ia, &ib, &mi);
+                assert_eq!(lat.l.to_bits(), lat_i.l.to_bits());
+                assert_eq!(lat.deltas_ns, lat_i.deltas_ns);
+                let ir = iat_full(a, b, &m);
+                let ir_i = iat_full_indexed(&ia, &ib, &mi);
+                assert_eq!(ir.i.to_bits(), ir_i.i.to_bits());
+                assert_eq!(ir.deltas_ns, ir_i.deltas_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matrix_bit_identical_to_serial_reference() {
+        let trials = jittered_set(5, 400);
+        let serial = all_pairs_serial(&trials);
+        for shards in [1usize, 2, 8] {
+            let (sharded, stats) =
+                all_pairs_sharded_with(&trials, shards, &KappaConfig::paper());
+            assert_eq!(sharded.labels, serial.labels);
+            assert_eq!(sharded.cells.len(), serial.cells.len());
+            for (x, y) in sharded.cells.iter().zip(&serial.cells) {
+                assert_cells_equal(x, y);
+            }
+            assert!(stats.peak_workers <= shards, "pool exceeded shard bound");
+        }
+    }
+
+    #[test]
+    fn bounded_pool_never_exceeds_shards() {
+        let trials = jittered_set(6, 50); // 15 pairs
+        for shards in [1usize, 2, 3, 4] {
+            let (_, stats) = all_pairs_sharded_with(&trials, shards, &KappaConfig::paper());
+            assert!(
+                stats.peak_workers <= shards,
+                "shards {shards}: peak {}",
+                stats.peak_workers
+            );
+            assert_eq!(stats.shards_used, shards.min(15));
+        }
+    }
+
+    #[test]
+    fn matrix_indexing_and_summary() {
+        let trials = jittered_set(4, 200);
+        let m = all_pairs_sharded(&trials, 2);
+        assert_eq!(m.trials(), 4);
+        assert_eq!(m.pairs(), 6);
+        assert_eq!(m.labels, ["A", "B", "C", "D"]);
+        // Symmetric accessor, implicit diagonal.
+        assert_eq!(m.kappa(0, 0), 1.0);
+        assert_eq!(m.kappa(1, 3).to_bits(), m.kappa(3, 1).to_bits());
+        assert!(m.get(2, 2).is_none());
+        // Every off-diagonal cell is reachable and labelled i-j.
+        assert_eq!(m.get(0, 1).unwrap().label, "A-B");
+        assert_eq!(m.get(2, 3).unwrap().label, "C-D");
+        let s = m.summary().unwrap();
+        assert_eq!((s.trials, s.pairs), (4, 6));
+        assert!(s.kappa_min <= s.kappa_median && s.kappa_median <= s.kappa_max);
+        let all: Vec<f64> = m.cells.iter().map(|c| c.metrics.kappa).collect();
+        assert_eq!(s.kappa_min, all.iter().copied().fold(f64::INFINITY, f64::min));
+        assert_eq!(s.kappa_max, all.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn baseline_row_matches_legacy_analysis() {
+        let trials = jittered_set(4, 300);
+        let m = all_pairs_sharded(&trials, 3);
+        let row = m.baseline_row();
+        assert_eq!(row.len(), 3);
+        for (j, c) in row.iter().enumerate() {
+            let legacy = analyze(c.label.clone(), &trials[0], &trials[j + 1]);
+            assert_cells_equal(c, &legacy);
+        }
+        assert_eq!(row[0].label, "B");
+        assert_eq!(row[2].label, "D");
+    }
+
+    #[test]
+    fn degenerate_matrices() {
+        // Zero or one trial: no pairs, no summary, no panic.
+        let none = all_pairs_sharded(&[], 4);
+        assert_eq!(none.pairs(), 0);
+        assert!(none.summary().is_none());
+        let one = all_pairs_sharded(&[Trial::new()], 4);
+        assert_eq!(one.pairs(), 0);
+        assert!(one.summary().is_none());
+        // Empty trials still compare (κ = 1: two empty captures agree).
+        let two = all_pairs_sharded(&[Trial::new(), Trial::new()], 4);
+        assert_eq!(two.pairs(), 1);
+        assert_eq!(two.kappa(0, 1), 1.0);
+    }
+
+    #[test]
+    fn stage_timings_populated_and_summable() {
+        let trials = jittered_set(3, 2_000);
+        let m = all_pairs_sharded(&trials, 2);
+        let t = m.total_timings();
+        // Wall-clock is noisy, but the match stage walks 2000 packets per
+        // pair — it cannot be literally zero across all three pairs.
+        assert!(t.match_ns > 0, "{t:?}");
+        assert_eq!(
+            t.total_ns(),
+            t.match_ns + t.order_ns + t.latency_ns + t.iat_ns + t.histogram_ns
+        );
+    }
+
+    #[test]
+    fn matrix_serializes() {
+        let trials = jittered_set(3, 50);
+        let m = all_pairs_sharded(&trials, 2);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: KappaMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.labels, m.labels);
+        assert_eq!(back.pairs(), m.pairs());
+        assert_eq!(
+            back.kappa(0, 2).to_bits(),
+            m.kappa(0, 2).to_bits()
+        );
+    }
+}

@@ -51,8 +51,15 @@ pub fn iat_full(a: &Trial, b: &Trial, m: &Matching) -> IatResult {
     }
     // Min/max spans keep the bound valid when hardware stamp noise
     // inverts a few arrivals; the clamp covers residual pathology.
+    //
+    // Degenerate cases are pinned to exactly 0.0 rather than left to the
+    // clamp: with ≤1 common packet there is no *pair* of common arrivals
+    // to take an inter-arrival time between (the lone gap is measured
+    // against a non-common predecessor, or is the g_X0 = 0 base case),
+    // and a zero joint span would divide by zero. Both say "nothing
+    // measurable deviated", and 0.0 — never NaN — is what flows into κ.
     let denom = a.minmax_span_ps() as u128 + b.minmax_span_ps() as u128;
-    let i = if denom == 0 {
+    let i = if mc <= 1 || denom == 0 {
         0.0
     } else {
         (num as f64 / denom as f64).min(1.0)
@@ -181,6 +188,24 @@ mod tests {
         a.push_tagged(0, 0, 1, 5);
         let r = iat_of(&a, &a.clone());
         assert_eq!(r.i, 0.0);
+        assert!(!r.i.is_nan());
+    }
+
+    #[test]
+    fn single_common_packet_is_exactly_zero() {
+        // One common packet carries no inter-arrival information (its
+        // only gap is the base case g_X0 = 0): I is defined as exactly
+        // 0.0 even when the trials have non-zero spans.
+        let mut a = Trial::new();
+        a.push_tagged(0, 0, 0, 0);
+        a.push_tagged(7, 0, 0, 1_000_000);
+        let mut b = Trial::new();
+        b.push_tagged(8, 0, 0, 0);
+        b.push_tagged(0, 0, 0, 500_000);
+        let r = iat_of(&a, &b);
+        assert_eq!(r.deltas_ns.len(), 1);
+        assert_eq!(r.i, 0.0);
+        assert!(!r.i.is_nan());
     }
 
     #[test]

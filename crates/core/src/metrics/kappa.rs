@@ -39,9 +39,12 @@ impl ConsistencyMetrics {
     }
 
     /// Mean of several comparisons, component-wise — how Table 2 reports
-    /// each environment.
-    pub fn mean_of(runs: &[ConsistencyMetrics]) -> ConsistencyMetrics {
-        assert!(!runs.is_empty(), "mean of no runs");
+    /// each environment. Returns `None` for an empty run set (e.g. a
+    /// chaos sweep where every replay failed) instead of panicking.
+    pub fn mean_of(runs: &[ConsistencyMetrics]) -> Option<ConsistencyMetrics> {
+        if runs.is_empty() {
+            return None;
+        }
         let n = runs.len() as f64;
         let mut u = 0.0;
         let mut o = 0.0;
@@ -55,13 +58,13 @@ impl ConsistencyMetrics {
             i += r.i;
             k += r.kappa;
         }
-        ConsistencyMetrics {
+        Some(ConsistencyMetrics {
             u: u / n,
             o: o / n,
             l: l / n,
             i: i / n,
             kappa: k / n,
-        }
+        })
     }
 }
 
@@ -264,15 +267,15 @@ mod tests {
             kappa_from_components(0.0, 0.0, 0.0, 0.2),
             kappa_from_components(0.0, 0.0, 0.0, 0.4),
         ];
-        let mean = ConsistencyMetrics::mean_of(&runs);
+        let mean = ConsistencyMetrics::mean_of(&runs).unwrap();
         assert!((mean.i - 0.3).abs() < 1e-12);
         assert!((mean.kappa - (runs[0].kappa + runs[1].kappa) / 2.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "mean of no runs")]
-    fn mean_of_empty_panics() {
-        ConsistencyMetrics::mean_of(&[]);
+    fn mean_of_empty_is_none() {
+        // Regression: this used to `assert!` and abort the caller.
+        assert!(ConsistencyMetrics::mean_of(&[]).is_none());
     }
 
     #[test]

@@ -66,9 +66,15 @@ pub fn latency_full(a: &Trial, b: &Trial, m: &Matching) -> LatencyResult {
     // [0, span_X]). Spans use the min/max extent so mildly inverted
     // hardware stamps keep the bound tight; the final clamp covers the
     // residual pathological case.
+    // Degenerate cases are pinned to exactly 0.0: with a single common
+    // packet the normalizer's worst-case construction (Fig. 2) needs at
+    // least two packets to move relative to each other, so no meaningful
+    // ratio exists; a non-positive reach would divide by zero. Both
+    // resolve to "no measurable latency variation" — 0.0, never NaN,
+    // flows into κ. The per-packet deltas are still reported.
     let reach = (a.minmax_span_ps() as i128).max(b.minmax_span_ps() as i128);
     let denom = mc as i128 * reach;
-    let l = if denom <= 0 {
+    let l = if mc <= 1 || denom <= 0 {
         0.0
     } else {
         (num as f64 / denom as f64).min(1.0)
@@ -181,8 +187,9 @@ mod tests {
 
     #[test]
     fn single_common_packet_zero() {
-        // One common packet: l is 0 for it in both trials only if it's
-        // first; in general the metric is still well-defined.
+        // One common packet: the Fig. 2 worst-case normalizer is
+        // meaningless for an overlap of one, so L is defined as exactly
+        // 0.0 — but the per-packet delta series is still reported.
         let mut a = Trial::new();
         a.push_tagged(0, 0, 1, 0);
         a.push_tagged(0, 0, 2, 500);
@@ -191,7 +198,8 @@ mod tests {
         let r = latency_of(&a, &b);
         // Common packet: a_idx 1 (l_A = 500), b_idx 0 (l_B = 0).
         assert_eq!(r.deltas_ns, vec![0.5]);
-        assert!(r.l > 0.0);
+        assert_eq!(r.l, 0.0);
+        assert!(!r.l.is_nan());
     }
 
     #[test]
@@ -201,5 +209,19 @@ mod tests {
         a.push_tagged(0, 0, 0, 0);
         let r = latency_of(&a, &a.clone());
         assert_eq!(r.l, 0.0);
+    }
+
+    #[test]
+    fn zero_span_many_common_packets_is_exactly_zero() {
+        // Several common packets, all coincident: mc > 1 but reach = 0.
+        // L must be exactly 0.0, never NaN from 0/0.
+        let mut a = Trial::new();
+        for i in 0..5u64 {
+            a.push_tagged(0, 0, i, 7_000);
+        }
+        let r = latency_of(&a, &a.clone());
+        assert_eq!(r.l, 0.0);
+        assert!(!r.l.is_nan());
+        assert_eq!(r.deltas_ns.len(), 5);
     }
 }

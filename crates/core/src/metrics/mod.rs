@@ -16,6 +16,7 @@
 //! are symmetric: `M(A,B) = M(B,A)`, a property the test suite checks both
 //! with exact cases and property tests.
 
+pub mod allpairs;
 pub mod gapreplay;
 pub mod histogram;
 pub mod iat;
@@ -30,12 +31,16 @@ pub mod trial;
 pub mod uniqueness;
 pub mod windowed;
 
+pub use allpairs::{
+    all_pairs_serial, all_pairs_serial_with, all_pairs_sharded, all_pairs_sharded_with,
+    EngineStats, KappaMatrix, MatrixSummary, TrialIndex,
+};
 pub use gapreplay::{gapreplay_metrics, GapReplayMetrics};
 pub use histogram::DeltaHistogram;
 pub use kappa::{kappa_from_components, ConsistencyMetrics, KappaConfig, Scaling};
 pub use matching::Matching;
 pub use ordering::EditScriptStats;
-pub use report::{RunReport, TrialComparison};
+pub use report::{trial_label, ReportError, RunReport, StageTimings, TrialComparison};
 pub use trial::{Observation, Trial};
 pub use windowed::{windowed_kappa, worst_window, WindowScore};
 

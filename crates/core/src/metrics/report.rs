@@ -2,8 +2,11 @@
 //! run-vs-baseline comparison, computed in a single pass over the
 //! matching, plus the multi-run aggregation used by Table 2.
 
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
+use super::allpairs::MatrixSummary;
 use super::histogram::DeltaHistogram;
 use super::iat::iat_full;
 use super::kappa::{ConsistencyMetrics, KappaConfig};
@@ -12,6 +15,41 @@ use super::matching::Matching;
 use super::ordering::{ordering, EditScriptStats};
 use super::trial::Trial;
 use super::uniqueness::uniqueness;
+
+/// Wall-clock nanoseconds spent in each analysis stage of one comparison.
+///
+/// Populated by [`analyze`]/[`analyze_with`] and the all-pairs engine
+/// ([`super::allpairs`]); defaults to all-zero when deserializing reports
+/// produced before timings existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Occurrence-wise packet matching.
+    pub match_ns: u64,
+    /// Uniqueness + ordering (LIS / edit script).
+    pub order_ns: u64,
+    /// Latency deltas and `L`.
+    pub latency_ns: u64,
+    /// Inter-arrival deltas and `I`.
+    pub iat_ns: u64,
+    /// Histograms, percentiles, and κ assembly.
+    pub histogram_ns: u64,
+}
+
+impl StageTimings {
+    /// Accumulate another comparison's timings into this one.
+    pub fn add(&mut self, other: &StageTimings) {
+        self.match_ns += other.match_ns;
+        self.order_ns += other.order_ns;
+        self.latency_ns += other.latency_ns;
+        self.iat_ns += other.iat_ns;
+        self.histogram_ns += other.histogram_ns;
+    }
+
+    /// Total wall-clock across all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.match_ns + self.order_ns + self.latency_ns + self.iat_ns + self.histogram_ns
+    }
+}
 
 /// The complete analysis of one run against the baseline run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -45,6 +83,42 @@ pub struct TrialComparison {
     pub iat_hist: DeltaHistogram,
     /// Figure-style latency delta histogram.
     pub latency_hist: DeltaHistogram,
+    /// Per-stage wall-clock timing of this comparison (all-zero when read
+    /// from a report written before timings existed).
+    #[serde(default)]
+    pub timings: StageTimings,
+}
+
+/// Sorted-absolute (p50, p90, p99) of a delta series, in nanoseconds.
+pub(crate) fn abs_percentiles_ns(deltas: &[f64]) -> (f64, f64, f64) {
+    if deltas.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut abs: Vec<f64> = deltas.iter().map(|d| d.abs()).collect();
+    abs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN deltas"));
+    (
+        super::stats::percentile_sorted(&abs, 50.0),
+        super::stats::percentile_sorted(&abs, 90.0),
+        super::stats::percentile_sorted(&abs, 99.0),
+    )
+}
+
+/// Positional trial label in spreadsheet style: 0 → "A", 25 → "Z",
+/// 26 → "AA", 27 → "AB", … — unbounded, unlike the fixed table it
+/// replaces (which fell back to a duplicate `"?"` past its last entry).
+pub fn trial_label(i: usize) -> String {
+    let mut bytes = Vec::new();
+    let mut i = i;
+    loop {
+        bytes.push(b'A' + (i % 26) as u8);
+        i /= 26;
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+    }
+    bytes.reverse();
+    String::from_utf8(bytes).expect("ASCII label")
 }
 
 /// Analyze run `b` against baseline `a` with the paper's κ formula.
@@ -59,31 +133,25 @@ pub fn analyze_with(
     b: &Trial,
     cfg: &KappaConfig,
 ) -> TrialComparison {
+    let t0 = Instant::now();
     let m = Matching::build(a, b);
+    let t1 = Instant::now();
     let u = uniqueness(&m);
     let ord = ordering(&m);
+    let t2 = Instant::now();
     let lat = latency_full(a, b, &m);
+    let t3 = Instant::now();
     let ia = iat_full(a, b, &m);
+    let t4 = Instant::now();
     let metrics = cfg.combine(u, ord.o, lat.l, ia.i);
 
     let iat_hist = DeltaHistogram::of(ia.deltas_ns.iter().copied());
     let latency_hist = DeltaHistogram::of(lat.deltas_ns.iter().copied());
     let within = super::stats::fraction_within(ia.deltas_ns.iter().copied(), 10.0);
 
-    let percentiles = |deltas: &[f64]| -> (f64, f64, f64) {
-        if deltas.is_empty() {
-            return (0.0, 0.0, 0.0);
-        }
-        let mut abs: Vec<f64> = deltas.iter().map(|d| d.abs()).collect();
-        abs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN deltas"));
-        (
-            super::stats::percentile_sorted(&abs, 50.0),
-            super::stats::percentile_sorted(&abs, 90.0),
-            super::stats::percentile_sorted(&abs, 99.0),
-        )
-    };
-    let iat_abs_percentiles_ns = percentiles(&ia.deltas_ns);
-    let latency_abs_percentiles_ns = percentiles(&lat.deltas_ns);
+    let iat_abs_percentiles_ns = abs_percentiles_ns(&ia.deltas_ns);
+    let latency_abs_percentiles_ns = abs_percentiles_ns(&lat.deltas_ns);
+    let t5 = Instant::now();
 
     TrialComparison {
         label: label.into(),
@@ -100,21 +168,33 @@ pub fn analyze_with(
         edit_stats: ord.stats(),
         iat_hist,
         latency_hist,
+        timings: StageTimings {
+            match_ns: (t1 - t0).as_nanos() as u64,
+            order_ns: (t2 - t1).as_nanos() as u64,
+            latency_ns: (t3 - t2).as_nanos() as u64,
+            iat_ns: (t4 - t3).as_nanos() as u64,
+            histogram_ns: (t5 - t4).as_nanos() as u64,
+        },
     }
 }
 
 /// Analyze several runs against one baseline concurrently (each run's
 /// matching/LIS/histograms are independent). Results keep input order;
-/// labels "B", "C", … are assigned positionally, as the paper names its
-/// runs.
+/// labels "B", "C", … "Z", "AA", "AB", … are assigned positionally, as the
+/// paper names its runs — unbounded, so long sweeps never collide on a
+/// fallback label.
+///
+/// Spawns one thread per run. For the all-pairs matrix (and any sweep
+/// large enough that thread-per-comparison hurts), prefer the bounded
+/// engine in [`super::allpairs`].
 pub fn analyze_runs_parallel(baseline: &Trial, runs: &[Trial]) -> Vec<TrialComparison> {
-    const LABELS: [&str; 12] = ["B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M"];
     std::thread::scope(|s| {
         let handles: Vec<_> = runs
             .iter()
             .enumerate()
             .map(|(i, t)| {
-                let label = LABELS.get(i).copied().unwrap_or("?");
+                // Baseline is "A"; runs start at "B".
+                let label = trial_label(i + 1);
                 s.spawn(move || analyze(label, baseline, t))
             })
             .collect();
@@ -124,6 +204,28 @@ pub fn analyze_runs_parallel(baseline: &Trial, runs: &[Trial]) -> Vec<TrialCompa
             .collect()
     })
 }
+
+/// Structured failure modes of report assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportError {
+    /// No per-run comparisons to aggregate — e.g. a chaos sweep at a fault
+    /// rate high enough that every replay failed. Previously this tripped
+    /// an `assert!` deep in `ConsistencyMetrics::mean_of` and aborted the
+    /// whole report.
+    EmptyRunSet,
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::EmptyRunSet => {
+                write!(f, "no runs to aggregate (every run failed or was filtered)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
 
 /// All runs of one environment compared against run A — one evaluation
 /// "row" of the paper.
@@ -144,30 +246,46 @@ pub struct RunReport {
     /// κ value is always read next to how degraded the run that
     /// produced it was.
     pub degradation: crate::replay::DegradationReport,
+    /// Off-diagonal κ summary when the full all-pairs matrix was computed
+    /// (`None` for baseline-only reports and reports written before the
+    /// matrix engine existed).
+    #[serde(default)]
+    pub matrix: Option<MatrixSummary>,
 }
 
 impl RunReport {
     /// Assemble a report from per-run comparisons.
     ///
-    /// # Panics
-    /// Panics if `runs` is empty.
-    pub fn new(environment: impl Into<String>, runs: Vec<TrialComparison>) -> Self {
+    /// Returns [`ReportError::EmptyRunSet`] when there is nothing to
+    /// aggregate, instead of panicking inside the mean computation.
+    pub fn new(
+        environment: impl Into<String>,
+        runs: Vec<TrialComparison>,
+    ) -> Result<Self, ReportError> {
         let mean =
-            ConsistencyMetrics::mean_of(&runs.iter().map(|r| r.metrics).collect::<Vec<_>>());
+            ConsistencyMetrics::mean_of(&runs.iter().map(|r| r.metrics).collect::<Vec<_>>())
+                .ok_or(ReportError::EmptyRunSet)?;
         let kappa_stddev =
             super::stats::Summary::of(runs.iter().map(|r| r.metrics.kappa)).stddev;
-        RunReport {
+        Ok(RunReport {
             environment: environment.into(),
             runs,
             mean,
             kappa_stddev,
             degradation: crate::replay::DegradationReport::default(),
-        }
+            matrix: None,
+        })
     }
 
     /// Attach the experiment's aggregated degradation counters.
     pub fn with_degradation(mut self, degradation: crate::replay::DegradationReport) -> Self {
         self.degradation = degradation;
+        self
+    }
+
+    /// Attach the all-pairs κ-matrix summary.
+    pub fn with_matrix(mut self, matrix: MatrixSummary) -> Self {
+        self.matrix = Some(matrix);
         self
     }
 
@@ -245,7 +363,7 @@ mod tests {
         let rb = analyze("B", &a, &b);
         let rc = analyze("C", &a, &c);
         let expect_i = (rb.metrics.i + rc.metrics.i) / 2.0;
-        let report = RunReport::new("test-env", vec![rb, rc]);
+        let report = RunReport::new("test-env", vec![rb, rc]).unwrap();
         assert!((report.mean.i - expect_i).abs() < 1e-15);
         assert!(report.kappa_stddev >= 0.0);
         assert_eq!(report.runs.len(), 2);
@@ -256,11 +374,68 @@ mod tests {
     #[test]
     fn report_serializes() {
         let a = cbr_trial(10, 1000, |_| 0);
-        let r = RunReport::new("env", vec![analyze("B", &a, &a.clone())]);
+        let r = RunReport::new("env", vec![analyze("B", &a, &a.clone())]).unwrap();
         let json = serde_json::to_string(&r).unwrap();
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.environment, "env");
         assert_eq!(back.runs[0].metrics.kappa, 1.0);
+        assert_eq!(back.matrix, None);
+    }
+
+    #[test]
+    fn empty_run_set_is_a_structured_error() {
+        // Regression: used to trip `assert!(!runs.is_empty())` deep inside
+        // the mean computation and abort the caller.
+        let err = RunReport::new("env", Vec::new()).unwrap_err();
+        assert_eq!(err, ReportError::EmptyRunSet);
+        assert!(err.to_string().contains("no runs"));
+    }
+
+    #[test]
+    fn trial_labels_are_unbounded_and_unique() {
+        assert_eq!(trial_label(0), "A");
+        assert_eq!(trial_label(1), "B");
+        assert_eq!(trial_label(25), "Z");
+        assert_eq!(trial_label(26), "AA");
+        assert_eq!(trial_label(27), "AB");
+        assert_eq!(trial_label(51), "AZ");
+        assert_eq!(trial_label(52), "BA");
+        assert_eq!(trial_label(702), "AAA");
+        let labels: Vec<String> = (0..1000).map(trial_label).collect();
+        let unique: std::collections::HashSet<&String> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len(), "labels must never collide");
+    }
+
+    #[test]
+    fn thirty_run_sweep_has_no_duplicate_labels() {
+        // Regression: runs past the fixed label table used to all get "?".
+        let a = cbr_trial(20, 1000, |_| 0);
+        let runs: Vec<Trial> = (0..30u64)
+            .map(|k| cbr_trial(20, 1000, move |i| ((i + k) % 3) as i64))
+            .collect();
+        let par = analyze_runs_parallel(&a, &runs);
+        assert_eq!(par.len(), 30);
+        assert_eq!(par[0].label, "B");
+        assert_eq!(par[24].label, "Z");
+        assert_eq!(par[25].label, "AA");
+        assert_eq!(par[29].label, "AE");
+        let unique: std::collections::HashSet<&str> =
+            par.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(unique.len(), 30);
+        assert!(!par.iter().any(|c| c.label == "?"));
+    }
+
+    #[test]
+    fn timings_default_for_old_reports() {
+        // Reports serialized before stage timing existed must still load.
+        let a = cbr_trial(10, 1000, |_| 0);
+        let c = analyze("B", &a, &a.clone());
+        let json = serde_json::to_string(&c).unwrap();
+        let idx = json.rfind(",\"timings\":").expect("timings serialized last");
+        let old = format!("{}}}", &json[..idx]);
+        let back: TrialComparison = serde_json::from_str(&old).unwrap();
+        assert_eq!(back.timings, StageTimings::default());
+        assert_eq!(back.metrics.kappa, 1.0);
     }
 
     #[test]

@@ -15,12 +15,16 @@
 //!    (PTP resync; recorder timestamp-servo slope) — the minutes that
 //!    separate real runs, compressed.
 //! 3. **Compare.** The recorder's per-run captures become [`Trial`]s
-//!    (re-zeroed to their own first arrival, as Eqs. 3–4 require); runs
-//!    B… are analyzed against run A exactly as the paper does.
+//!    (re-zeroed to their own first arrival, as Eqs. 3–4 require). The
+//!    sharded all-pairs engine computes the full κ matrix; its baseline
+//!    row (everything vs run A) is what the paper's tables report, and
+//!    the off-diagonal summary quantifies the run-to-run spread §7's run
+//!    lists exhibit.
 
 use choir_capture::{Recorder, RecorderConfig};
-use choir_core::metrics::report::{analyze_runs_parallel, RunReport, TrialComparison};
-use choir_core::metrics::Trial;
+use choir_core::metrics::allpairs::{all_pairs_sharded_with, KappaMatrix};
+use choir_core::metrics::report::{RunReport, TrialComparison};
+use choir_core::metrics::{KappaConfig, Trial};
 use choir_core::replay::middlebox::{ChoirMiddlebox, MiddleboxConfig};
 use choir_dpdk::ControlMsg;
 use choir_netsim::clock::{NodeClock, PtpModel};
@@ -67,6 +71,9 @@ pub struct ExperimentOutput {
     /// Per-run comparisons against run A, plus the environment mean
     /// (a Table 2 row).
     pub report: RunReport,
+    /// The full all-pairs κ matrix over every run (the report's `runs`
+    /// are its baseline row).
+    pub matrix: KappaMatrix,
     /// The raw re-zeroed trials (run A first).
     pub trials: Vec<Trial>,
     /// Packets held in the middlebox recording(s).
@@ -270,10 +277,15 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutput {
         trials.len()
     );
 
-    // Each run's analysis (matching, LIS, histograms) is independent —
-    // fan them out across threads; at the paper's full scale this is the
-    // post-processing hot spot.
-    let comparisons: Vec<TrialComparison> = analyze_runs_parallel(&trials[0], &trials[1..]);
+    // Post-processing hot spot at full scale: the all-pairs κ matrix via
+    // the sharded engine — per-trial indexes built once, at most one
+    // worker per available core (never a thread per pair).
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (matrix, _engine) = all_pairs_sharded_with(&trials, shards, &KappaConfig::paper());
+    // The paper's tables are the baseline row (runs B, C, … vs run A).
+    let comparisons: Vec<TrialComparison> = matrix.baseline_row();
 
     // Every middlebox's graceful-degradation counters ride along with
     // the consistency numbers: a κ is only interpretable next to how
@@ -283,10 +295,16 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutput {
         let d = sim.with_app::<ChoirMiddlebox, _>(mb, |m| m.degradation_report());
         degradation.absorb(&d);
     }
-    let report = RunReport::new(label, comparisons).with_degradation(degradation);
+    let mut report = RunReport::new(label, comparisons)
+        .expect("at least two trials asserted above")
+        .with_degradation(degradation);
+    if let Some(summary) = matrix.summary() {
+        report = report.with_matrix(summary);
+    }
 
     ExperimentOutput {
         report,
+        matrix,
         trials,
         recorded_packets,
         events: sim.events_processed(),
@@ -328,6 +346,31 @@ mod tests {
             "a clean local run must report zero degradation: {:?}",
             out.report.degradation
         );
+    }
+
+    #[test]
+    fn matrix_covers_all_pairs_and_matches_report() {
+        let out = quick(EnvKind::LocalSingle, 0.001, 17);
+        assert_eq!(out.matrix.trials(), out.trials.len());
+        assert_eq!(out.matrix.pairs(), 3); // 3 trials -> 3 pairs
+        // The report's runs are exactly the matrix's baseline row.
+        assert_eq!(out.report.runs.len(), out.trials.len() - 1);
+        for (j, run) in out.report.runs.iter().enumerate() {
+            let cell = out.matrix.get(0, j + 1).unwrap();
+            assert_eq!(run.metrics, cell.metrics);
+            assert_eq!(run.common, cell.common);
+        }
+        // The off-diagonal summary rides along in the serialized report.
+        let summary = out.report.matrix.expect("matrix summary attached");
+        assert_eq!(summary.trials, out.trials.len());
+        assert_eq!(summary.pairs, 3);
+        assert!(summary.kappa_min <= summary.kappa_median);
+        assert!(summary.kappa_median <= summary.kappa_max);
+        // Legacy labels are preserved on the baseline row.
+        assert_eq!(out.report.runs[0].label, "B");
+        assert_eq!(out.report.runs[1].label, "C");
+        // Stage timings were recorded for real work.
+        assert!(out.matrix.total_timings().total_ns() > 0);
     }
 
     #[test]

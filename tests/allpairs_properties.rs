@@ -1,0 +1,143 @@
+//! Property-based tests of the sharded all-pairs consistency engine:
+//! the sharded matrix must be bit-identical to the serial reference at
+//! every shard count, and the `TrialIndex`-cached metric paths must
+//! reproduce the uncached ones exactly, over randomized trials.
+
+use choir::metrics::allpairs::{
+    all_pairs_serial, all_pairs_sharded, iat_full_indexed, latency_full_indexed, matching_indexed,
+    TrialIndex,
+};
+use choir::metrics::iat::iat_full;
+use choir::metrics::latency::latency_full;
+use choir::metrics::matching::Matching;
+use choir::metrics::report::TrialComparison;
+use choir::metrics::{compare, Trial};
+use proptest::prelude::*;
+
+/// A random trial: a subset of sequence numbers 0..n (possibly shuffled,
+/// possibly with duplicates) with non-decreasing timestamps.
+fn arb_trial(max_len: usize) -> impl Strategy<Value = Trial> {
+    (
+        proptest::collection::vec(0u64..64, 0..max_len),
+        proptest::collection::vec(0u64..5_000, 0..max_len),
+    )
+        .prop_map(|(seqs, mut gaps)| {
+            gaps.resize(seqs.len(), 100);
+            let mut t = Trial::new();
+            let mut now = 0u64;
+            for (s, g) in seqs.iter().zip(gaps) {
+                now += g;
+                t.push_tagged(0, 0, *s, now);
+            }
+            t
+        })
+}
+
+/// A random *set* of trials for matrix-level properties.
+fn arb_trials(max_trials: usize, max_len: usize) -> impl Strategy<Value = Vec<Trial>> {
+    proptest::collection::vec(arb_trial(max_len), 2..max_trials)
+}
+
+/// Bit-level equality of everything the engine computes, excluding the
+/// wall-clock timings (which legitimately differ between runs).
+fn cells_bit_identical(x: &TrialComparison, y: &TrialComparison) -> bool {
+    x.label == y.label
+        && x.metrics.u.to_bits() == y.metrics.u.to_bits()
+        && x.metrics.o.to_bits() == y.metrics.o.to_bits()
+        && x.metrics.l.to_bits() == y.metrics.l.to_bits()
+        && x.metrics.i.to_bits() == y.metrics.i.to_bits()
+        && x.metrics.kappa.to_bits() == y.metrics.kappa.to_bits()
+        && (x.a_len, x.b_len, x.common, x.missing, x.extra, x.moved)
+            == (y.a_len, y.b_len, y.common, y.missing, y.extra, y.moved)
+        && x.iat_within_10ns.to_bits() == y.iat_within_10ns.to_bits()
+        && x.iat_abs_percentiles_ns == y.iat_abs_percentiles_ns
+        && x.latency_abs_percentiles_ns == y.latency_abs_percentiles_ns
+        && x.edit_stats == y.edit_stats
+        && x.iat_hist.total() == y.iat_hist.total()
+        && x.latency_hist.total() == y.latency_hist.total()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sharded_matrix_is_bit_identical_to_serial(
+        trials in arb_trials(7, 30),
+    ) {
+        let reference = all_pairs_serial(&trials);
+        for &shards in &[1usize, 2, 8] {
+            let m = all_pairs_sharded(&trials, shards);
+            prop_assert_eq!(&m.labels, &reference.labels);
+            prop_assert_eq!(m.cells.len(), reference.cells.len());
+            for (x, y) in m.cells.iter().zip(&reference.cells) {
+                prop_assert!(
+                    cells_bit_identical(x, y),
+                    "shards={} cell {:?} != serial {:?}",
+                    shards,
+                    x.label,
+                    y.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_matching_equals_reference(a in arb_trial(40), b in arb_trial(40)) {
+        let ia = TrialIndex::build(&a);
+        let ib = TrialIndex::build(&b);
+        let reference = Matching::build(&a, &b);
+        let indexed = matching_indexed(&ia, &ib);
+        prop_assert_eq!(indexed.a_len, reference.a_len);
+        prop_assert_eq!(indexed.b_len, reference.b_len);
+        prop_assert_eq!(indexed.pairs, reference.pairs);
+    }
+
+    #[test]
+    fn indexed_metrics_equal_uncached(a in arb_trial(40), b in arb_trial(40)) {
+        let ia = TrialIndex::build(&a);
+        let ib = TrialIndex::build(&b);
+        let m = Matching::build(&a, &b);
+
+        let iat_ref = iat_full(&a, &b, &m);
+        let iat_idx = iat_full_indexed(&ia, &ib, &m);
+        prop_assert_eq!(iat_idx.i.to_bits(), iat_ref.i.to_bits());
+        prop_assert_eq!(iat_idx.deltas_ns.len(), iat_ref.deltas_ns.len());
+        for (x, y) in iat_idx.deltas_ns.iter().zip(&iat_ref.deltas_ns) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        let lat_ref = latency_full(&a, &b, &m);
+        let lat_idx = latency_full_indexed(&ia, &ib, &m);
+        prop_assert_eq!(lat_idx.l.to_bits(), lat_ref.l.to_bits());
+        prop_assert_eq!(lat_idx.deltas_ns.len(), lat_ref.deltas_ns.len());
+        for (x, y) in lat_idx.deltas_ns.iter().zip(&lat_ref.deltas_ns) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matrix_summary_brackets_every_cell(trials in arb_trials(6, 30)) {
+        let m = all_pairs_sharded(&trials, 4);
+        if let Some(s) = m.summary() {
+            prop_assert_eq!(s.trials, trials.len());
+            prop_assert_eq!(s.pairs, m.cells.len());
+            for c in &m.cells {
+                prop_assert!(s.kappa_min <= c.metrics.kappa);
+                prop_assert!(c.metrics.kappa <= s.kappa_max);
+            }
+            prop_assert!(s.kappa_min <= s.kappa_median && s.kappa_median <= s.kappa_max);
+        }
+    }
+
+    #[test]
+    fn degenerate_trials_never_produce_nan(a in arb_trial(3), b in arb_trial(3)) {
+        // ≤1 common packet or a zero span must yield exactly 0 for the
+        // timing metrics, never NaN (paper Eq. 5 needs finite inputs).
+        let m = compare(&a, &b);
+        prop_assert!(!m.i.is_nan() && !m.l.is_nan());
+        prop_assert!(!m.kappa.is_nan());
+        let pair = [a, b];
+        let matrix = all_pairs_sharded(&pair, 2);
+        prop_assert!(!matrix.kappa(0, 1).is_nan());
+    }
+}

@@ -108,6 +108,12 @@ pub fn field<'a>(map: &'a [(String, Content)], name: &str) -> Result<&'a Content
         .ok_or_else(|| DeError::custom(format!("missing field `{name}`")))
 }
 
+/// Look up a struct field that may be absent, for derived impls of
+/// `#[serde(default)]` fields.
+pub fn field_opt<'a>(map: &'a [(String, Content)], name: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
 // --- primitive impls ---------------------------------------------------
 
 impl Serialize for bool {

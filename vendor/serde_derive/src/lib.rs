@@ -6,8 +6,11 @@
 //! `proc_macro::TokenStream` instead of using `syn`/`quote`. Supported
 //! shapes are the ones the workspace actually derives on: non-generic
 //! structs (named, tuple, unit) and enums with unit / tuple / struct
-//! variants, with no `#[serde(...)]` attributes. Anything else produces a
-//! `compile_error!` naming the unsupported construct.
+//! variants. The only `#[serde(...)]` attribute honoured is
+//! `#[serde(default)]` on a named struct field (absent fields fall back to
+//! `Default::default()` on deserialization); other serde attributes are
+//! ignored, as before. Anything else produces a `compile_error!` naming
+//! the unsupported construct.
 //!
 //! Encoding matches serde's externally tagged defaults: structs → maps,
 //! newtype structs → the inner value, tuple structs → sequences, enum
@@ -17,10 +20,17 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: absent on the wire → `Default::default()`.
+    default: bool,
+}
+
+#[derive(Debug)]
 enum Fields {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 #[derive(Debug)]
@@ -35,13 +45,13 @@ struct Item {
 }
 
 /// Derive `serde::Serialize` (conversion to `serde::Content`).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, gen_serialize)
 }
 
 /// Derive `serde::Deserialize` (conversion from `serde::Content`).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, gen_deserialize)
 }
@@ -156,12 +166,49 @@ fn skip_to_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// True when an attribute's bracket content is `serde(... default ...)`.
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream().into_iter().any(
+                |t| matches!(t, TokenTree::Ident(ref id) if id.to_string() == "default"),
+            )
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut i = 0;
-    let mut names = Vec::new();
+    let mut fields = Vec::new();
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        // Consume attributes and visibility, noting `#[serde(default)]`.
+        let mut default = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Bracket {
+                            default |= attr_is_serde_default(g.stream());
+                            i += 1;
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
         if i >= tokens.len() {
             break;
         }
@@ -175,9 +222,9 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
         }
         skip_to_top_level_comma(&tokens, &mut i);
-        names.push(name);
+        fields.push(Field { name, default });
     }
-    Ok(names)
+    Ok(fields)
 }
 
 fn count_tuple_fields(stream: TokenStream) -> usize {
@@ -242,6 +289,7 @@ fn gen_serialize(item: &Item) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from({f:?}), \
                          ::serde::Serialize::to_content(&self.{f}))"
@@ -281,17 +329,20 @@ fn gen_serialize(item: &Item) -> String {
                         let entries: Vec<String> = fs
                             .iter()
                             .map(|f| {
+                                let f = &f.name;
                                 format!(
                                     "(::std::string::String::from({f:?}), \
                                      ::serde::Serialize::to_content({f}))"
                                 )
                             })
                             .collect();
+                        let binders: Vec<String> =
+                            fs.iter().map(|f| f.name.clone()).collect();
                         format!(
                             "{name}::{v} {{ {} }} => ::serde::Content::Map(::std::vec![\
                              (::std::string::String::from({v:?}), \
                              ::serde::Content::Map(::std::vec![{}]))]),",
-                            fs.join(", "),
+                            binders.join(", "),
                             entries.join(", ")
                         )
                     }
@@ -305,6 +356,23 @@ fn gen_serialize(item: &Item) -> String {
          fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
          }}"
     )
+}
+
+/// One `name: value,` initializer for a named field being deserialized
+/// from `map`; `#[serde(default)]` fields tolerate absence.
+fn named_field_init(f: &Field) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match ::serde::field_opt(map, {name:?}) {{ \
+             ::std::option::Option::Some(v) => ::serde::Deserialize::from_content(v)?, \
+             ::std::option::Option::None => ::std::default::Default::default() }},"
+        )
+    } else {
+        format!(
+            "{name}: ::serde::Deserialize::from_content(::serde::field(map, {name:?})?)?,"
+        )
+    }
 }
 
 fn gen_deserialize(item: &Item) -> String {
@@ -333,14 +401,7 @@ fn gen_deserialize(item: &Item) -> String {
             )
         }
         Body::Struct(Fields::Named(fields)) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_content(::serde::field(map, {f:?})?)?,"
-                    )
-                })
-                .collect();
+            let inits: Vec<String> = fields.iter().map(named_field_init).collect();
             format!(
                 "let map = c.as_map().ok_or_else(|| ::serde::DeError::custom(\
                  ::std::format!(\"expected map for struct {name}, got {{}}\", c.kind())))?;\n\
@@ -379,15 +440,7 @@ fn gen_deserialize(item: &Item) -> String {
                         ))
                     }
                     Fields::Named(fs) => {
-                        let inits: Vec<String> = fs
-                            .iter()
-                            .map(|f| {
-                                format!(
-                                    "{f}: ::serde::Deserialize::from_content(\
-                                     ::serde::field(map, {f:?})?)?,"
-                                )
-                            })
-                            .collect();
+                        let inits: Vec<String> = fs.iter().map(named_field_init).collect();
                         Some(format!(
                             "{v:?} => {{\n\
                              let map = value.as_map().ok_or_else(|| ::serde::DeError::custom(\
