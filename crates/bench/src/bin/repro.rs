@@ -15,6 +15,9 @@
 //!   table2             mean metrics for all nine environments
 //!   matrix             all-pairs κ matrix + sharded-engine benchmark
 //!                      (writes BENCH_matrix.json; default 16 runs)
+//!   pipeline           end-to-end packets/sec, per-packet vs coalesced
+//!                      hot path, with bit-identity gates
+//!                      (writes BENCH_pipeline.json)
 //!   throughput         real-time replay engine rate (the 100 Gbps claim)
 //!   chaos              fault-rate sweep: κ vs graceful degradation, seeded
 //!   calibrate          compact paper-vs-measured sweep over all envs
@@ -114,6 +117,7 @@ fn main() {
         "table1" => table1(&opts),
         "table2" => table2(&opts),
         "matrix" => matrix(&opts),
+        "pipeline" => pipeline(&opts),
         "throughput" => throughput(),
         "chaos" => chaos(&opts),
         "calibrate" => calibrate(&opts),
@@ -443,6 +447,181 @@ fn matrix(opts: &Opts) {
     let body = serde_json::to_string_pretty(&bench).expect("serialize bench record");
     std::fs::write("BENCH_matrix.json", body).expect("write BENCH_matrix.json");
     println!("   [wrote BENCH_matrix.json]\n");
+}
+
+/// End-to-end hot-path benchmark: the full generate → forward → record →
+/// replay → capture pipeline timed under the pre-PR per-packet event path
+/// (`BinaryHeap`, one `Ev::Deliver` per packet) and under the coalesced
+/// timing-wheel path, reported as packets/sec. Correctness gates — the
+/// CI smoke step fails ONLY on these, never on throughput:
+///
+/// - same seed ⇒ byte-identical captures within each path (every run is
+///   executed twice and every observation compared), and κ = 1 between
+///   the repeats;
+/// - the timing wheel pops events in exactly the heap's `(time, seq)`
+///   order, so wheel and heap captures are identical at equal coalescing
+///   settings.
+///
+/// Writes `BENCH_pipeline.json`, seeding the end-to-end throughput
+/// trajectory.
+fn pipeline(opts: &Opts) {
+    use choir_core::metrics::report::analyze_with;
+    use choir_core::metrics::KappaConfig;
+    use choir_netsim::QueueKind;
+    use choir_testbed::{run_experiment_tuned, sim_stats_report, SimTuning};
+    use std::time::Instant;
+
+    let mut profile = EnvKind::LocalSingle.profile();
+    if let Some(r) = opts.runs {
+        profile.runs = r;
+    }
+    let runs = profile.runs;
+    let cfg = choir_testbed::ExperimentConfig {
+        profile,
+        scale: opts.scale,
+        seed: opts.seed,
+    };
+    println!(
+        "== pipeline: end-to-end hot path, per-packet vs coalesced (scale {}, seed {}, {} runs) ==",
+        opts.scale, opts.seed, runs
+    );
+
+    let timed = |tuning: SimTuning| {
+        let t = Instant::now();
+        let out = run_experiment_tuned(&cfg, tuning);
+        (t.elapsed().as_nanos() as u64, out)
+    };
+
+    // Each path runs REPS times: the repeats feed the bit-identity
+    // gates, and the minimum capture time is the throughput estimate
+    // (the noise-robust choice on a shared machine — any slower sample
+    // is the same deterministic work plus interference). Reps alternate
+    // old/new so both paths sample the same load windows.
+    const REPS: usize = 3;
+    let (old_total_ns, old) = timed(SimTuning::per_packet());
+    let (new_total_ns, new) = timed(SimTuning::default());
+    let mut old_reruns = Vec::new();
+    let mut new_reruns = Vec::new();
+    for _ in 1..REPS {
+        old_reruns.push(timed(SimTuning::per_packet()).1);
+        new_reruns.push(timed(SimTuning::default()).1);
+    }
+    // Same coalescing on the reference heap: isolates the wheel's order.
+    let (_, heap_ref) = timed(SimTuning {
+        queue: QueueKind::Heap,
+        ..SimTuning::default()
+    });
+    // The benchmark proper is the capture pipeline; the all-pairs κ
+    // analysis appended by run_experiment is path-independent work that
+    // `repro matrix` benchmarks on its own.
+    let old_ns = old_reruns
+        .iter()
+        .map(|o| o.capture_wall_ns)
+        .fold(old.capture_wall_ns, u64::min);
+    let new_ns = new_reruns
+        .iter()
+        .map(|o| o.capture_wall_ns)
+        .fold(new.capture_wall_ns, u64::min);
+
+    // -- correctness gates (the only things that may fail this target) --
+    for rerun in &old_reruns {
+        assert_eq!(
+            old.trials, rerun.trials,
+            "per-packet path: same seed must produce byte-identical captures"
+        );
+    }
+    for rerun in &new_reruns {
+        assert_eq!(
+            new.trials, rerun.trials,
+            "coalesced path: same seed must produce byte-identical captures"
+        );
+    }
+    assert_eq!(
+        new.trials, heap_ref.trials,
+        "timing wheel must pop events in exactly the heap's (time, seq) order"
+    );
+    let kcfg = KappaConfig::paper();
+    for (i, (a, b)) in new.trials.iter().zip(&new_reruns[0].trials).enumerate() {
+        let kappa = analyze_with(format!("repeat-{i}"), a, b, &kcfg).metrics.kappa;
+        assert!(
+            (kappa - 1.0).abs() < f64::EPSILON,
+            "repeat of trial {i} must score kappa = 1, got {kappa}"
+        );
+    }
+    println!(
+        "   bit-identity: per-packet repeat OK, coalesced repeat OK (kappa = 1), wheel == heap OK"
+    );
+
+    let total_packets: u64 = new.trials.iter().map(|t| t.len() as u64).sum();
+    let old_pps = total_packets as f64 / (old_ns.max(1) as f64 / 1e9);
+    let new_pps = total_packets as f64 / (new_ns.max(1) as f64 / 1e9);
+    let speedup = new_pps / old_pps.max(f64::MIN_POSITIVE);
+    println!(
+        "   per-packet path: {:>8.1} ms capture ({:>7.1} ms with analysis), {:>10.0} pps  ({} events, queue depth peak {})",
+        old_ns as f64 / 1e6,
+        old_total_ns as f64 / 1e6,
+        old_pps,
+        old.sim_stats.events_processed,
+        old.sim_stats.queue_depth_peak,
+    );
+    println!(
+        "   coalesced path:  {:>8.1} ms capture ({:>7.1} ms with analysis), {:>10.0} pps  ({} events, queue depth peak {})",
+        new_ns as f64 / 1e6,
+        new_total_ns as f64 / 1e6,
+        new_pps,
+        new.sim_stats.events_processed,
+        new.sim_stats.queue_depth_peak,
+    );
+    println!(
+        "   coalescing: {} burst events carried {} packets ({:.2} packets/event overall), {} wire events elided",
+        new.sim_stats.coalesced_events,
+        new.sim_stats.coalesced_packets,
+        new.sim_stats.packets_per_event(),
+        new.sim_stats.wire_events_elided,
+    );
+    println!(
+        "   speedup: {speedup:.2}x{}",
+        if speedup < 2.0 {
+            "  (below the 2x target — informational, not a failure)"
+        } else {
+            ""
+        }
+    );
+
+    #[derive(serde::Serialize)]
+    struct PipelineBench {
+        scale: f64,
+        seed: u64,
+        runs: usize,
+        packets_per_trial: usize,
+        total_packets: u64,
+        per_packet_ns: u64,
+        coalesced_ns: u64,
+        per_packet_pps: f64,
+        coalesced_pps: f64,
+        speedup: f64,
+        bit_identical: bool,
+        per_packet_sim: choir_core::metrics::SimStatsReport,
+        coalesced_sim: choir_core::metrics::SimStatsReport,
+    }
+    let bench = PipelineBench {
+        scale: opts.scale,
+        seed: opts.seed,
+        runs,
+        packets_per_trial: new.trials[0].len(),
+        total_packets,
+        per_packet_ns: old_ns,
+        coalesced_ns: new_ns,
+        per_packet_pps: old_pps,
+        coalesced_pps: new_pps,
+        speedup,
+        bit_identical: true,
+        per_packet_sim: sim_stats_report(&old.sim_stats),
+        coalesced_sim: sim_stats_report(&new.sim_stats),
+    };
+    let body = serde_json::to_string_pretty(&bench).expect("serialize bench record");
+    std::fs::write("BENCH_pipeline.json", body).expect("write BENCH_pipeline.json");
+    println!("   [wrote BENCH_pipeline.json]\n");
 }
 
 /// Chaos sweep: replay one recording through a fault-injecting dataplane

@@ -40,7 +40,9 @@ pub use histogram::DeltaHistogram;
 pub use kappa::{kappa_from_components, ConsistencyMetrics, KappaConfig, Scaling};
 pub use matching::Matching;
 pub use ordering::EditScriptStats;
-pub use report::{trial_label, ReportError, RunReport, StageTimings, TrialComparison};
+pub use report::{
+    trial_label, ReportError, RunReport, SimStatsReport, StageTimings, TrialComparison,
+};
 pub use trial::{Observation, Trial};
 pub use windowed::{windowed_kappa, worst_window, WindowScore};
 

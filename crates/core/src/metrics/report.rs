@@ -251,6 +251,32 @@ pub struct RunReport {
     /// matrix engine existed).
     #[serde(default)]
     pub matrix: Option<MatrixSummary>,
+    /// Simulator event-queue statistics from the run that produced the
+    /// trials (`None` for reports written before the coalesced hot path
+    /// existed, or assembled outside a simulation).
+    #[serde(default)]
+    pub sim: Option<SimStatsReport>,
+}
+
+/// Event-queue observability counters for the simulation behind a report
+/// — a serialization mirror of the simulator's `SimStats` (this crate
+/// does not depend on the simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimStatsReport {
+    /// Total events dispatched.
+    pub events_processed: u64,
+    /// Event-queue depth high-water mark.
+    pub queue_depth_peak: u64,
+    /// Wire deliveries that rode a coalesced burst event.
+    pub coalesced_events: u64,
+    /// Packets carried by those coalesced events.
+    pub coalesced_packets: u64,
+    /// Wire crossings that needed no arrival event (single-feeder
+    /// cut-through enqueues at transmit time).
+    #[serde(default)]
+    pub wire_events_elided: u64,
+    /// Mean packets per delivery event (1.0 = fully per-packet).
+    pub packets_per_event: f64,
 }
 
 impl RunReport {
@@ -274,6 +300,7 @@ impl RunReport {
             kappa_stddev,
             degradation: crate::replay::DegradationReport::default(),
             matrix: None,
+            sim: None,
         })
     }
 
@@ -286,6 +313,12 @@ impl RunReport {
     /// Attach the all-pairs κ-matrix summary.
     pub fn with_matrix(mut self, matrix: MatrixSummary) -> Self {
         self.matrix = Some(matrix);
+        self
+    }
+
+    /// Attach the simulator's event-queue statistics.
+    pub fn with_sim_stats(mut self, sim: SimStatsReport) -> Self {
+        self.sim = Some(sim);
         self
     }
 

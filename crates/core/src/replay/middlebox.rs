@@ -70,6 +70,12 @@ pub struct MiddleboxConfig {
     /// starve the dataplane of buffers. The truncated recording remains
     /// internally consistent and replayable.
     pub pool_reserve: usize,
+    /// Always stamp tags by copying the frame bytes, even when the
+    /// storage is uniquely owned and could be written in place. This is
+    /// the pre-optimization stamping path, kept so the throughput
+    /// benchmarks can price the in-place trailer write against it; the
+    /// stamped bytes are identical either way.
+    pub copy_stamp: bool,
 }
 
 impl Default for MiddleboxConfig {
@@ -84,6 +90,7 @@ impl Default for MiddleboxConfig {
             rolling_window: None,
             bridge_reverse: false,
             pool_reserve: 128,
+            copy_stamp: false,
         }
     }
 }
@@ -193,18 +200,31 @@ impl ChoirMiddlebox {
     }
 
     /// Stamp a frame's trailer with the next tag, preserving its declared
-    /// original length. The mbuf keeps its pool slot; only this packet's
-    /// bytes are rewritten (the one copy the evaluation mode pays).
-    fn stamp(&mut self, frame: &Frame) -> Frame {
+    /// original length. The trailer overwrites the frame's reserved
+    /// tailroom (the last [`TAG_LEN`] bytes, which [`FrameBuilder`] left
+    /// as fill), so when this middlebox uniquely owns the frame storage
+    /// — the hot path, every freshly received packet — the stamp is a
+    /// 16-byte in-place write, no copy and no allocation. Only a frame
+    /// whose storage is shared (a span-port clone, a replayed recording
+    /// entry) pays a copy-on-write of its bytes.
+    ///
+    /// [`FrameBuilder`]: choir_packet::FrameBuilder
+    fn stamp(&mut self, frame: &mut Frame) {
         let tag = ChoirTag::new(self.cfg.replayer_id, 0, self.seq);
         self.seq += 1;
         if frame.data.len() < TAG_LEN {
             // Too short to tag; forward as-is.
-            return frame.clone();
+            return;
+        }
+        if !self.cfg.copy_stamp {
+            if let Some(buf) = frame.data.try_unique_mut() {
+                tag.stamp_trailer(buf);
+                return;
+            }
         }
         let mut data = frame.data.to_vec();
         tag.stamp_trailer(&mut data);
-        Frame::truncated(bytes::Bytes::from(data), frame.orig_len() as u32)
+        *frame = Frame::truncated(bytes::Bytes::from(data), frame.orig_len() as u32);
     }
 
     fn handle_control(&mut self, msg: &ControlMsg, dp: &mut dyn Dataplane) {
@@ -294,7 +314,7 @@ impl ChoirMiddlebox {
                 if self.cfg.stamp_tags
                     && (self.state == State::Recording || self.roller.is_some())
                 {
-                    m.frame = self.stamp(&m.frame);
+                    self.stamp(&mut m.frame);
                 }
                 // Bursts are bounded by rx_burst to MAX_BURST; the control
                 // frames we removed only make room.
@@ -566,6 +586,41 @@ mod tests {
             rec.burst(0).pkts[0].frame.data.as_ptr(),
             dp.tx_log[0].1.frame.data.as_ptr()
         );
+    }
+
+    #[test]
+    fn stamping_is_in_place_for_uniquely_owned_frames() {
+        let mut dp = BridgePlane::new();
+        let mut app = mb();
+        app.on_control(&ControlMsg::StartRecord, &mut dp);
+        let b = choir_packet::FrameBuilder::new(128, 1, 2);
+        let frame = b.build_plain();
+        let original_ptr = frame.data.as_ptr();
+        dp.inject(frame);
+        app.on_wake(&mut dp);
+        // The middlebox owned the frame storage uniquely (storage-folded
+        // mbuf slot, one handle), so the stamp wrote the trailer into the
+        // existing bytes — same allocation, no copy.
+        assert_eq!(dp.tx_log[0].1.frame.data.as_ptr(), original_ptr);
+        assert!(dp.tx_log[0].1.frame.tag().is_some());
+    }
+
+    #[test]
+    fn stamping_copies_when_frame_storage_is_shared() {
+        let mut dp = BridgePlane::new();
+        let mut app = mb();
+        app.on_control(&ControlMsg::StartRecord, &mut dp);
+        let b = choir_packet::FrameBuilder::new(128, 1, 2);
+        let frame = b.build_plain();
+        // A second handle to the storage (a tap's retained view) forces
+        // the copy-on-write path; the shared original must stay unstamped.
+        let tap = frame.data.clone();
+        let original_ptr = frame.data.as_ptr();
+        dp.inject(frame);
+        app.on_wake(&mut dp);
+        assert_ne!(dp.tx_log[0].1.frame.data.as_ptr(), original_ptr);
+        assert!(dp.tx_log[0].1.frame.tag().is_some());
+        assert!(Frame::new(tap).tag().is_none());
     }
 
     #[test]

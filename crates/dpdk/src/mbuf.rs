@@ -14,9 +14,10 @@
 //! refcount bump, not a copy.
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use bytes::StorageHook;
 use choir_packet::Frame;
 
 /// Error returned when a [`Mempool`] has no free slots.
@@ -38,6 +39,11 @@ struct PoolInner {
     /// High-water mark of simultaneous live mbufs, for diagnostics.
     peak: AtomicUsize,
     failed_allocs: AtomicUsize,
+    /// When set, [`Mempool::alloc`] always takes the dedicated
+    /// guard-allocation path instead of riding the frame's storage
+    /// refcount. This reproduces the pre-optimization per-alloc cost and
+    /// exists so the throughput benchmarks can compare against it.
+    guard_slots: AtomicBool,
 }
 
 /// A fixed-capacity message-buffer pool.
@@ -75,6 +81,7 @@ impl Mempool {
                 in_use: AtomicUsize::new(0),
                 peak: AtomicUsize::new(0),
                 failed_allocs: AtomicUsize::new(0),
+                guard_slots: AtomicBool::new(false),
             }),
         }
     }
@@ -87,6 +94,12 @@ impl Mempool {
     }
 
     /// Wrap `frame` in an [`Mbuf`], taking one pool slot.
+    ///
+    /// On the hot path this allocates nothing: the slot's release hook
+    /// is folded into the frame's existing refcounted storage (the
+    /// pool's own `Arc` is the hook, so attaching is a refcount bump).
+    /// Frames over static or already-hooked storage fall back to a
+    /// dedicated guard allocation with identical accounting.
     pub fn alloc(&self, frame: Frame) -> Result<Mbuf, PoolExhausted> {
         // Optimistically take a slot, back out on overflow. Relaxed is
         // sufficient: the counter is a quota, not a synchronization edge.
@@ -97,12 +110,21 @@ impl Mempool {
             return Err(PoolExhausted);
         }
         self.inner.peak.fetch_max(prev + 1, Ordering::Relaxed);
+        let hooked = !self.inner.guard_slots.load(Ordering::Relaxed) && {
+            let hook: Arc<dyn StorageHook> = Arc::clone(&self.inner) as Arc<dyn StorageHook>;
+            frame.data.try_attach_hook(hook)
+        };
+        let slot = if hooked {
+            SlotRef::Storage
+        } else {
+            SlotRef::Guard(Arc::new(Slot {
+                pool: Arc::clone(&self.inner),
+            }))
+        };
         Ok(Mbuf {
             frame,
             rx_ts_ps: None,
-            slot: Arc::new(Slot {
-                pool: Arc::clone(&self.inner),
-            }),
+            slot,
         })
     }
 
@@ -114,6 +136,15 @@ impl Mempool {
     /// Total slot count.
     pub fn capacity(&self) -> usize {
         self.inner.capacity
+    }
+
+    /// Force every future [`alloc`](Self::alloc) onto the dedicated
+    /// guard-allocation path (one `Arc<Slot>` per mbuf) instead of riding
+    /// the frame's storage refcount. Accounting is identical either way;
+    /// this reproduces the pre-optimization per-alloc heap cost so the
+    /// throughput benchmarks have an honest baseline.
+    pub fn set_guard_slots(&self, on: bool) {
+        self.inner.guard_slots.store(on, Ordering::Relaxed);
     }
 
     /// Currently-occupied slots.
@@ -147,7 +178,17 @@ impl fmt::Debug for Mempool {
     }
 }
 
+/// The pool itself acts as the storage release hook: when the last
+/// handle to an mbuf's frame storage drops, the slot returns. This is
+/// the slot's drop path for [`SlotRef::Storage`] mbufs.
+impl StorageHook for PoolInner {
+    fn on_storage_release(&self) {
+        self.in_use.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// RAII slot guard; returns the slot when the last clone drops.
+/// Fallback for frames whose storage cannot carry the pool hook.
 struct Slot {
     pool: Arc<PoolInner>,
 }
@@ -156,6 +197,16 @@ impl Drop for Slot {
     fn drop(&mut self) {
         self.pool.in_use.fetch_sub(1, Ordering::Relaxed);
     }
+}
+
+/// How an [`Mbuf`] tracks its pool slot.
+#[derive(Clone)]
+enum SlotRef {
+    /// Accounting rides the frame's own storage refcount (no per-mbuf
+    /// allocation); the slot returns when the storage is released.
+    Storage,
+    /// Dedicated guard (static or already-hooked frame storage).
+    Guard(Arc<Slot>),
 }
 
 /// A message buffer: a frame plus its pool bookkeeping.
@@ -171,7 +222,7 @@ pub struct Mbuf {
     /// stamped by the NIC model on delivery (like DPDK's mbuf timestamp
     /// dynamic field). `None` for locally-originated packets.
     pub rx_ts_ps: Option<u64>,
-    slot: Arc<Slot>,
+    slot: SlotRef,
 }
 
 impl Mbuf {
@@ -196,7 +247,10 @@ impl Mbuf {
 
     /// How many owners (clones) share this mbuf's slot.
     pub fn refcount(&self) -> usize {
-        Arc::strong_count(&self.slot)
+        match &self.slot {
+            SlotRef::Storage => self.frame.data.storage_refcount(),
+            SlotRef::Guard(g) => Arc::strong_count(g),
+        }
     }
 }
 
@@ -263,6 +317,49 @@ mod tests {
         let a = pool.alloc(frame(100)).unwrap();
         let b = a.clone();
         assert_eq!(a.frame.data.as_ptr(), b.frame.data.as_ptr());
+    }
+
+    #[test]
+    fn slot_rides_frame_storage_refcount() {
+        // Hot path: the slot is folded into the frame's storage, so a
+        // surviving view of the bytes (a recording's retain) keeps the
+        // slot occupied even after every Mbuf handle is gone.
+        let pool = Mempool::new("t", 2);
+        let a = pool.alloc(frame(16)).unwrap();
+        let view = a.frame.data.clone();
+        drop(a);
+        assert_eq!(pool.in_use(), 1);
+        drop(view);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn static_frames_fall_back_to_guard_accounting() {
+        let pool = Mempool::new("t", 2);
+        let a = pool
+            .alloc(Frame::new(Bytes::from_static(b"static pkt")))
+            .unwrap();
+        assert_eq!(pool.in_use(), 1);
+        let b = a.clone();
+        assert_eq!(a.refcount(), 2);
+        assert_eq!(pool.in_use(), 1);
+        drop((a, b));
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn already_hooked_storage_falls_back_to_guard() {
+        // Two mbufs over the same storage: the second alloc cannot
+        // attach a second hook and must guard its own slot; each slot
+        // still returns exactly once.
+        let pool = Mempool::new("t", 4);
+        let a = pool.alloc(frame(8)).unwrap();
+        let b = pool.alloc(a.frame.clone()).unwrap();
+        assert_eq!(pool.in_use(), 2);
+        drop(b);
+        assert_eq!(pool.in_use(), 1);
+        drop(a);
+        assert_eq!(pool.in_use(), 0);
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //! comparing whole captures (κ = 1 between same-seed runs).
 
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use choir_dpdk::{App, Burst, ControlMsg, Dataplane, Mbuf, Mempool, PortId, PortStats, MAX_BURST};
 
@@ -18,6 +17,7 @@ use crate::impair::{corrupt_frame, LinkImpairments};
 use crate::nic::{NicRxModel, NicTxModel};
 use crate::rng::{DetRng, Jitter};
 use crate::switchdev::Switch;
+use crate::wheel::{EventQueue, QueueKind};
 
 /// Index of a node in the simulation.
 pub type NodeId = usize;
@@ -43,6 +43,19 @@ pub struct SimConfig {
     pub trial: u64,
     /// Packet-buffer pool slots shared by all nodes.
     pub pool_slots: usize,
+    /// Event-queue backend. [`QueueKind::Wheel`] is the production path;
+    /// [`QueueKind::Heap`] is the reference the golden-capture tests
+    /// compare against (identical pop order, so identical captures).
+    pub queue: QueueKind,
+    /// Coalesce contiguous wire bursts into single delivery events (see
+    /// DESIGN.md §10 for the rules). Disable to run the per-packet event
+    /// path — the pre-coalescing reference the throughput benchmarks
+    /// compare against.
+    pub coalesce: bool,
+    /// Allocate a dedicated guard `Arc` per mbuf instead of folding slot
+    /// accounting into the frame's storage refcount. Part of the
+    /// pre-optimization reference path (see [`Mempool::set_guard_slots`]).
+    pub guard_slot_alloc: bool,
 }
 
 impl Default for SimConfig {
@@ -51,6 +64,40 @@ impl Default for SimConfig {
             master_seed: 0x00C4_0112,
             trial: 0,
             pool_slots: 1 << 22,
+            queue: QueueKind::Wheel,
+            coalesce: true,
+            guard_slot_alloc: false,
+        }
+    }
+}
+
+/// Event-engine counters, surfaced next to experiment results so the
+/// cost of a simulation (and how well burst coalescing worked) is
+/// visible alongside what it measured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events dispatched.
+    pub events_processed: u64,
+    /// High-water mark of the event-queue depth.
+    pub queue_depth_peak: u64,
+    /// Delivery events that carried a whole burst.
+    pub coalesced_events: u64,
+    /// Packets carried inside coalesced events.
+    pub coalesced_packets: u64,
+    /// Wire crossings that needed no arrival event at all: transmits
+    /// into a single-feeder switch ingress enqueue on the egress queue
+    /// eagerly at tx time (identical departure times, one event less
+    /// per packet).
+    pub wire_events_elided: u64,
+}
+
+impl SimStats {
+    /// Mean packets per coalesced delivery event (0 when none fired).
+    pub fn packets_per_event(&self) -> f64 {
+        if self.coalesced_events == 0 {
+            0.0
+        } else {
+            self.coalesced_packets as f64 / self.coalesced_events as f64
         }
     }
 }
@@ -76,31 +123,13 @@ enum Ev {
     /// destination link's impairment stage (re-scheduled deliveries must
     /// not be impaired twice).
     Deliver(Endpoint, Mbuf, bool),
+    /// A contiguous wire burst arriving as ONE event: each packet keeps
+    /// its own last-bit arrival time, and per-packet fates (drops,
+    /// timestamps, RNG draws) are decided inside the event in arrival
+    /// order. Never used for impaired links (those deliver per-packet so
+    /// re-scheduled duplicates interleave in global time order).
+    DeliverBurst(Endpoint, Vec<(u64, Mbuf)>),
     SwitchEgress(usize, usize),
-}
-
-struct Scheduled {
-    t: u64,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.t == other.t && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.t, other.seq).cmp(&(self.t, self.seq))
-    }
 }
 
 /// One NIC port's runtime state.
@@ -144,6 +173,11 @@ struct SwitchRuntime {
     /// Peer and propagation delay per switch port.
     peers: Vec<(Endpoint, u64)>,
     rng: DetRng,
+    /// Per-ingress cache of [`Switch::single_feeder`], maintained by the
+    /// topology mutators: when true (and coalescing is on), transmits
+    /// into that ingress enqueue on the egress queues eagerly at tx time
+    /// and the wire-arrival event is elided entirely.
+    eager: Vec<bool>,
 }
 
 /// The simulator.
@@ -151,29 +185,37 @@ pub struct Sim {
     cfg: SimConfig,
     now: u64,
     seq: u64,
-    heap: BinaryHeap<Scheduled>,
+    queue: EventQueue<Ev>,
     nodes: Vec<NodeRuntime>,
     switches: Vec<SwitchRuntime>,
     /// Shared physical-wire busy times for SR-IOV VF groups.
     phys_groups: Vec<u64>,
     pool: Mempool,
     events_processed: u64,
+    coalesced_events: u64,
+    coalesced_packets: u64,
+    wire_events_elided: u64,
 }
 
 impl Sim {
     /// A new, empty simulation.
     pub fn new(cfg: SimConfig) -> Self {
         let pool = Mempool::new("sim-pool", cfg.pool_slots);
+        pool.set_guard_slots(cfg.guard_slot_alloc);
+        let queue = EventQueue::new(cfg.queue);
         Sim {
             cfg,
             now: 0,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue,
             nodes: Vec::new(),
             switches: Vec::new(),
             phys_groups: Vec::new(),
             pool,
             events_processed: 0,
+            coalesced_events: 0,
+            coalesced_packets: 0,
+            wire_events_elided: 0,
         }
     }
 
@@ -204,6 +246,18 @@ impl Sim {
     /// Events handled so far (diagnostics).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Event-engine counters (queue depth high-water mark, coalescing
+    /// effectiveness).
+    pub fn sim_stats(&self) -> SimStats {
+        SimStats {
+            events_processed: self.events_processed,
+            queue_depth_peak: self.queue.depth_peak() as u64,
+            coalesced_events: self.coalesced_events,
+            coalesced_packets: self.coalesced_packets,
+            wire_events_elided: self.wire_events_elided,
+        }
     }
 
     /// Add a node hosting `app`. `wake_jitter` models delivery lateness of
@@ -271,6 +325,7 @@ impl Sim {
             sw,
             peers: vec![(Endpoint::Unconnected, 0); ports],
             rng,
+            eager: vec![true; ports],
         });
         self.switches.len() - 1
     }
@@ -308,6 +363,15 @@ impl Sim {
     /// Install a forwarding entry on a switch.
     pub fn switch_map(&mut self, sw: usize, ingress: usize, egress: usize) {
         self.switches[sw].sw.map(ingress, egress);
+        self.recompute_eager(sw);
+    }
+
+    /// Refresh the per-ingress single-feeder cache after a topology edit.
+    fn recompute_eager(&mut self, sw: usize) {
+        let s = &mut self.switches[sw];
+        for i in 0..s.eager.len() {
+            s.eager[i] = s.sw.single_feeder(i);
+        }
     }
 
     /// Deliver an out-of-band control message to a node's app at `at_ps`.
@@ -375,22 +439,14 @@ impl Sim {
 
     fn schedule(&mut self, t: u64, ev: Ev) {
         let t = t.max(self.now);
-        self.heap.push(Scheduled {
-            t,
-            seq: self.seq,
-            ev,
-        });
+        self.queue.push(t, self.seq, ev);
         self.seq += 1;
     }
 
     /// Run until the queue is empty or `deadline_ps` is reached. Returns
     /// the time the run stopped at.
     pub fn run_until(&mut self, deadline_ps: u64) -> u64 {
-        while let Some(top) = self.heap.peek() {
-            if top.t > deadline_ps {
-                break;
-            }
-            let Scheduled { t, ev, .. } = self.heap.pop().expect("peeked");
+        while let Some((t, ev)) = self.queue.pop_due(deadline_ps) {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.events_processed += 1;
@@ -417,7 +473,10 @@ impl Sim {
                 self.poll_app(n, Some(msg));
             }
             Ev::TxPull(n, p) => self.tx_pull(n, p),
-            Ev::Deliver(ep, mbuf, impaired) => self.deliver(ep, mbuf, impaired),
+            Ev::Deliver(ep, mbuf, impaired) => {
+                self.deliver_at(ep, mbuf, impaired, self.now)
+            }
+            Ev::DeliverBurst(ep, pkts) => self.deliver_burst(ep, pkts),
             Ev::SwitchEgress(s, p) => self.switch_egress(s, p),
         }
     }
@@ -477,11 +536,50 @@ impl Sim {
         }
     }
 
+    /// Emit a contiguous wire burst toward `ep`. Each packet carries its
+    /// own last-bit arrival time; times are non-decreasing.
+    ///
+    /// Coalescing rules (DESIGN.md §10): a multi-packet burst becomes one
+    /// [`Ev::DeliverBurst`] unless the destination is a node port with
+    /// impairments armed — per-packet fates there (duplicates, reorder
+    /// holds) re-schedule deliveries that must interleave with the rest
+    /// of the burst in global `(time, seq)` order, so impaired links stay
+    /// on the per-packet path. Switch-bound bursts fire at the FIRST
+    /// arrival (cut-through into the egress pipeline, per-packet ready
+    /// times preserved); node-bound bursts fire at the LAST arrival (NIC
+    /// interrupt coalescing — packets become visible to the app together,
+    /// while their hardware rx timestamps keep per-packet arrival times).
+    fn emit_wire(&mut self, ep: Endpoint, mut pkts: Vec<(u64, Mbuf)>) {
+        if pkts.is_empty() {
+            return;
+        }
+        let coalescible = self.cfg.coalesce
+            && pkts.len() > 1
+            && match ep {
+                Endpoint::NodePort(n, p) => self.nodes[n].ports[p].impair.is_none(),
+                Endpoint::SwitchPort(..) | Endpoint::Unconnected => true,
+            };
+        if coalescible {
+            let at = match ep {
+                Endpoint::SwitchPort(..) => pkts.first().expect("non-empty").0,
+                _ => pkts.last().expect("non-empty").0,
+            };
+            self.coalesced_events += 1;
+            self.coalesced_packets += pkts.len() as u64;
+            self.schedule(at, Ev::DeliverBurst(ep, pkts));
+        } else {
+            for (at, m) in pkts.drain(..) {
+                self.schedule(at, Ev::Deliver(ep, m, false));
+            }
+        }
+    }
+
     /// One DMA pull: take a batch of descriptors and serialize them onto
     /// the wire back-to-back.
     fn tx_pull(&mut self, n: NodeId, p: PortId) {
         // Collect scheduling decisions first, then emit events.
-        let mut deliveries: Vec<(u64, Endpoint, Mbuf)> = Vec::new();
+        let mut deliveries: Vec<(u64, Mbuf)> = Vec::new();
+        let peer;
         let next_pull;
         let group;
         let wire_end;
@@ -513,7 +611,7 @@ impl Sim {
             if let Some(shared) = port.tx_model.shared.as_mut() {
                 t += shared.contention_wait_ps(self.now, port.tx_model.line_rate_bps, &mut port.tx_rng);
             }
-            let peer = port.peer;
+            peer = port.peer;
             let prop = port.prop_ps;
             for _ in 0..batch {
                 let Some(m) = port.tx_queue.pop_front() else {
@@ -522,7 +620,7 @@ impl Sim {
                 let ser = port.tx_model.serialization_ps(m.frame.wire_len());
                 t += ser;
                 port.stats.on_tx(1, m.len() as u64);
-                deliveries.push((t + prop, peer, m));
+                deliveries.push((t + prop, m));
             }
             port.wire_free_at = t;
             wire_end = t;
@@ -545,32 +643,132 @@ impl Sim {
         if let Some(g) = group {
             self.phys_groups[g] = self.phys_groups[g].max(wire_end);
         }
-        for (at, ep, m) in deliveries {
-            self.schedule(at, Ev::Deliver(ep, m, false));
+        // Cut-through into a single-feeder switch ingress: the egress
+        // queues see exactly the entries, order and `ready` times an
+        // arrival event would have produced, so skip the event.
+        let eager = match peer {
+            Endpoint::SwitchPort(sw, ing) if self.cfg.coalesce => self.switches[sw].eager[ing],
+            _ => false,
+        };
+        if eager {
+            let Endpoint::SwitchPort(sw, ing) = peer else {
+                unreachable!("eager requires a switch peer")
+            };
+            let span = self.switches[sw].sw.mirror[ing];
+            let fwd = self.switches[sw].sw.fwd[ing];
+            self.wire_events_elided += deliveries.len() as u64;
+            for (at, m) in deliveries {
+                if let Some(sp) = span {
+                    self.enqueue_switch_egress(sw, sp, m.clone(), at);
+                }
+                if let Some(eg) = fwd {
+                    self.enqueue_switch_egress(sw, eg, m, at);
+                }
+            }
+        } else {
+            self.emit_wire(peer, deliveries);
         }
         if let Some(at) = next_pull {
             self.schedule(at, Ev::TxPull(n, p));
         }
     }
 
-    /// A packet's last bit arrives at an endpoint.
-    fn deliver(&mut self, ep: Endpoint, mbuf: Mbuf, impaired: bool) {
+    /// A coalesced wire burst arrives at an endpoint. Per-packet fates
+    /// (drops, timestamps, switch pipeline latencies) are decided inside
+    /// this one event, in arrival order.
+    ///
+    /// Node-bound bursts model NIC interrupt coalescing faithfully: every
+    /// packet keeps its own hardware rx timestamp and ring-drop fate, but
+    /// the burst raises ONE interrupt — a single delivery-latency draw
+    /// anchored at the first arrival, one wake. (The per-packet path
+    /// draws a latency per packet; the two modes are statistically
+    /// equivalent but not RNG-identical, which is why cross-mode captures
+    /// are not expected to match bit for bit.)
+    fn deliver_burst(&mut self, ep: Endpoint, pkts: Vec<(u64, Mbuf)>) {
+        match ep {
+            Endpoint::Unconnected => { /* black hole */ }
+            Endpoint::SwitchPort(s, ingress) => {
+                // Hoist the port-program lookups; the per-packet pipeline
+                // latency draws and queue pushes stay in arrival order.
+                let span = self.switches[s].sw.mirror[ingress];
+                let fwd = self.switches[s].sw.fwd[ingress];
+                for (at, m) in pkts {
+                    if let Some(span) = span {
+                        self.enqueue_switch_egress(s, span, m.clone(), at);
+                    }
+                    if let Some(egress) = fwd {
+                        self.enqueue_switch_egress(s, egress, m, at);
+                    }
+                }
+            }
+            Endpoint::NodePort(n, p) => {
+                // emit_wire never coalesces toward impaired ports, so
+                // this is the clean rx path only.
+                let first_arrival = pkts.first().map_or(self.now, |&(at, _)| at);
+                let mut delivered = false;
+                let wake_at;
+                {
+                    let port = &mut self.nodes[n].ports[p];
+                    for (at, m) in pkts {
+                        if port.rx_model.drop_prob > 0.0
+                            && port.rx_rng.chance(port.rx_model.drop_prob)
+                        {
+                            port.stats.on_rx_drop(1);
+                            continue;
+                        }
+                        if port.rx_queue.len() >= port.rx_model.ring_cap {
+                            port.stats.on_rx_drop(1);
+                            continue;
+                        }
+                        let mut m = m;
+                        // Hardware rx timestamps reflect the true
+                        // per-packet wire arrival.
+                        let t_eff = port.rx_model.slope_adjusted_ps(at);
+                        m.rx_ts_ps =
+                            Some(port.rx_model.timestamp.stamp(t_eff, &mut port.rx_rng));
+                        port.rx_queue.push_back(m);
+                        delivered = true;
+                    }
+                    wake_at = (first_arrival
+                        + port.rx_model.deliver_latency.sample_delay(&mut port.rx_rng))
+                    .max(self.now);
+                }
+                if delivered {
+                    let node = &mut self.nodes[n];
+                    let redundant = node.wake_pending_at.is_some_and(|w| w <= wake_at);
+                    if !redundant {
+                        node.wake_pending_at = Some(wake_at);
+                        self.schedule(wake_at, Ev::AppWake(n));
+                    }
+                }
+            }
+        }
+    }
+
+    /// A packet's last bit arrives at an endpoint. `arrival` is `self.now`
+    /// on the per-packet path; inside a coalesced burst it is the packet's
+    /// own wire-arrival time (earlier than `now` for node-bound bursts
+    /// fired at last arrival, later for switch-bound bursts fired at
+    /// first arrival).
+    fn deliver_at(&mut self, ep: Endpoint, mbuf: Mbuf, impaired: bool, arrival: u64) {
         match ep {
             Endpoint::Unconnected => { /* black hole */ }
             Endpoint::SwitchPort(s, ingress) => {
                 // Mirror first: the span port gets a copy regardless of
                 // (and without perturbing) the forwarding decision.
                 if let Some(span) = self.switches[s].sw.mirror[ingress] {
-                    self.enqueue_switch_egress(s, span, mbuf.clone());
+                    self.enqueue_switch_egress(s, span, mbuf.clone(), arrival);
                 }
                 let Some(egress) = self.switches[s].sw.fwd[ingress] else {
                     return; // no forwarding entry: drop, like a real blank program
                 };
-                self.enqueue_switch_egress(s, egress, mbuf);
+                self.enqueue_switch_egress(s, egress, mbuf, arrival);
             }
             Endpoint::NodePort(n, p) => {
-                let now = self.now;
                 // Impairment stage: fate decided once per wire crossing.
+                // (emit_wire splits bursts headed for impaired ports, so
+                // this normally runs with arrival == now; the arrival-
+                // relative offsets keep the defensive in-burst case sane.)
                 if !impaired && !self.nodes[n].ports[p].impair.is_none() {
                     let port = &mut self.nodes[n].ports[p];
                     let Some(fate) = port.impair.clone().apply(&mut port.rx_rng) else {
@@ -583,11 +781,11 @@ impl Sim {
                     }
                     if let Some(dup_delay) = fate.duplicate_delay_ps {
                         self.schedule(
-                            now + dup_delay,
+                            arrival + dup_delay,
                             Ev::Deliver(ep, primary.clone(), true),
                         );
                     }
-                    self.schedule(now + fate.delay_ps, Ev::Deliver(ep, primary, true));
+                    self.schedule(arrival + fate.delay_ps, Ev::Deliver(ep, primary, true));
                     return;
                 }
                 let wake_at;
@@ -604,10 +802,15 @@ impl Sim {
                         return;
                     }
                     let mut m = mbuf;
-                    let t_eff = port.rx_model.slope_adjusted_ps(now);
+                    // Hardware rx timestamps reflect the true per-packet
+                    // wire arrival even when software visibility is
+                    // coalesced to the end of the burst.
+                    let t_eff = port.rx_model.slope_adjusted_ps(arrival);
                     m.rx_ts_ps = Some(port.rx_model.timestamp.stamp(t_eff, &mut port.rx_rng));
                     port.rx_queue.push_back(m);
-                    wake_at = now + port.rx_model.deliver_latency.sample_delay(&mut port.rx_rng);
+                    wake_at = (arrival
+                        + port.rx_model.deliver_latency.sample_delay(&mut port.rx_rng))
+                    .max(self.now);
                 }
                 let node = &mut self.nodes[n];
                 let redundant = node.wake_pending_at.is_some_and(|w| w <= wake_at);
@@ -620,8 +823,8 @@ impl Sim {
     }
 
     /// Queue a frame on a switch egress port (paying its own pipeline
-    /// latency) and arm service if needed.
-    fn enqueue_switch_egress(&mut self, s: usize, egress: usize, mbuf: Mbuf) {
+    /// latency from its `arrival` time) and arm service if needed.
+    fn enqueue_switch_egress(&mut self, s: usize, egress: usize, mbuf: Mbuf, arrival: u64) {
         let swr = &mut self.switches[s];
         // Every frame pays its own pipeline latency; serialization order
         // is FIFO from the egress queue.
@@ -631,7 +834,7 @@ impl Sim {
             eq.dropped += 1;
             return;
         }
-        let ready = self.now + lat;
+        let ready = arrival + lat;
         eq.queue.push_back((ready, mbuf));
         if !eq.service_armed {
             eq.service_armed = true;
@@ -643,11 +846,19 @@ impl Sim {
     /// Install a mirror entry on a switch (span port tap).
     pub fn switch_mirror(&mut self, sw: usize, ingress: usize, span: usize) {
         self.switches[sw].sw.map_mirror(ingress, span);
+        self.recompute_eager(sw);
     }
 
-    /// Serve one frame from a switch egress queue.
+    /// Serve frames from a switch egress queue. With coalescing enabled,
+    /// up to [`MAX_BURST`] queued frames are served in one event. The
+    /// FIFO recurrence `start = max(now, busy_until, ready)` yields
+    /// departure times identical to one-frame-per-event serving — frames
+    /// enqueued after this event would join behind and see the same
+    /// `busy_until` either way, and egress serving draws no RNG (pipeline
+    /// latency is drawn at enqueue), so draw order is unaffected.
     fn switch_egress(&mut self, s: usize, p: usize) {
-        let (depart, peer, prop, mbuf);
+        let mut out: Vec<(u64, Mbuf)> = Vec::new();
+        let peer;
         let next_service;
         {
             let swr = &mut self.switches[s];
@@ -659,22 +870,30 @@ impl Sim {
             };
             // The head frame's pipeline latency may not have elapsed yet;
             // come back when it has.
-            let start = self.now.max(eq.busy_until_ps).max(ready);
-            if start > self.now {
-                self.schedule(start, Ev::SwitchEgress(s, p));
+            let head_start = self.now.max(eq.busy_until_ps).max(ready);
+            if head_start > self.now {
+                self.schedule(head_start, Ev::SwitchEgress(s, p));
                 return;
             }
-            let (_, m) = eq.queue.pop_front().expect("peeked");
-            let ser = crate::nic::serialization_ps(m.frame.wire_len(), rate);
-            depart = start + ser;
-            eq.busy_until_ps = depart;
-            eq.forwarded += 1;
+            let prop;
             (peer, prop) = swr.peers[p];
-            mbuf = m;
-            next_service = eq.queue.front().map(|&(r, _)| depart.max(r));
+            let cap = if self.cfg.coalesce { MAX_BURST } else { 1 };
+            while out.len() < cap {
+                let Some(&(ready, _)) = eq.queue.front() else {
+                    break;
+                };
+                let start = self.now.max(eq.busy_until_ps).max(ready);
+                let (_, m) = eq.queue.pop_front().expect("peeked");
+                let ser = crate::nic::serialization_ps(m.frame.wire_len(), rate);
+                let depart = start + ser;
+                eq.busy_until_ps = depart;
+                eq.forwarded += 1;
+                out.push((depart + prop, m));
+            }
+            next_service = eq.queue.front().map(|&(r, _)| eq.busy_until_ps.max(r));
             eq.service_armed = next_service.is_some();
         }
-        self.schedule(depart + prop, Ev::Deliver(peer, mbuf, false));
+        self.emit_wire(peer, out);
         if let Some(at) = next_service {
             self.schedule(at, Ev::SwitchEgress(s, p));
         }

@@ -38,9 +38,11 @@ pub mod rng;
 pub mod switchdev;
 pub mod time;
 pub mod topology;
+pub mod wheel;
 
 pub use clock::{NodeClock, PtpModel, TimestampModel};
-pub use engine::{Endpoint, NodeId, Sim, SimConfig};
+pub use engine::{Endpoint, NodeId, Sim, SimConfig, SimStats};
+pub use wheel::{EventQueue, QueueKind, TimingWheel};
 pub use impair::LinkImpairments;
 pub use nic::{BatchDist, NicRxModel, NicTxModel, SharedVfModel, UtilProcess};
 pub use ptp::{PtpClient, PtpGrandmaster};

@@ -118,6 +118,26 @@ impl Switch {
         serialization_ps(wire_bytes, self.profile.line_rate_bps)
     }
 
+    /// True when every egress this ingress feeds (its forwarding target
+    /// and its span copy) is fed by NO other ingress. Under this
+    /// single-feeder condition a wire crossing into `ingress` may be
+    /// enqueued on its egress queues eagerly at *transmit* time instead
+    /// of waiting for a propagation-delay arrival event: queue order,
+    /// per-packet `ready` times and thus departure times are provably
+    /// unchanged, because no other traffic can interleave into those
+    /// queues between transmit and arrival.
+    pub fn single_feeder(&self, ingress: usize) -> bool {
+        let targets = [self.fwd[ingress], self.mirror[ingress]];
+        for t in targets.into_iter().flatten() {
+            for j in 0..self.fwd.len() {
+                if j != ingress && (self.fwd[j] == Some(t) || self.mirror[j] == Some(t)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
     /// Number of ports.
     pub fn ports(&self) -> usize {
         self.fwd.len()

@@ -19,4 +19,7 @@ pub mod profiles;
 pub mod runner;
 
 pub use profiles::{EnvKind, EnvProfile};
-pub use runner::{run_experiment, ExperimentConfig, ExperimentOutput};
+pub use runner::{
+    run_experiment, run_experiment_tuned, sim_stats_report, ExperimentConfig, ExperimentOutput,
+    SimTuning,
+};

@@ -32,7 +32,7 @@ use choir_netsim::nic::{NicRxModel, NicTxModel, SharedVfModel, UtilProcess};
 use choir_netsim::rng::{DetRng, Jitter};
 use choir_netsim::time::MS;
 use choir_netsim::topology::TopologyBuilder;
-use choir_netsim::{Sim, SimConfig};
+use choir_netsim::{QueueKind, Sim, SimConfig, SimStats};
 use choir_pktgen::{Generator, GeneratorConfig};
 
 use crate::profiles::EnvProfile;
@@ -65,6 +65,53 @@ impl ExperimentConfig {
     }
 }
 
+/// Simulator hot-path knobs, orthogonal to *what* runs ([`ExperimentConfig`]).
+///
+/// Defaults to the fast path (timing wheel + burst coalescing); the
+/// per-packet `BinaryHeap` path stays available as the reference
+/// baseline `repro pipeline` times itself against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimTuning {
+    /// Coalesce contiguous wire bursts into single delivery events.
+    pub coalesce: bool,
+    /// Event-queue implementation.
+    pub queue: QueueKind,
+    /// Allocate a dedicated guard `Arc` per mbuf (the pre-optimization
+    /// mempool path) instead of folding slot accounting into the frame's
+    /// storage refcount.
+    pub guard_slot_alloc: bool,
+    /// Stamp trailer tags by copying frame bytes (the pre-optimization
+    /// stamping path) instead of writing the reserved tailroom in place.
+    pub copy_stamp: bool,
+}
+
+impl Default for SimTuning {
+    fn default() -> Self {
+        SimTuning {
+            coalesce: true,
+            queue: QueueKind::Wheel,
+            guard_slot_alloc: false,
+            copy_stamp: false,
+        }
+    }
+}
+
+impl SimTuning {
+    /// The pre-PR reference hot path, reproduced knob by knob: per-packet
+    /// delivery events on a `BinaryHeap`, a guard allocation per mbuf,
+    /// and copy-based tag stamping. Captures are NOT expected to be
+    /// bit-identical to the coalesced path (different RNG interleaving),
+    /// but the path is self-deterministic and statistically equivalent.
+    pub fn per_packet() -> Self {
+        SimTuning {
+            coalesce: false,
+            queue: QueueKind::Heap,
+            guard_slot_alloc: true,
+            copy_stamp: true,
+        }
+    }
+}
+
 /// Everything an experiment produces.
 #[derive(Debug)]
 pub struct ExperimentOutput {
@@ -80,6 +127,12 @@ pub struct ExperimentOutput {
     pub recorded_packets: u64,
     /// Simulator events processed (diagnostics).
     pub events: u64,
+    /// Event-queue and coalescing counters from the simulation.
+    pub sim_stats: SimStats,
+    /// Wall-clock time of the capture pipeline (generate → forward →
+    /// record → replay → capture), excluding the all-pairs consistency
+    /// analysis that follows it.
+    pub capture_wall_ns: u64,
 }
 
 /// Run one environment end to end.
@@ -88,6 +141,15 @@ pub struct ExperimentOutput {
 /// Panics if the pipeline produces fewer than two trials (nothing to
 /// compare) — that would indicate a wiring bug, not a measurement.
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutput {
+    run_experiment_tuned(cfg, SimTuning::default())
+}
+
+/// [`run_experiment`] with explicit simulator hot-path tuning.
+///
+/// # Panics
+/// Same contract as [`run_experiment`].
+pub fn run_experiment_tuned(cfg: &ExperimentConfig, tuning: SimTuning) -> ExperimentOutput {
+    let t_capture = std::time::Instant::now();
     let p = &cfg.profile;
     let n_packets = cfg.packet_count();
     let label = p.kind.label();
@@ -96,6 +158,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutput {
         master_seed: cfg.seed,
         trial: 0,
         pool_slots: (n_packets as usize) * 2 + 65_536,
+        queue: tuning.queue,
+        coalesce: tuning.coalesce,
+        guard_slot_alloc: tuning.guard_slot_alloc,
     });
     let mut rng = DetRng::derive(cfg.seed, &["runner", label]);
 
@@ -140,6 +205,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutput {
                 rolling_window: None,
                 bridge_reverse: false,
                 pool_reserve: 128,
+                copy_stamp: tuning.copy_stamp,
             }),
             clock(&mut rng, p),
             p.wake_jitter.clone(),
@@ -276,6 +342,10 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutput {
         "experiment produced {} trials; wiring bug",
         trials.len()
     );
+    // The capture pipeline (generate → forward → record → replay →
+    // capture) ends here; everything below is consistency analysis,
+    // benchmarked separately by `repro matrix`.
+    let capture_wall_ns = t_capture.elapsed().as_nanos() as u64;
 
     // Post-processing hot spot at full scale: the all-pairs κ matrix via
     // the sharded engine — per-trial indexes built once, at most one
@@ -295,9 +365,11 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutput {
         let d = sim.with_app::<ChoirMiddlebox, _>(mb, |m| m.degradation_report());
         degradation.absorb(&d);
     }
+    let sim_stats = sim.sim_stats();
     let mut report = RunReport::new(label, comparisons)
         .expect("at least two trials asserted above")
-        .with_degradation(degradation);
+        .with_degradation(degradation)
+        .with_sim_stats(sim_stats_report(&sim_stats));
     if let Some(summary) = matrix.summary() {
         report = report.with_matrix(summary);
     }
@@ -308,6 +380,20 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutput {
         trials,
         recorded_packets,
         events: sim.events_processed(),
+        sim_stats,
+        capture_wall_ns,
+    }
+}
+
+/// Mirror the simulator's counters into the report's serializable form.
+pub fn sim_stats_report(s: &SimStats) -> choir_core::metrics::SimStatsReport {
+    choir_core::metrics::SimStatsReport {
+        events_processed: s.events_processed,
+        queue_depth_peak: s.queue_depth_peak,
+        coalesced_events: s.coalesced_events,
+        coalesced_packets: s.coalesced_packets,
+        wire_events_elided: s.wire_events_elided,
+        packets_per_event: s.packets_per_event(),
     }
 }
 

@@ -175,3 +175,79 @@ fn eighty_gbps_doubles_packet_count() {
     // Paper: 1,052,268-1,055,648 at 40 Gbps; 6.97 Mpps * 0.3 s at 80.
     assert!((1_040_000..1_070_000).contains(&n40));
 }
+
+// ---------------------------------------------------------------------------
+// Hot-path golden tests: the burst-coalesced timing-wheel pipeline must be
+// a pure optimisation — per-tuning bit-determinism, and wheel == heap
+// byte-for-byte at identical settings (DESIGN.md §10).
+// ---------------------------------------------------------------------------
+
+use choir::netsim::QueueKind;
+use choir::testbed::{run_experiment_tuned, SimTuning};
+
+fn quick_tuned(kind: EnvKind, scale: f64, seed: u64, tuning: SimTuning) -> ExperimentOutput {
+    let mut profile = kind.profile();
+    profile.runs = 2;
+    run_experiment_tuned(
+        &ExperimentConfig {
+            profile,
+            scale,
+            seed,
+        },
+        tuning,
+    )
+}
+
+#[test]
+fn wheel_and_heap_produce_byte_identical_captures() {
+    // The timing wheel is an *implementation* of the (time, insertion seq)
+    // total order, not a new schedule: at identical tuning it must yield
+    // exactly the heap's captures, byte for byte.
+    for kind in [EnvKind::LocalSingle, EnvKind::FabricShared40Noisy] {
+        let wheel = quick_tuned(kind, 0.003, 11, SimTuning::default());
+        let heap = quick_tuned(
+            kind,
+            0.003,
+            11,
+            SimTuning {
+                queue: QueueKind::Heap,
+                ..SimTuning::default()
+            },
+        );
+        assert_eq!(wheel.trials, heap.trials, "{kind:?}: wheel vs heap capture");
+        assert_eq!(wheel.events, heap.events, "{kind:?}: wheel vs heap events");
+    }
+}
+
+#[test]
+fn per_packet_reference_path_is_self_deterministic() {
+    // The pre-optimisation baseline (`per_packet`) is kept alive as the
+    // benchmark reference; it must stay bit-deterministic in its own right.
+    let a = quick_tuned(EnvKind::LocalSingle, 0.003, 12, SimTuning::per_packet());
+    let b = quick_tuned(EnvKind::LocalSingle, 0.003, 12, SimTuning::per_packet());
+    assert_eq!(a.trials, b.trials);
+    assert_eq!(a.events, b.events);
+    // And coalescing must actually engage on the default path — otherwise
+    // the benchmark would be comparing the baseline to itself.
+    let c = quick_tuned(EnvKind::LocalSingle, 0.003, 12, SimTuning::default());
+    assert_eq!(a.sim_stats.coalesced_events, 0);
+    assert_eq!(a.sim_stats.wire_events_elided, 0);
+    assert!(c.sim_stats.coalesced_events > 0);
+    assert!(c.sim_stats.wire_events_elided > 0);
+    assert!(c.sim_stats.events_processed < a.sim_stats.events_processed);
+}
+
+#[test]
+fn coalescing_preserves_packet_sequence_and_count() {
+    // Cross-tuning runs are NOT bit-identical (RNG draws interleave
+    // differently), but the delivered packet *set and order* — what the
+    // paper calls a consistent network — must match exactly.
+    let old = quick_tuned(EnvKind::LocalSingle, 0.003, 13, SimTuning::per_packet());
+    let new = quick_tuned(EnvKind::LocalSingle, 0.003, 13, SimTuning::default());
+    assert_eq!(old.recorded_packets, new.recorded_packets);
+    for (a, b) in old.trials.iter().zip(&new.trials) {
+        let ids_a: Vec<_> = a.observations().iter().map(|o| o.id).collect();
+        let ids_b: Vec<_> = b.observations().iter().map(|o| o.id).collect();
+        assert_eq!(ids_a, ids_b, "packet sequence must survive coalescing");
+    }
+}

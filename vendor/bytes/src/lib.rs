@@ -10,7 +10,33 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Observer notified when a shared storage allocation is released.
+///
+/// At most one hook can be attached per allocation (see
+/// [`Bytes::try_attach_hook`]); it fires exactly once, when the last
+/// handle sharing the storage drops. This lets an external resource
+/// manager (e.g. a packet mempool) piggyback its accounting on the
+/// buffer's existing refcount instead of allocating its own guard.
+pub trait StorageHook: Send + Sync {
+    /// The last handle to the storage was dropped.
+    fn on_storage_release(&self);
+}
+
+/// Heap storage plus an optional release hook.
+struct SharedVec {
+    data: Vec<u8>,
+    hook: OnceLock<Arc<dyn StorageHook>>,
+}
+
+impl Drop for SharedVec {
+    fn drop(&mut self) {
+        if let Some(h) = self.hook.get() {
+            h.on_storage_release();
+        }
+    }
+}
 
 /// Shared storage behind a [`Bytes`] handle.
 #[derive(Clone)]
@@ -18,7 +44,7 @@ enum Storage {
     /// Borrowed from static memory; never copied.
     Static(&'static [u8]),
     /// Heap storage shared between all clones and sub-slices.
-    Shared(Arc<Vec<u8>>),
+    Shared(Arc<SharedVec>),
 }
 
 /// An immutable, cheaply cloneable byte buffer.
@@ -71,7 +97,44 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         match &self.storage {
             Storage::Static(s) => &s[self.offset..self.offset + self.len],
-            Storage::Shared(v) => &v[self.offset..self.offset + self.len],
+            Storage::Shared(v) => &v.data[self.offset..self.offset + self.len],
+        }
+    }
+
+    /// Attach a release hook to this buffer's shared storage.
+    ///
+    /// Returns `false` without attaching when the storage is static
+    /// (never released) or already carries a hook; the caller must then
+    /// arrange its own bookkeeping.
+    pub fn try_attach_hook(&self, hook: Arc<dyn StorageHook>) -> bool {
+        match &self.storage {
+            Storage::Static(_) => false,
+            Storage::Shared(v) => v.hook.set(hook).is_ok(),
+        }
+    }
+
+    /// How many [`Bytes`] handles share this buffer's storage
+    /// allocation (1 for static storage, which is never freed).
+    pub fn storage_refcount(&self) -> usize {
+        match &self.storage {
+            Storage::Static(_) => 1,
+            Storage::Shared(v) => Arc::strong_count(v),
+        }
+    }
+
+    /// Mutable access to the visible bytes when this handle is the sole
+    /// owner of the storage; `None` when static or currently shared.
+    ///
+    /// This is the copy-free fast path for in-place rewrites (trailer
+    /// stamping): uniqueness guarantees no other handle can observe the
+    /// mutation.
+    pub fn try_unique_mut(&mut self) -> Option<&mut [u8]> {
+        match &mut self.storage {
+            Storage::Static(_) => None,
+            Storage::Shared(v) => {
+                let sv = Arc::get_mut(v)?;
+                sv.data.get_mut(self.offset..self.offset + self.len)
+            }
         }
     }
 
@@ -131,7 +194,10 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         Bytes {
-            storage: Storage::Shared(Arc::new(v)),
+            storage: Storage::Shared(Arc::new(SharedVec {
+                data: v,
+                hook: OnceLock::new(),
+            })),
             offset: 0,
             len,
         }
@@ -264,6 +330,67 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn slice_out_of_bounds_panics() {
         Bytes::from(vec![1u8]).slice(0..9);
+    }
+
+    #[test]
+    fn hook_fires_once_on_last_release() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct Counter(AtomicUsize);
+        impl StorageHook for Counter {
+            fn on_storage_release(&self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let counter = Arc::new(Counter(AtomicUsize::new(0)));
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        assert!(a.try_attach_hook(counter.clone()));
+        // Second hook on the same storage is refused.
+        assert!(!a.try_attach_hook(counter.clone()));
+        let b = a.clone();
+        let s = a.slice(1..2);
+        assert_eq!(a.storage_refcount(), 3);
+        drop(a);
+        drop(s);
+        assert_eq!(counter.0.load(Ordering::Relaxed), 0);
+        drop(b);
+        assert_eq!(counter.0.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn static_storage_refuses_hooks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct Counter(AtomicUsize);
+        impl StorageHook for Counter {
+            fn on_storage_release(&self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let s = Bytes::from_static(b"abc");
+        assert!(!s.try_attach_hook(Arc::new(Counter(AtomicUsize::new(0)))));
+        assert_eq!(s.storage_refcount(), 1);
+    }
+
+    #[test]
+    fn unique_mut_only_when_unshared() {
+        let mut a = Bytes::from(vec![0u8; 4]);
+        a.try_unique_mut().expect("sole owner")[3] = 9;
+        assert_eq!(&a[..], &[0, 0, 0, 9]);
+        let b = a.clone();
+        assert!(a.try_unique_mut().is_none(), "shared storage");
+        drop(b);
+        a.try_unique_mut().expect("unique again")[0] = 7;
+        assert_eq!(&a[..], &[7, 0, 0, 9]);
+        // A sub-slice mutates only its visible window.
+        let mut s = Bytes::from(vec![1u8, 2, 3, 4]).slice(1..3);
+        let w = s.try_unique_mut().expect("sole owner of storage");
+        assert_eq!(w.len(), 2);
+        w[0] = 9;
+        assert_eq!(&s[..], &[9, 3]);
+        assert!(Bytes::from_static(b"abc").try_unique_mut().is_none());
     }
 
     #[test]
