@@ -3,15 +3,17 @@
 //! figures similar to those in the paper", Appendix A).
 //!
 //! ```text
-//! choir-analyze <baseline.pcap> <run.pcap>... [--windows N] [--spacing K]
+//! choir-analyze <baseline.pcap> <run.pcap>... [--windows N] [--spacing K] [--obs]
 //! ```
 //!
 //! Each run pcap is compared against the baseline: the four metrics and
 //! κ, the within-±10 ns statistic, GapReplay-style raw sums, figure-style
 //! delta histograms, and (with `--windows`) a per-window κ series that
-//! localizes inconsistency in time. Captures must be nanosecond pcap
-//! (magic 0xA1B23C4D), as produced by `choir_capture::Recorder` or any
-//! ns-capable capture tool.
+//! localizes inconsistency in time. `--obs` turns on the in-tree
+//! observability layer and appends the span/counter profile of the
+//! analysis itself (DESIGN.md §11). Captures must be nanosecond or
+//! microsecond pcap in either byte order, as produced by
+//! `choir_capture::Recorder` or any capture tool.
 
 use std::process::ExitCode;
 
@@ -33,9 +35,11 @@ fn main() -> ExitCode {
     let mut paths: Vec<String> = Vec::new();
     let mut windows: Option<usize> = None;
     let mut spacing: Option<usize> = None;
+    let mut obs_on = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--obs" => obs_on = true,
             "--windows" => {
                 windows = args.next().and_then(|v| v.parse().ok());
                 if windows.is_none() {
@@ -54,8 +58,17 @@ fn main() -> ExitCode {
         }
     }
     if paths.len() < 2 {
-        eprintln!("usage: choir-analyze <baseline.pcap> <run.pcap>... [--windows N] [--spacing K]");
+        eprintln!(
+            "usage: choir-analyze <baseline.pcap> <run.pcap>... [--windows N] [--spacing K] [--obs]"
+        );
         return ExitCode::from(2);
+    }
+    if obs_on {
+        choir_core::obs::configure(&choir_core::obs::ObsConfig {
+            enabled: true,
+            ring_capacity: 4096,
+        });
+        choir_core::obs::set_enabled(true);
     }
 
     let baseline = match load_trial(&paths[0]) {
@@ -161,6 +174,13 @@ fn main() -> ExitCode {
                 );
             }
         }
+    }
+    if obs_on {
+        println!();
+        print!(
+            "{}",
+            choir_bench::fmt::render_obs(&choir_core::obs::snapshot())
+        );
     }
     ExitCode::SUCCESS
 }

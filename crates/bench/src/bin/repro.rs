@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <target> [--scale F] [--seed N] [--runs N] [--json DIR]
+//! repro <target> [--scale F] [--seed N] [--runs N] [--json DIR] [--obs]
 //!
 //! targets:
 //!   fig2 fig3          metric worst-case constructions (L and I reach 1)
@@ -18,6 +18,12 @@
 //!   pipeline           end-to-end packets/sec, per-packet vs coalesced
 //!                      hot path, with bit-identity gates
 //!                      (writes BENCH_pipeline.json)
+//!
+//! `--obs` (matrix / pipeline) additionally exercises the in-tree
+//! observability layer: an obs-enabled pass must stay bit-identical to
+//! the plain one, the disabled-path overhead is gated (pipeline), and
+//! the span/counter profile is rendered and exported
+//! (`OBS_snapshot.json`; see DESIGN.md §11).
 //!   throughput         real-time replay engine rate (the 100 Gbps claim)
 //!   chaos              fault-rate sweep: κ vs graceful degradation, seeded
 //!   calibrate          compact paper-vs-measured sweep over all envs
@@ -51,6 +57,7 @@ struct Opts {
     seed: u64,
     runs: Option<usize>,
     json_dir: Option<String>,
+    obs: bool,
 }
 
 fn parse_args() -> Opts {
@@ -62,9 +69,11 @@ fn parse_args() -> Opts {
         seed: 0x00C4_0112,
         runs: None,
         json_dir: None,
+        obs: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--obs" => opts.obs = true,
             "--scale" => {
                 opts.scale = args
                     .next()
@@ -409,6 +418,36 @@ fn matrix(opts: &Opts) {
         engine.index_build_ns as f64 / 1e6
     );
 
+    // --obs: one extra sharded pass with the obs layer live, kept out of
+    // the timed comparisons above so the benchmark numbers stay clean.
+    // The instrumented engine must still match the serial reference
+    // bit-for-bit.
+    let obs_snap = if opts.obs {
+        use choir_core::obs;
+        obs::configure(&obs::ObsConfig {
+            enabled: true,
+            ring_capacity: 4096,
+        });
+        obs::reset();
+        obs::set_enabled(true);
+        let (m_obs, _) = all_pairs_sharded_with(trials, cpus, &cfg);
+        for (k, cell) in m_obs.cells.iter().enumerate() {
+            assert_eq!(
+                cell.metrics.kappa.to_bits(),
+                serial.cells[k].metrics.kappa.to_bits(),
+                "obs-enabled sharded engine must stay bit-identical at {}",
+                cell.label
+            );
+        }
+        let snap = obs::snapshot();
+        obs::set_enabled(false);
+        println!("   obs-enabled sharded pass bit-identical to serial ({pairs} pairs)");
+        print!("{}", fmt::render_obs(&snap));
+        Some(snap)
+    } else {
+        None
+    };
+
     #[derive(serde::Serialize)]
     struct MatrixBench {
         trials: usize,
@@ -426,6 +465,7 @@ fn matrix(opts: &Opts) {
         pairs_per_sec: f64,
         stage_totals: choir_core::metrics::StageTimings,
         summary: choir_core::metrics::MatrixSummary,
+        obs: Option<choir_core::ObsSnapshot>,
     }
     let bench = MatrixBench {
         trials: n,
@@ -443,6 +483,7 @@ fn matrix(opts: &Opts) {
         pairs_per_sec,
         stage_totals: totals,
         summary,
+        obs: obs_snap,
     };
     let body = serde_json::to_string_pretty(&bench).expect("serialize bench record");
     std::fs::write("BENCH_matrix.json", body).expect("write BENCH_matrix.json");
@@ -588,6 +629,63 @@ fn pipeline(opts: &Opts) {
         }
     );
 
+    // -- observability pass (--obs): overhead gate + bit-identity -------
+    //
+    // Every run above executed with the obs layer unconfigured, so
+    // `new_ns` is the min-of-REPS *plain* capture time. Interleave
+    // disabled and enabled reps (same load windows for both), gate the
+    // disabled path at plain + 1% + a 5 ms noise floor, and report the
+    // enabled overhead informationally. Both variants must reproduce the
+    // plain captures byte-for-byte — instrumentation may not touch
+    // simulated time or any RNG stream. Methodology: DESIGN.md §11.
+    let obs_snap = if opts.obs {
+        use choir_core::obs;
+        obs::configure(&obs::ObsConfig {
+            enabled: false,
+            ring_capacity: 4096,
+        });
+        let mut disabled_ns = u64::MAX;
+        let mut enabled_ns = u64::MAX;
+        for _ in 0..REPS {
+            obs::set_enabled(false);
+            let (_, out) = timed(SimTuning::default());
+            disabled_ns = disabled_ns.min(out.capture_wall_ns);
+            assert_eq!(
+                out.trials, new.trials,
+                "obs-disabled run must be bit-identical to the plain run"
+            );
+            obs::reset();
+            obs::set_enabled(true);
+            let (_, out) = timed(SimTuning::default());
+            enabled_ns = enabled_ns.min(out.capture_wall_ns);
+            assert_eq!(
+                out.trials, new.trials,
+                "obs-enabled run must be bit-identical to the plain run"
+            );
+        }
+        let snap = obs::snapshot();
+        obs::set_enabled(false);
+        let allowed_ns = new_ns + new_ns / 100 + 5_000_000;
+        assert!(
+            disabled_ns <= allowed_ns,
+            "obs disabled-path overhead exceeds 1% (+5 ms floor): plain {new_ns} ns, disabled {disabled_ns} ns"
+        );
+        println!(
+            "   obs: bit-identical with layer disabled and enabled; capture min plain {:.1} ms, disabled {:.1} ms, enabled {:.1} ms ({:+.1}%)",
+            new_ns as f64 / 1e6,
+            disabled_ns as f64 / 1e6,
+            enabled_ns as f64 / 1e6,
+            100.0 * (enabled_ns as f64 - new_ns as f64) / new_ns.max(1) as f64,
+        );
+        print!("{}", fmt::render_obs(&snap));
+        let body = serde_json::to_string_pretty(&snap).expect("serialize obs snapshot");
+        std::fs::write("OBS_snapshot.json", body).expect("write OBS_snapshot.json");
+        println!("   [wrote OBS_snapshot.json]");
+        Some(snap)
+    } else {
+        None
+    };
+
     #[derive(serde::Serialize)]
     struct PipelineBench {
         scale: f64,
@@ -603,6 +701,7 @@ fn pipeline(opts: &Opts) {
         bit_identical: bool,
         per_packet_sim: choir_core::metrics::SimStatsReport,
         coalesced_sim: choir_core::metrics::SimStatsReport,
+        obs: Option<choir_core::ObsSnapshot>,
     }
     let bench = PipelineBench {
         scale: opts.scale,
@@ -618,6 +717,7 @@ fn pipeline(opts: &Opts) {
         bit_identical: true,
         per_packet_sim: sim_stats_report(&old.sim_stats),
         coalesced_sim: sim_stats_report(&new.sim_stats),
+        obs: obs_snap,
     };
     let body = serde_json::to_string_pretty(&bench).expect("serialize bench record");
     std::fs::write("BENCH_pipeline.json", body).expect("write BENCH_pipeline.json");

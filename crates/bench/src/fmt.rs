@@ -3,6 +3,7 @@
 use choir_core::metrics::allpairs::KappaMatrix;
 use choir_core::metrics::report::RunReport;
 use choir_core::metrics::{ConsistencyMetrics, StageTimings};
+use choir_core::obs::ObsSnapshot;
 use choir_testbed::EnvKind;
 
 use crate::paper::PaperRow;
@@ -152,6 +153,78 @@ pub fn stage_timings(t: &StageTimings, pairs: usize) -> String {
     )
 }
 
+/// Human duration for a nanosecond count.
+fn dur_ns(v: u64) -> String {
+    if v >= 1_000_000_000 {
+        format!("{:.2} s", v as f64 / 1e9)
+    } else if v >= 1_000_000 {
+        format!("{:.2} ms", v as f64 / 1e6)
+    } else if v >= 1_000 {
+        format!("{:.2} us", v as f64 / 1e3)
+    } else {
+        format!("{v} ns")
+    }
+}
+
+/// Render an [`ObsSnapshot`] as a span tree, a counter table, and the
+/// tail of the event ring (DESIGN.md §11 explains how to read it).
+///
+/// Span paths are `/`-joined (`allpairs/pairs`); since the snapshot
+/// lists them in lexicographic order, indenting each leaf by its depth
+/// reproduces the nesting without any explicit tree structure.
+pub fn render_obs(snap: &ObsSnapshot) -> String {
+    let mut s = String::new();
+    if !snap.enabled {
+        s.push_str("obs profile: disabled\n");
+        return s;
+    }
+    s.push_str("obs profile:\n");
+    if !snap.spans.is_empty() {
+        s.push_str("  spans:\n");
+        for sp in &snap.spans {
+            let depth = sp.path.matches('/').count();
+            let leaf = sp.path.rsplit('/').next().unwrap_or(&sp.path);
+            let mut line = format!(
+                "  {}{:<w$} {:>6}x {:>12}",
+                "  ".repeat(depth + 1),
+                leaf,
+                sp.count,
+                dur_ns(sp.total_ns),
+                w = 32usize.saturating_sub(2 * depth),
+            );
+            if sp.count > 1 {
+                line.push_str(&format!(
+                    "  (min {}, max {})",
+                    dur_ns(sp.min_ns),
+                    dur_ns(sp.max_ns)
+                ));
+            }
+            line.push('\n');
+            s.push_str(&line);
+        }
+    }
+    if !snap.counters.is_empty() {
+        s.push_str("  counters:\n");
+        for c in &snap.counters {
+            s.push_str(&format!("    {:<40} {:>14}\n", c.name, c.value));
+        }
+    }
+    s.push_str(&format!(
+        "  events: {} emitted, {} dropped, {} retained\n",
+        snap.events_emitted,
+        snap.events_dropped,
+        snap.events.len()
+    ));
+    const EVENT_TAIL: usize = 8;
+    for e in snap.events.iter().rev().take(EVENT_TAIL).rev() {
+        s.push_str(&format!(
+            "    [{:>6}] {} a={} b={}\n",
+            e.seq, e.kind, e.a, e.b
+        ));
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +270,51 @@ mod tests {
         assert!(lines[0].contains('A') && lines[0].contains('C'));
         assert!(lines[1].contains(" 1 ") || lines[1].trim_end().ends_with(char::is_numeric));
         assert!(lines[3].trim_end().ends_with('1'), "{s}");
+    }
+
+    #[test]
+    fn obs_snapshot_renders_tree_counters_and_events() {
+        use choir_core::obs::{CounterSnap, EventSnap, SpanSnap};
+        let snap = ObsSnapshot {
+            enabled: true,
+            counters: vec![CounterSnap {
+                name: "allpairs.pairs_analyzed".to_string(),
+                value: 28,
+            }],
+            spans: vec![
+                SpanSnap {
+                    path: "allpairs".to_string(),
+                    count: 1,
+                    total_ns: 12_340_000,
+                    min_ns: 12_340_000,
+                    max_ns: 12_340_000,
+                },
+                SpanSnap {
+                    path: "allpairs/pairs".to_string(),
+                    count: 2,
+                    total_ns: 11_020_000,
+                    min_ns: 5_000_000,
+                    max_ns: 6_020_000,
+                },
+            ],
+            events: vec![EventSnap {
+                seq: 7,
+                kind: "sim.burst_delivered".to_string(),
+                a: 32,
+                b: 99,
+            }],
+            events_emitted: 1,
+            events_dropped: 0,
+        };
+        let s = render_obs(&snap);
+        assert!(s.contains("allpairs "), "{s}");
+        assert!(s.contains("    pairs"), "indented child: {s}");
+        assert!(s.contains("(min 5.00 ms, max 6.02 ms)"), "{s}");
+        assert!(s.contains("allpairs.pairs_analyzed"), "{s}");
+        assert!(s.contains("sim.burst_delivered a=32 b=99"), "{s}");
+
+        let off = render_obs(&ObsSnapshot::default());
+        assert!(off.contains("disabled"), "{off}");
     }
 
     #[test]

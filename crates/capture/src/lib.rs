@@ -9,6 +9,7 @@
 pub mod meter;
 
 use choir_core::metrics::Trial;
+use choir_core::obs;
 use choir_dpdk::{App, Burst, ControlMsg, Dataplane, PortId};
 use choir_packet::pcap::PcapWriter;
 use choir_packet::Frame;
@@ -93,6 +94,15 @@ impl Recorder {
     pub fn cut_trial(&mut self) {
         if !self.current.is_empty() {
             let t = std::mem::take(&mut self.current);
+            // Trial cuts happen between replay runs, never per packet, so
+            // this is a safe place to publish capture-side accounting.
+            if obs::is_enabled() {
+                obs::event("capture.trial_cut", self.finished.len() as u64, t.len() as u64);
+                obs::counter_inc("capture.trials_cut");
+                obs::counter_add("capture.packets_recorded", t.len() as u64);
+                obs::gauge_set("capture.packets_filtered", self.filtered);
+                obs::gauge_set("capture.packets_untimestamped", self.untimestamped);
+            }
             self.finished.push(t);
         }
     }
@@ -108,7 +118,10 @@ impl Recorder {
     pub fn write_pcap<W: std::io::Write>(&self, out: W) -> std::io::Result<u64> {
         let mut w = PcapWriter::new(out)?;
         for (ts_ps, frame) in &self.frames {
-            w.write_record(ts_ps / 1_000, frame)?;
+            // Round to the nearest nanosecond, as the pcap module
+            // documents — truncation would bias every IAT/latency delta
+            // derived from an exported capture by up to 1 ns.
+            w.write_record((ts_ps + 500) / 1_000, frame)?;
         }
         let n = w.records_written();
         w.finish()?;

@@ -37,5 +37,11 @@
 pub mod metrics;
 pub mod replay;
 
+/// The in-tree observability layer (span timers, counters/gauges, event
+/// ring): re-exported from `choir-obs` so metric consumers and the
+/// simulator instrument against one registry. See `DESIGN.md` §11.
+pub use choir_obs as obs;
+
 pub use metrics::{compare, ConsistencyMetrics, Trial};
+pub use obs::ObsSnapshot;
 pub use replay::{ChoirMiddlebox, MiddleboxConfig, Recording};

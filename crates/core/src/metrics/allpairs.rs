@@ -39,6 +39,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use crate::obs;
 use choir_packet::ident::PacketId;
 
 use super::histogram::DeltaHistogram;
@@ -212,6 +213,10 @@ pub fn analyze_indexed(
     b: &TrialIndex<'_>,
     cfg: &KappaConfig,
 ) -> TrialComparison {
+    // Worker threads root their own span stacks, so inside the sharded
+    // engine this aggregates as a per-pair tally rather than nesting
+    // under the orchestrator's "allpairs" span.
+    let _span = obs::span("pair");
     let t0 = Instant::now();
     let m = matching_indexed(a, b);
     let t1 = Instant::now();
@@ -416,8 +421,12 @@ pub fn all_pairs_sharded_with(
         .flat_map(|i| (i + 1..n as u32).map(move |j| (i, j)))
         .collect();
 
+    let _span = obs::span("allpairs");
     let t_index = Instant::now();
-    let indexes: Vec<TrialIndex<'_>> = trials.iter().map(TrialIndex::build).collect();
+    let indexes: Vec<TrialIndex<'_>> = {
+        let _s = obs::span("index_build");
+        trials.iter().map(TrialIndex::build).collect()
+    };
     let index_build_ns = t_index.elapsed().as_nanos() as u64;
 
     let workers = shards.max(1).min(pairs.len().max(1));
@@ -435,8 +444,12 @@ pub fn all_pairs_sharded_with(
         pair_wall_ns: 0,
     };
     let cells: Vec<TrialComparison> = if workers <= 1 {
-        pairs.iter().map(analyze_pair).collect()
+        let _s = obs::span("pairs");
+        let cells: Vec<TrialComparison> = pairs.iter().map(analyze_pair).collect();
+        obs::counter_add("allpairs.pairs_analyzed", pairs.len() as u64);
+        cells
     } else {
+        let _s = obs::span("pairs");
         let cursor = AtomicUsize::new(0);
         let live = AtomicUsize::new(0);
         let peak = AtomicUsize::new(0);
@@ -444,17 +457,28 @@ pub fn all_pairs_sharded_with(
         slots.resize_with(pairs.len(), || None);
         let slots = Mutex::new(slots);
         std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| {
+            for widx in 0..workers {
+                let (cursor, live, peak, slots) = (&cursor, &live, &peak, &slots);
+                let (pairs, analyze_pair) = (&pairs, &analyze_pair);
+                s.spawn(move || {
                     let alive = live.fetch_add(1, AtomicOrdering::SeqCst) + 1;
                     peak.fetch_max(alive, AtomicOrdering::SeqCst);
+                    // Steals are tallied locally and published once per
+                    // worker so the disabled path costs one register.
+                    let mut stolen = 0u64;
                     loop {
                         let k = cursor.fetch_add(1, AtomicOrdering::Relaxed);
                         if k >= pairs.len() {
                             break;
                         }
+                        stolen += 1;
+                        obs::event("allpairs.steal", widx as u64, k as u64);
                         let cell = analyze_pair(&pairs[k]);
                         slots.lock().expect("cell slots")[k] = Some(cell);
+                    }
+                    if stolen > 0 {
+                        obs::counter_add("allpairs.pairs_analyzed", stolen);
+                        obs::gauge_max("allpairs.worker_pairs_peak", stolen);
                     }
                     live.fetch_sub(1, AtomicOrdering::SeqCst);
                 });
@@ -470,7 +494,22 @@ pub fn all_pairs_sharded_with(
     };
     stats.pair_wall_ns = t_pairs.elapsed().as_nanos() as u64;
 
-    (KappaMatrix { labels, cells }, stats)
+    let matrix = KappaMatrix { labels, cells };
+    if obs::is_enabled() {
+        obs::gauge_max("allpairs.shards_used", stats.shards_used as u64);
+        obs::gauge_max("allpairs.peak_workers", stats.peak_workers as u64);
+        obs::counter_add("allpairs.index_build_ns", stats.index_build_ns);
+        obs::counter_add("allpairs.pair_wall_ns", stats.pair_wall_ns);
+        // Mirror the per-cell StageTimings so the span tree and the
+        // existing per-stage accounting tell one coherent story.
+        let t = matrix.total_timings();
+        obs::counter_add("allpairs.stage.match_ns", t.match_ns);
+        obs::counter_add("allpairs.stage.order_ns", t.order_ns);
+        obs::counter_add("allpairs.stage.latency_ns", t.latency_ns);
+        obs::counter_add("allpairs.stage.iat_ns", t.iat_ns);
+        obs::counter_add("allpairs.stage.histogram_ns", t.histogram_ns);
+    }
+    (matrix, stats)
 }
 
 /// Number of off-diagonal pairs for `n` trials.

@@ -133,6 +133,10 @@ pub fn analyze_with(
     b: &Trial,
     cfg: &KappaConfig,
 ) -> TrialComparison {
+    // One span per pair comparison; inside the sharded engine each
+    // worker thread roots its own "pair" spans, so the aggregate count
+    // doubles as a pairs-analyzed tally in the span tree.
+    let _span = crate::obs::span("pair");
     let t0 = Instant::now();
     let m = Matching::build(a, b);
     let t1 = Instant::now();
@@ -256,6 +260,12 @@ pub struct RunReport {
     /// existed, or assembled outside a simulation).
     #[serde(default)]
     pub sim: Option<SimStatsReport>,
+    /// Observability snapshot (span tree, counters, event-ring tail)
+    /// captured from the run that produced this report. `None` when
+    /// observability was not enabled, and for reports written before the
+    /// obs layer existed.
+    #[serde(default)]
+    pub obs: Option<choir_obs::ObsSnapshot>,
 }
 
 /// Event-queue observability counters for the simulation behind a report
@@ -301,6 +311,7 @@ impl RunReport {
             degradation: crate::replay::DegradationReport::default(),
             matrix: None,
             sim: None,
+            obs: None,
         })
     }
 
@@ -319,6 +330,15 @@ impl RunReport {
     /// Attach the simulator's event-queue statistics.
     pub fn with_sim_stats(mut self, sim: SimStatsReport) -> Self {
         self.sim = Some(sim);
+        self
+    }
+
+    /// Attach an observability snapshot (non-empty snapshots only: an
+    /// all-default snapshot carries no information worth serializing).
+    pub fn with_obs(mut self, obs: choir_obs::ObsSnapshot) -> Self {
+        if !obs.is_empty() {
+            self.obs = Some(obs);
+        }
         self
     }
 
@@ -469,6 +489,57 @@ mod tests {
         let back: TrialComparison = serde_json::from_str(&old).unwrap();
         assert_eq!(back.timings, StageTimings::default());
         assert_eq!(back.metrics.kappa, 1.0);
+    }
+
+    #[test]
+    fn report_roundtrips_with_and_without_obs_snapshot() {
+        let a = cbr_trial(10, 1000, |_| 0);
+        let base = RunReport::new("env", vec![analyze("B", &a, &a.clone())]).unwrap();
+
+        // Without: the field serializes as null and round-trips to None.
+        let json = serde_json::to_string(&base).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert!(back.obs.is_none());
+
+        // A report written before the obs field existed (no "obs" key at
+        // all) still loads, defaulting to None.
+        let idx = json.rfind(",\"obs\":").expect("obs serialized last");
+        let old = format!("{}}}", &json[..idx]);
+        let back: RunReport = serde_json::from_str(&old).unwrap();
+        assert!(back.obs.is_none());
+        assert_eq!(back.runs[0].metrics.kappa, 1.0);
+
+        // With: a populated snapshot survives the round trip intact.
+        let snap = choir_obs::ObsSnapshot {
+            enabled: true,
+            counters: vec![choir_obs::CounterSnap {
+                name: "sim.events_processed".into(),
+                value: 42,
+            }],
+            spans: vec![choir_obs::SpanSnap {
+                path: "matrix/pairs".into(),
+                count: 3,
+                total_ns: 900,
+                min_ns: 100,
+                max_ns: 500,
+            }],
+            events: vec![choir_obs::EventSnap {
+                seq: 0,
+                kind: "replay.retry".into(),
+                a: 1,
+                b: 2,
+            }],
+            events_emitted: 1,
+            events_dropped: 0,
+        };
+        let with = base.clone().with_obs(snap.clone());
+        let json = serde_json::to_string(&with).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.obs, Some(snap));
+
+        // Empty snapshots are not attached.
+        let none = base.with_obs(choir_obs::ObsSnapshot::default());
+        assert!(none.obs.is_none());
     }
 
     #[test]

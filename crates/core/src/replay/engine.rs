@@ -18,6 +18,8 @@
 
 use choir_dpdk::{Dataplane, PortId};
 
+use crate::obs;
+
 use super::degrade::{DegradationReport, ReplayError, ReplayErrorKind};
 use super::recording::Recording;
 use super::scheduler::ReplayStats;
@@ -131,6 +133,9 @@ pub fn run_replay_supervised<D: Dataplane>(
     cfg: &EngineConfig,
 ) -> Result<EngineReport, Box<ReplayError>> {
     assert!(cfg.speedup >= 1, "speedup must be >= 1");
+    // The span reads the host monotonic clock only — it cannot perturb
+    // `dp`'s TSC/wall time (simulated or real) or any RNG draw.
+    let _span = obs::span("replay.supervised");
     let mut stats = ReplayStats::default();
     let mut degradation = DegradationReport::default();
     let first = match recording.first_tsc() {
@@ -227,6 +232,7 @@ pub fn run_replay_supervised<D: Dataplane>(
                     let left = burst.len() as u64;
                     degradation.bursts_abandoned += 1;
                     degradation.packets_abandoned += left;
+                    obs::event("replay.burst_abandoned", bi as u64, left);
                     burst.clear();
                     break;
                 }
@@ -244,6 +250,7 @@ pub fn run_replay_supervised<D: Dataplane>(
             retries += 1;
             stats.tx_retries += 1;
             degradation.tx_retries += 1;
+            obs::event("replay.retry", bi as u64, retries as u64);
             // Exponential backoff: give a backed-up ring time to drain
             // instead of hammering the doorbell.
             degradation.backoffs += 1;
@@ -280,6 +287,16 @@ pub fn run_replay_supervised<D: Dataplane>(
     let elapsed_cycles = dp.tsc() - start_tsc;
     let elapsed_ns = dp.cycles_to_ns(elapsed_cycles).max(1);
     let secs = elapsed_ns as f64 / 1e9;
+    if obs::is_enabled() {
+        obs::counter_add("replay.packets_sent", stats.packets_sent);
+        obs::counter_add("replay.bursts_sent", stats.bursts_sent);
+        obs::counter_add("replay.late_bursts", stats.late_bursts);
+        obs::counter_add("replay.tx_retries", degradation.tx_retries);
+        obs::counter_add("replay.tx_rejections", degradation.tx_rejections);
+        obs::counter_add("replay.backoff_cycles", degradation.backoff_cycles);
+        obs::counter_add("replay.bursts_abandoned", degradation.bursts_abandoned);
+        obs::counter_add("replay.packets_abandoned", degradation.packets_abandoned);
+    }
     Ok(EngineReport {
         stats,
         degradation,

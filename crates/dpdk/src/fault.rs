@@ -25,6 +25,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use bytes::Bytes;
+use choir_obs as obs;
 use choir_packet::{EtherType, EthernetHeader, Frame};
 
 use crate::burst::Burst;
@@ -283,10 +284,14 @@ impl<D: Dataplane> FaultyDataplane<D> {
             self.tsc_offset += self.cfg.tsc_jump_cycles;
             self.stats.tsc_jumps += 1;
             self.stats.tsc_cycles_jumped += self.cfg.tsc_jump_cycles;
+            obs::event("fault.tsc_jump", idx, self.cfg.tsc_jump_cycles);
+            obs::counter_inc("fault.tsc_jumps");
         }
         if self.ballast.is_empty() && self.roll(self.cfg.pool_exhaust_rate) {
             self.exhaust_pool();
             self.ballast_remaining = self.cfg.pool_exhaust_calls.max(1);
+            obs::event("fault.pool_exhaustion", idx, self.ballast_remaining as u64);
+            obs::counter_inc("fault.pool_exhaustions");
         }
         true
     }
@@ -353,6 +358,8 @@ impl<D: Dataplane> Dataplane for FaultyDataplane<D> {
             if Self::is_control(&m) {
                 if self.roll(self.cfg.control_drop_rate) {
                     self.stats.control_frames_dropped += 1;
+                    obs::event("fault.control_dropped", port as u64, 1);
+                    obs::counter_inc("fault.control_frames_dropped");
                     continue;
                 }
                 if self.roll(self.cfg.control_corrupt_rate) {
@@ -364,6 +371,7 @@ impl<D: Dataplane> Dataplane for FaultyDataplane<D> {
             } else {
                 if self.roll(self.cfg.rx_drop_rate) {
                     self.stats.rx_packets_dropped += 1;
+                    obs::counter_inc("fault.rx_packets_dropped");
                     continue;
                 }
                 let duplicate = if self.roll(self.cfg.rx_dup_rate) {
@@ -377,6 +385,7 @@ impl<D: Dataplane> Dataplane for FaultyDataplane<D> {
                 if let Some(d) = duplicate {
                     if kept.push(d).is_ok() {
                         self.stats.rx_packets_duplicated += 1;
+                        obs::counter_inc("fault.rx_packets_duplicated");
                     }
                 }
             }
@@ -399,11 +408,16 @@ impl<D: Dataplane> Dataplane for FaultyDataplane<D> {
             self.stats.tx_stalls_triggered += 1;
             self.stats.tx_calls_stalled += 1;
             self.stall_remaining = self.cfg.tx_stall_calls;
+            obs::event("fault.tx_stall", port as u64, self.cfg.tx_stall_calls as u64);
+            obs::counter_inc("fault.tx_stalls_triggered");
             return 0;
         }
         if self.roll(self.cfg.tx_reject_rate) {
             self.stats.tx_bursts_rejected += 1;
             self.stats.tx_packets_rejected += burst.len() as u64;
+            obs::event("fault.tx_reject", port as u64, burst.len() as u64);
+            obs::counter_inc("fault.tx_bursts_rejected");
+            obs::counter_add("fault.tx_packets_rejected", burst.len() as u64);
             return 0;
         }
         self.inner.tx_burst(port, burst)

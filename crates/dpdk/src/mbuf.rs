@@ -383,7 +383,11 @@ mod tests {
                         if i % 3 == 0 {
                             held.pop();
                         }
-                        assert!(pool.in_use() <= pool.capacity());
+                        // The raw counter may transiently overshoot
+                        // capacity while racing allocs back out of their
+                        // optimistic fetch_add; only successful allocs
+                        // (held mbufs, and the peak below) are bounded.
+                        assert!(held.len() <= pool.capacity());
                     }
                 });
             }

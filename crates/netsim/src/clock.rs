@@ -62,9 +62,11 @@ impl NodeClock {
     }
 
     /// PTP wall-clock reading in nanoseconds at simulation time `t_ps`.
-    /// True time plus this node's current synchronization error.
+    /// True time plus this node's current synchronization error. The ps
+    /// reading rounds to the nearest ns (matching how the PTP offset is
+    /// already rounded) instead of flooring away sub-ns residue.
     pub fn wall_ns_at(&self, t_ps: u64) -> u64 {
-        let true_ns = (t_ps / 1_000) as i64;
+        let true_ns = ((t_ps + 500) / 1_000) as i64;
         (true_ns + self.ptp.offset_ns_at(t_ps)).max(0) as u64
     }
 }
@@ -216,6 +218,17 @@ mod tests {
         assert_eq!(c.wall_ns_at(0), 40);
         // After 1 s: 1e9 + 40 - 10.
         assert_eq!(c.wall_ns_at(PS_PER_SEC), 1_000_000_030);
+    }
+
+    #[test]
+    fn wall_clock_rounds_to_nearest_ns() {
+        // Regression: sub-ns residue used to floor, biasing wall-clock
+        // readings (and replay-start alignment) by up to 1 ns.
+        let c = NodeClock::ideal(1_000_000_000);
+        assert_eq!(c.wall_ns_at(499), 0);
+        assert_eq!(c.wall_ns_at(500), 1);
+        assert_eq!(c.wall_ns_at(1_499), 1);
+        assert_eq!(c.wall_ns_at(1_500), 2);
     }
 
     #[test]

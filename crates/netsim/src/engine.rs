@@ -12,6 +12,8 @@ use std::collections::VecDeque;
 
 use choir_dpdk::{App, Burst, ControlMsg, Dataplane, Mbuf, Mempool, PortId, PortStats, MAX_BURST};
 
+use choir_obs as obs;
+
 use crate::clock::NodeClock;
 use crate::impair::{corrupt_frame, LinkImpairments};
 use crate::nic::{NicRxModel, NicTxModel};
@@ -455,6 +457,19 @@ impl Sim {
         if deadline_ps != u64::MAX {
             self.now = self.now.max(deadline_ps);
         }
+        // Mirror the engine's plain counters into the obs registry once
+        // per run, outside the pop loop: the hot path stays untouched and
+        // simulated time / RNG streams cannot be perturbed. gauge_set is
+        // idempotent, so step-driven callers that re-enter run_until
+        // publish the same totals, not doubled ones.
+        if obs::is_enabled() {
+            obs::gauge_set("sim.events_processed", self.events_processed);
+            obs::gauge_set("sim.queue_depth_peak", self.queue.depth_peak() as u64);
+            obs::gauge_set("sim.coalesced_events", self.coalesced_events);
+            obs::gauge_set("sim.coalesced_packets", self.coalesced_packets);
+            obs::gauge_set("sim.wire_events_elided", self.wire_events_elided);
+            obs::gauge_set("sim.wheel_overflow_spills", self.queue.overflow_spills());
+        }
         self.now
     }
 
@@ -685,6 +700,7 @@ impl Sim {
     /// equivalent but not RNG-identical, which is why cross-mode captures
     /// are not expected to match bit for bit.)
     fn deliver_burst(&mut self, ep: Endpoint, pkts: Vec<(u64, Mbuf)>) {
+        obs::event("sim.burst_delivered", pkts.len() as u64, self.now);
         match ep {
             Endpoint::Unconnected => { /* black hole */ }
             Endpoint::SwitchPort(s, ingress) => {

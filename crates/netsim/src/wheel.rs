@@ -94,6 +94,8 @@ pub struct TimingWheel<T> {
     in_wheel: usize,
     len: usize,
     depth_peak: usize,
+    /// Pushes that landed past the horizon and spilled to the heap.
+    overflow_spills: u64,
 }
 
 impl<T> Default for TimingWheel<T> {
@@ -114,6 +116,7 @@ impl<T> TimingWheel<T> {
             in_wheel: 0,
             len: 0,
             depth_peak: 0,
+            overflow_spills: 0,
         }
     }
 
@@ -132,6 +135,12 @@ impl<T> TimingWheel<T> {
         self.depth_peak
     }
 
+    /// Pushes that fell past the horizon into the overflow heap
+    /// (diagnostics; each one costs a heap op now and a migration later).
+    pub fn overflow_spills(&self) -> u64 {
+        self.overflow_spills
+    }
+
     fn bucket_of(t: u64) -> usize {
         ((t >> BUCKET_BITS) as usize) & (NUM_BUCKETS - 1)
     }
@@ -141,6 +150,8 @@ impl<T> TimingWheel<T> {
     /// into the past, but clamping keeps ordering sane if it did).
     pub fn push(&mut self, t: u64, seq: u64, item: T) {
         if t >= self.start + HORIZON {
+            self.overflow_spills += 1;
+            choir_obs::event("wheel.overflow_spill", t, seq);
             self.overflow.push(HeapEntry(Entry { t, seq, item }));
         } else {
             let idx = if t < self.start {
@@ -293,6 +304,14 @@ impl<T> EventQueue<T> {
         match &self.inner {
             Inner::Wheel(w) => w.depth_peak(),
             Inner::Heap { depth_peak, .. } => *depth_peak,
+        }
+    }
+
+    /// Overflow-heap spills so far (always 0 for the reference heap).
+    pub fn overflow_spills(&self) -> u64 {
+        match &self.inner {
+            Inner::Wheel(w) => w.overflow_spills(),
+            Inner::Heap { .. } => 0,
         }
     }
 

@@ -6,8 +6,17 @@
 //! high-precision capture tools emit, so Choir trials can round-trip
 //! through standard tooling.
 //!
-//! The simulator's native resolution is picoseconds; timestamps are rounded
-//! to nanoseconds on write (pcap cannot represent finer).
+//! The simulator's native resolution is picoseconds; callers round
+//! timestamps to the nearest nanosecond before writing (pcap cannot
+//! represent finer — see `choir_capture::Recorder::write_pcap` and
+//! `choir_netsim`'s clock, which both round-to-nearest rather than
+//! truncate, so sub-ns residue never biases IAT/latency deltas).
+//!
+//! Reading accepts all four classic magics: nanosecond and microsecond
+//! resolution, in both native and byte-swapped (opposite-endian writer)
+//! order. Writing emits little-endian nanosecond pcap and clamps stored
+//! bytes to the advertised snap length, preserving the original length,
+//! exactly as capture tooling does for oversize frames.
 
 use std::io::{self, Read, Write};
 
@@ -49,7 +58,7 @@ impl std::fmt::Display for PcapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PcapError::Io(e) => write!(f, "pcap i/o error: {e}"),
-            PcapError::BadMagic(m) => write!(f, "not a nanosecond pcap (magic {m:#010x})"),
+            PcapError::BadMagic(m) => write!(f, "not a pcap capture (magic {m:#010x})"),
             PcapError::Truncated => write!(f, "pcap truncated mid-record"),
         }
     }
@@ -82,17 +91,23 @@ impl<W: Write> PcapWriter<W> {
         Ok(PcapWriter { out, records: 0 })
     }
 
-    /// Append one record.
+    /// Append one record. Frames larger than the advertised
+    /// [`DEFAULT_SNAPLEN`] are stored truncated — `incl` and the bytes
+    /// written are clamped to the snap length while `orig` keeps the full
+    /// on-wire length, so oversize frames round-trip as properly
+    /// truncated records instead of corrupting the container (a record
+    /// header whose `incl` exceeds the global snaplen is rejected by
+    /// standard tooling).
     pub fn write_record(&mut self, ts_ns: u64, frame: &Frame) -> io::Result<()> {
         let sec = (ts_ns / 1_000_000_000) as u32;
         let nsec = (ts_ns % 1_000_000_000) as u32;
-        let incl = frame.len() as u32;
+        let incl = (frame.len() as u32).min(DEFAULT_SNAPLEN);
         let orig = frame.orig_len() as u32;
         self.out.write_all(&sec.to_le_bytes())?;
         self.out.write_all(&nsec.to_le_bytes())?;
         self.out.write_all(&incl.to_le_bytes())?;
         self.out.write_all(&orig.to_le_bytes())?;
-        self.out.write_all(&frame.data)?;
+        self.out.write_all(&frame.data[..incl as usize])?;
         self.records += 1;
         Ok(())
     }
@@ -116,18 +131,27 @@ pub fn read_pcap<R: Read>(mut input: R) -> Result<Vec<PcapRecord>, PcapError> {
     parse_pcap(&all)
 }
 
-/// Parse a nanosecond pcap from a byte slice.
+/// Parse a nanosecond or microsecond pcap from a byte slice.
+///
+/// Both byte orders are accepted: a byte-swapped magic
+/// (`0x4D3CB2A1` / `0xD4C3B2A1` as read little-endian) marks a capture
+/// written on an opposite-endian host, and every header and record field
+/// is byte-swapped accordingly. The parsed records are identical to
+/// those of the native-endian twin of the same capture.
 pub fn parse_pcap(data: &[u8]) -> Result<Vec<PcapRecord>, PcapError> {
     if data.len() < 24 {
         return Err(PcapError::Truncated);
     }
-    let magic = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    let raw_magic = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
     // Sub-second units: nanoseconds for the high-precision magic the
     // recorder writes, microseconds for classic captures from ordinary
-    // tooling.
-    let subsec_to_ns: u64 = match magic {
-        PCAP_NS_MAGIC => 1,
-        PCAP_US_MAGIC => 1_000,
+    // tooling. A swapped magic means the writer's byte order was the
+    // opposite of little-endian wire order, so all fields swap.
+    let (subsec_to_ns, swapped): (u64, bool) = match raw_magic {
+        PCAP_NS_MAGIC => (1, false),
+        PCAP_US_MAGIC => (1_000, false),
+        m if m == PCAP_NS_MAGIC.swap_bytes() => (1, true),
+        m if m == PCAP_US_MAGIC.swap_bytes() => (1_000, true),
         other => return Err(PcapError::BadMagic(other)),
     };
     let mut records = Vec::new();
@@ -137,7 +161,14 @@ pub fn parse_pcap(data: &[u8]) -> Result<Vec<PcapRecord>, PcapError> {
         if body.len() - boff < 16 {
             return Err(PcapError::Truncated);
         }
-        let u32at = |o: usize| u32::from_le_bytes([body[o], body[o + 1], body[o + 2], body[o + 3]]);
+        let u32at = |o: usize| {
+            let v = u32::from_le_bytes([body[o], body[o + 1], body[o + 2], body[o + 3]]);
+            if swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
         let sec = u32at(boff) as u64;
         let nsec = u32at(boff + 4) as u64;
         let incl = u32at(boff + 8) as usize;
@@ -272,6 +303,96 @@ mod tests {
         assert_eq!(recs[0].frame.len(), 58);
         assert_eq!(recs[0].frame.orig_len(), 1400);
         assert_eq!(recs[0].frame.tag().unwrap().seq, 5);
+    }
+
+    /// Build a one-record pcap with explicit endianness and magic.
+    fn handmade_pcap(magic: u32, big_endian: bool, sec: u32, subsec: u32, payload: &[u8]) -> Vec<u8> {
+        let put = |buf: &mut Vec<u8>, v: u32| {
+            if big_endian {
+                buf.extend_from_slice(&v.to_be_bytes());
+            } else {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        };
+        let put16 = |buf: &mut Vec<u8>, v: u16| {
+            if big_endian {
+                buf.extend_from_slice(&v.to_be_bytes());
+            } else {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        };
+        let mut buf = Vec::new();
+        put(&mut buf, magic);
+        put16(&mut buf, 2);
+        put16(&mut buf, 4);
+        put(&mut buf, 0); // thiszone
+        put(&mut buf, 0); // sigfigs
+        put(&mut buf, DEFAULT_SNAPLEN);
+        put(&mut buf, LINKTYPE_ETHERNET);
+        put(&mut buf, sec);
+        put(&mut buf, subsec);
+        put(&mut buf, payload.len() as u32);
+        put(&mut buf, payload.len() as u32);
+        buf.extend_from_slice(payload);
+        buf
+    }
+
+    #[test]
+    fn byte_swapped_ns_magic_parses_identically() {
+        let native = handmade_pcap(PCAP_NS_MAGIC, false, 3, 123_456_789, b"wxyz");
+        let swapped = handmade_pcap(PCAP_NS_MAGIC, true, 3, 123_456_789, b"wxyz");
+        let a = parse_pcap(&native).unwrap();
+        let b = parse_pcap(&swapped).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b[0].ts_ns, 3_123_456_789);
+        assert_eq!(&b[0].frame.data[..], b"wxyz");
+    }
+
+    #[test]
+    fn byte_swapped_us_magic_parses_identically() {
+        let native = handmade_pcap(PCAP_US_MAGIC, false, 1, 2, b"abcd");
+        let swapped = handmade_pcap(PCAP_US_MAGIC, true, 1, 2, b"abcd");
+        let a = parse_pcap(&native).unwrap();
+        let b = parse_pcap(&swapped).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b[0].ts_ns, 1_000_002_000);
+    }
+
+    #[test]
+    fn swapped_record_lengths_are_swapped_too() {
+        // A record whose incl would be enormous if misread in the wrong
+        // byte order: 4 = 0x00000004 LE reads as 0x04000000 when the
+        // parser forgets to swap record fields, tripping Truncated.
+        let swapped = handmade_pcap(PCAP_NS_MAGIC, true, 0, 0, b"abcd");
+        let recs = parse_pcap(&swapped).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].frame.len(), 4);
+    }
+
+    #[test]
+    fn oversize_frame_roundtrips_as_truncated_record() {
+        // A frame larger than the advertised snaplen must be stored
+        // clamped, with orig preserving the on-wire length.
+        let n = DEFAULT_SNAPLEN as usize + 1_000;
+        let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+        let f = Frame::new(Bytes::from(data.clone()));
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(11, &f).unwrap();
+        let buf = w.finish().unwrap();
+        let recs = parse_pcap(&buf).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].frame.len(), DEFAULT_SNAPLEN as usize);
+        assert_eq!(recs[0].frame.orig_len(), n);
+        assert_eq!(&recs[0].frame.data[..], &data[..DEFAULT_SNAPLEN as usize]);
+        // Another record after the oversize one still parses: the clamp
+        // kept the container well-formed.
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(11, &f).unwrap();
+        w.write_record(22, &tagged_frame(7)).unwrap();
+        let buf = w.finish().unwrap();
+        let recs = parse_pcap(&buf).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].frame.tag().unwrap().seq, 7);
     }
 
     #[test]

@@ -373,6 +373,9 @@ pub fn run_experiment_tuned(cfg: &ExperimentConfig, tuning: SimTuning) -> Experi
     if let Some(summary) = matrix.summary() {
         report = report.with_matrix(summary);
     }
+    // `with_obs` drops empty snapshots, so this is a no-op unless the
+    // caller configured the obs layer before running the experiment.
+    report = report.with_obs(choir_core::obs::snapshot());
 
     ExperimentOutput {
         report,

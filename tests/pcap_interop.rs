@@ -1,15 +1,54 @@
 //! pcap interoperability: captures written by the recorder round-trip
 //! through the standard nanosecond pcap container back into identical
 //! trials, including snap-length (truncated) frames, under randomized
-//! inputs.
+//! inputs — and foreign captures (microsecond resolution, either byte
+//! order) parse identically to their native twins.
 
 use bytes::Bytes;
 use choir::capture::{Recorder, RecorderConfig};
 use choir::dpdk::{App, Burst, Dataplane, Mempool, PortId, PortStats};
 use choir::metrics::Trial;
-use choir::packet::pcap::{parse_pcap, PcapWriter};
+use choir::packet::pcap::{
+    parse_pcap, PcapWriter, DEFAULT_SNAPLEN, LINKTYPE_ETHERNET, PCAP_NS_MAGIC, PCAP_US_MAGIC,
+};
 use choir::packet::{ChoirTag, Frame, FrameBuilder};
 use proptest::prelude::*;
+
+/// Build a pcap byte stream the way a foreign capture tool would: with
+/// the given magic (ns or µs resolution) and byte order. Every header
+/// and record field honours `big_endian`.
+fn foreign_pcap(magic: u32, big_endian: bool, records: &[(u32, u32, Vec<u8>)]) -> Vec<u8> {
+    let w32 = |out: &mut Vec<u8>, v: u32| {
+        out.extend_from_slice(&if big_endian {
+            v.to_be_bytes()
+        } else {
+            v.to_le_bytes()
+        })
+    };
+    let w16 = |out: &mut Vec<u8>, v: u16| {
+        out.extend_from_slice(&if big_endian {
+            v.to_be_bytes()
+        } else {
+            v.to_le_bytes()
+        })
+    };
+    let mut out = Vec::new();
+    w32(&mut out, magic);
+    w16(&mut out, 2);
+    w16(&mut out, 4);
+    w32(&mut out, 0); // thiszone
+    w32(&mut out, 0); // sigfigs
+    w32(&mut out, DEFAULT_SNAPLEN);
+    w32(&mut out, LINKTYPE_ETHERNET);
+    for (sec, subsec, payload) in records {
+        w32(&mut out, *sec);
+        w32(&mut out, *subsec);
+        w32(&mut out, payload.len() as u32);
+        w32(&mut out, payload.len() as u32);
+        out.extend_from_slice(payload);
+    }
+    out
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -40,6 +79,32 @@ proptest! {
     }
 
     #[test]
+    fn foreign_endianness_and_resolution_parse_identically(
+        recs in proptest::collection::vec(
+            (0u32..100_000, 0u32..999_999, proptest::collection::vec(any::<u8>(), 16..120)),
+            0..20
+        )
+    ) {
+        // The same records through all four container variants: the two
+        // byte orders must parse bit-identically at each resolution, and
+        // the µs variant must land on exactly 1000x the subsecond field.
+        for (magic, subsec_to_ns) in [(PCAP_NS_MAGIC, 1u64), (PCAP_US_MAGIC, 1_000u64)] {
+            let native = parse_pcap(&foreign_pcap(magic, false, &recs)).unwrap();
+            let swapped = parse_pcap(&foreign_pcap(magic, true, &recs)).unwrap();
+            prop_assert_eq!(&native, &swapped,
+                "byte-swapped capture must parse identically to its native twin");
+            prop_assert_eq!(native.len(), recs.len());
+            for (rec, (sec, subsec, payload)) in native.iter().zip(&recs) {
+                prop_assert_eq!(
+                    rec.ts_ns,
+                    *sec as u64 * 1_000_000_000 + *subsec as u64 * subsec_to_ns
+                );
+                prop_assert_eq!(&rec.frame.data[..], &payload[..]);
+            }
+        }
+    }
+
+    #[test]
     fn snap_frames_preserve_identity_and_length(seqs in proptest::collection::vec(0u64..10_000, 1..30)) {
         let b = FrameBuilder::new(1400, 1, 2);
         let mut w = PcapWriter::new(Vec::new()).unwrap();
@@ -59,55 +124,56 @@ proptest! {
     }
 }
 
+/// A rx-only dataplane feeding pre-queued mbufs to the recorder.
+struct Feed {
+    pool: Mempool,
+    queued: std::collections::VecDeque<choir::dpdk::Mbuf>,
+}
+impl Dataplane for Feed {
+    fn num_ports(&self) -> usize {
+        1
+    }
+    fn mempool(&self) -> &Mempool {
+        &self.pool
+    }
+    fn rx_burst(&mut self, _p: PortId, out: &mut Burst) -> usize {
+        out.clear();
+        let mut n = 0;
+        while n < choir::dpdk::MAX_BURST {
+            match self.queued.pop_front() {
+                Some(m) => {
+                    out.push(m).unwrap();
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+    fn tx_burst(&mut self, _p: PortId, _b: &mut Burst) -> usize {
+        0
+    }
+    fn tsc(&self) -> u64 {
+        0
+    }
+    fn tsc_hz(&self) -> u64 {
+        1_000_000_000
+    }
+    fn wall_ns(&self) -> u64 {
+        0
+    }
+    fn request_wake_at_tsc(&mut self, _t: u64) {}
+    fn stats(&self, _p: PortId) -> PortStats {
+        PortStats::default()
+    }
+}
+
 #[test]
 fn recorder_capture_to_pcap_to_trial_is_lossless() {
     // Drive the recorder app, export pcap, re-import as a Trial; the
     // metric comparison between original and re-imported must be perfect
     // (modulo pcap's nanosecond resolution, which our timestamps already
     // honour).
-    struct Feed {
-        pool: Mempool,
-        queued: std::collections::VecDeque<choir::dpdk::Mbuf>,
-    }
-    impl Dataplane for Feed {
-        fn num_ports(&self) -> usize {
-            1
-        }
-        fn mempool(&self) -> &Mempool {
-            &self.pool
-        }
-        fn rx_burst(&mut self, _p: PortId, out: &mut Burst) -> usize {
-            out.clear();
-            let mut n = 0;
-            while n < choir::dpdk::MAX_BURST {
-                match self.queued.pop_front() {
-                    Some(m) => {
-                        out.push(m).unwrap();
-                        n += 1;
-                    }
-                    None => break,
-                }
-            }
-            n
-        }
-        fn tx_burst(&mut self, _p: PortId, _b: &mut Burst) -> usize {
-            0
-        }
-        fn tsc(&self) -> u64 {
-            0
-        }
-        fn tsc_hz(&self) -> u64 {
-            1_000_000_000
-        }
-        fn wall_ns(&self) -> u64 {
-            0
-        }
-        fn request_wake_at_tsc(&mut self, _t: u64) {}
-        fn stats(&self, _p: PortId) -> PortStats {
-            PortStats::default()
-        }
-    }
-
     let pool = Mempool::new("pcapio", 1 << 10);
     let builder = FrameBuilder::new(1400, 1, 2);
     let mut feed = Feed {
@@ -137,4 +203,73 @@ fn recorder_capture_to_pcap_to_trial_is_lossless() {
     assert_eq!(reimported.len(), original.len());
     let m = choir::metrics::compare(&original, &reimported);
     assert_eq!(m.kappa, 1.0, "pcap round trip must be lossless");
+}
+
+#[test]
+fn recorder_rounds_sub_ns_timestamps_to_nearest() {
+    // Hardware timestamps land on picoseconds; the pcap container holds
+    // nanoseconds. Export must round to nearest, not truncate — a
+    // floor() here would bias every IAT/latency delta derived from an
+    // exported capture by up to 1 ns.
+    let pool = Mempool::new("round", 1 << 8);
+    let builder = FrameBuilder::new(200, 1, 2);
+    let cases: &[(u64, u64)] = &[
+        (0, 0),
+        (499, 0),         // below the midpoint: down
+        (500, 1),         // midpoint: up
+        (1_499, 1),
+        (1_500, 2),
+        (2_000, 2),       // exact ns: unchanged
+        (999_999_999_499, 999_999_999),
+        (999_999_999_500, 1_000_000_000), // carries into the seconds field
+    ];
+    let mut feed = Feed {
+        pool: pool.clone(),
+        queued: Default::default(),
+    };
+    for (i, &(ps, _)) in cases.iter().enumerate() {
+        let mut m = pool
+            .alloc(builder.build_tagged_snap(ChoirTag::new(0, 0, i as u64)))
+            .unwrap();
+        m.rx_ts_ps = Some(ps);
+        feed.queued.push_back(m);
+    }
+    let mut rec = Recorder::new(RecorderConfig {
+        keep_frames: true,
+        ..RecorderConfig::default()
+    });
+    rec.on_wake(&mut feed);
+    let mut out = Vec::new();
+    rec.write_pcap(&mut out).unwrap();
+    let parsed = parse_pcap(&out).unwrap();
+    assert_eq!(parsed.len(), cases.len());
+    for (recd, &(ps, want_ns)) in parsed.iter().zip(cases) {
+        assert_eq!(
+            recd.ts_ns, want_ns,
+            "{ps} ps must round to {want_ns} ns, got {} ns",
+            recd.ts_ns
+        );
+    }
+}
+
+#[test]
+fn oversize_frames_are_clamped_to_snaplen_not_corrupted() {
+    // A frame longer than the advertised snaplen must be stored
+    // truncated (incl clamped, orig preserved) instead of writing a
+    // record that claims more bytes than the container allows — and the
+    // records after it must stay parseable.
+    let big = DEFAULT_SNAPLEN as usize + 1_000;
+    let mut w = PcapWriter::new(Vec::new()).unwrap();
+    w.write_record(1_000, &Frame::new(Bytes::from(vec![0xAB; big])))
+        .unwrap();
+    w.write_record(2_000, &Frame::new(Bytes::from(vec![0xCD; 64])))
+        .unwrap();
+    let buf = w.finish().unwrap();
+    let parsed = parse_pcap(&buf).unwrap();
+    assert_eq!(parsed.len(), 2);
+    assert_eq!(parsed[0].frame.len(), DEFAULT_SNAPLEN as usize);
+    assert_eq!(parsed[0].frame.orig_len(), big);
+    assert!(parsed[0].frame.data.iter().all(|&b| b == 0xAB));
+    assert_eq!(parsed[1].ts_ns, 2_000);
+    assert_eq!(parsed[1].frame.len(), 64);
 }
