@@ -18,8 +18,13 @@
 //!   pipeline           end-to-end packets/sec, per-packet vs coalesced
 //!                      hot path, with bit-identity gates
 //!                      (writes BENCH_pipeline.json)
+//!   stream             streaming incremental-κ engine: full-lookahead
+//!                      result gated bit-identical to the batch
+//!                      analysis, bounded-window residency gated at the
+//!                      configured window, throughput in pkts/s
+//!                      (writes BENCH_stream.json)
 //!
-//! `--obs` (matrix / pipeline) additionally exercises the in-tree
+//! `--obs` (matrix / pipeline / stream) additionally exercises the in-tree
 //! observability layer: an obs-enabled pass must stay bit-identical to
 //! the plain one, the disabled-path overhead is gated (pipeline), and
 //! the span/counter profile is rendered and exported
@@ -42,7 +47,7 @@
 use std::io::Write;
 
 use choir_bench::{fmt, paper, run_envs_parallel_with};
-use choir_core::metrics::{latency, iat, Trial};
+use choir_core::metrics::{PairAnalyzer, Trial};
 use choir_core::replay::engine::run_replay_spin;
 use choir_core::replay::recording::Recording;
 use choir_dpdk::loopback::{LoopbackPort, RealClock, RealtimePlane};
@@ -127,6 +132,7 @@ fn main() {
         "table2" => table2(&opts),
         "matrix" => matrix(&opts),
         "pipeline" => pipeline(&opts),
+        "stream" => stream(&opts),
         "throughput" => throughput(),
         "chaos" => chaos(&opts),
         "calibrate" => calibrate(&opts),
@@ -197,7 +203,7 @@ fn fig2() {
     for i in 0..5u64 {
         b.push_tagged(0, 0, i, t_end);
     }
-    let l = latency::latency_of(&a, &b).l;
+    let l = PairAnalyzer::new(&a, &b).metrics().l;
     println!("   common packets at opposite ends of A and B -> L = {l}");
     assert!((l - 1.0).abs() < 1e-12);
     println!("   normalization bound reached exactly (paper: max value used as denominator)\n");
@@ -218,7 +224,7 @@ fn fig3() {
         b.push_tagged(0, 0, i, 0);
     }
     b.push_tagged(0, 0, n - 1, t);
-    let i_val = iat::iat_of(&a, &b).i;
+    let i_val = PairAnalyzer::new(&a, &b).metrics().i;
     println!("   first/last common packets at opposite extremes -> I = {i_val}");
     assert!((i_val - 1.0).abs() < 1e-12);
     println!("   normalization bound reached exactly\n");
@@ -722,6 +728,243 @@ fn pipeline(opts: &Opts) {
     let body = serde_json::to_string_pretty(&bench).expect("serialize bench record");
     std::fs::write("BENCH_pipeline.json", body).expect("write BENCH_pipeline.json");
     println!("   [wrote BENCH_pipeline.json]\n");
+}
+
+/// Streaming incremental-κ benchmark with two hard correctness gates
+/// (the CI smoke step fails ONLY on these, never on throughput):
+///
+/// - **exactness**: with full lookahead, the streaming engine's final
+///   result must be bit-identical to the batch `analyze_indexed` result
+///   on every generated pair, at every tested chunking (including
+///   packet-at-a-time and whole-trial-at-once);
+/// - **boundedness**: with a lookahead window `w` on a trial at least
+///   10× larger, peak resident packets must never exceed `w` — even
+///   under the worst feeding order (all of A before any of B).
+///
+/// Throughput (packets/s through `push` + `finalize`) and the peak
+/// resident window are reported and written to `BENCH_stream.json`.
+fn stream(opts: &Opts) {
+    #[allow(deprecated)] // the gate is defined against the batch shim
+    use choir_core::metrics::allpairs::{analyze_indexed, pair_count, TrialIndex};
+    use choir_core::metrics::report::trial_label;
+    use choir_core::metrics::{
+        IncrementalComparison, KappaConfig, Side, StreamConfig, StreamOutcome,
+    };
+    use std::time::Instant;
+
+    let mut profile = EnvKind::LocalSingle.profile();
+    profile.runs = opts.runs.unwrap_or(4);
+    println!(
+        "== stream: incremental κ over {} runs of {} (scale {}, seed {}) ==",
+        profile.runs,
+        profile.kind.label(),
+        opts.scale,
+        opts.seed
+    );
+    let out = choir_testbed::run_experiment(&choir_testbed::ExperimentConfig {
+        profile,
+        scale: opts.scale,
+        seed: opts.seed,
+    });
+    let trials = &out.trials;
+    let n = trials.len();
+    let per_trial = trials[0].len();
+    let pairs = pair_count(n);
+    println!("   {n} trials x {per_trial} packets -> {pairs} pairs");
+
+    // Feed a pair into a fresh engine, alternating sides chunk by chunk
+    // (`chunk >= len` degenerates to whole-side bursts).
+    let stream_pair = |a: &Trial, b: &Trial, cfg: StreamConfig, chunk: usize| -> StreamOutcome {
+        let mut eng = IncrementalComparison::new(cfg);
+        let (oa, ob) = (a.observations(), b.observations());
+        let (mut ia, mut ib) = (0usize, 0usize);
+        while ia < oa.len() || ib < ob.len() {
+            let ea = (ia + chunk).min(oa.len());
+            eng.push_burst(Side::A, &oa[ia..ea]);
+            ia = ea;
+            let eb = (ib + chunk).min(ob.len());
+            eng.push_burst(Side::B, &ob[ib..eb]);
+            ib = eb;
+        }
+        eng.finalize("stream")
+    };
+    let full_cfg = StreamConfig {
+        lookahead: None,
+        snapshot_every: 0,
+        kappa: KappaConfig::paper(),
+    };
+
+    // -- gate 1: full lookahead == batch, bit for bit, on every pair ----
+    let indexes: Vec<TrialIndex<'_>> = trials.iter().map(TrialIndex::build).collect();
+    let chunk_sizes = [1usize, 64, per_trial.max(1)];
+    let kcfg = KappaConfig::paper();
+    let mut full_kappa = 1.0f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let label = format!("{}-{}", trial_label(i), trial_label(j));
+            #[allow(deprecated)] // exactness is defined against the batch shim
+            let batch = analyze_indexed(label.clone(), &indexes[i], &indexes[j], &kcfg);
+            for &chunk in &chunk_sizes {
+                let live = stream_pair(&trials[i], &trials[j], full_cfg, chunk);
+                for (name, got, want) in [
+                    ("kappa", live.comparison.metrics.kappa, batch.metrics.kappa),
+                    ("u", live.comparison.metrics.u, batch.metrics.u),
+                    ("o", live.comparison.metrics.o, batch.metrics.o),
+                    ("l", live.comparison.metrics.l, batch.metrics.l),
+                    ("i", live.comparison.metrics.i, batch.metrics.i),
+                    (
+                        "iat_within_10ns",
+                        live.comparison.iat_within_10ns,
+                        batch.iat_within_10ns,
+                    ),
+                ] {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "streaming {name} diverged from batch at pair {label}, chunk {chunk}"
+                    );
+                }
+                assert_eq!(live.comparison.common, batch.common, "common at {label}");
+                assert_eq!(live.comparison.missing, batch.missing, "missing at {label}");
+                assert_eq!(live.comparison.extra, batch.extra, "extra at {label}");
+                assert_eq!(live.evicted, 0, "full lookahead never evicts");
+            }
+            if i == 0 && j == 1 {
+                full_kappa = batch.metrics.kappa;
+            }
+        }
+    }
+    println!(
+        "   full lookahead bit-identical to batch analysis: {pairs} pairs x {:?} record chunks",
+        chunk_sizes
+    );
+
+    // -- throughput: min-of-REPS packet-at-a-burst pass over pair A-B ---
+    const REPS: usize = 3;
+    let total_pushed = (trials[0].len() + trials[1].len()) as u64;
+    let mut full_ns = u64::MAX;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let live = stream_pair(&trials[0], &trials[1], full_cfg, 256);
+        full_ns = full_ns.min(t.elapsed().as_nanos() as u64);
+        assert_eq!(live.comparison.metrics.kappa.to_bits(), full_kappa.to_bits());
+    }
+    let full_pps = total_pushed as f64 / (full_ns.max(1) as f64 / 1e9);
+    println!(
+        "   full lookahead: {:>8.2} ms for {} packets ({:>10.0} pkts/s), peak resident {}",
+        full_ns as f64 / 1e6,
+        total_pushed,
+        full_pps,
+        stream_pair(&trials[0], &trials[1], full_cfg, 256).peak_resident,
+    );
+
+    // -- gate 2: bounded window caps residency on a >= 10x trial --------
+    // Worst-case feeding order: all of A, then all of B — without
+    // eviction the whole first side would sit resident.
+    let window = (per_trial / 16).max(4);
+    assert!(
+        per_trial >= 10 * window,
+        "trial ({per_trial} packets) must be >= 10x the window ({window})"
+    );
+    let bounded_cfg = StreamConfig {
+        lookahead: Some(window),
+        snapshot_every: 0,
+        kappa: KappaConfig::paper(),
+    };
+    let mut bounded_ns = u64::MAX;
+    let mut bounded: Option<StreamOutcome> = None;
+    for _ in 0..REPS {
+        let mut eng = IncrementalComparison::new(bounded_cfg);
+        let t = Instant::now();
+        eng.push_burst(Side::A, trials[0].observations());
+        eng.push_burst(Side::B, trials[1].observations());
+        let live = eng.finalize("stream-bounded");
+        bounded_ns = bounded_ns.min(t.elapsed().as_nanos() as u64);
+        bounded = Some(live);
+    }
+    let bounded = bounded.expect("REPS >= 1");
+    assert!(
+        bounded.peak_resident <= window,
+        "bounded mode must cap resident packets at the window: peak {} > {window}",
+        bounded.peak_resident
+    );
+    let bounded_pps = total_pushed as f64 / (bounded_ns.max(1) as f64 / 1e9);
+    println!(
+        "   bounded window {window}: peak resident {} (<= window), {} evicted, {:>10.0} pkts/s, kappa {:.4} (full {:.4})",
+        bounded.peak_resident,
+        bounded.evicted,
+        bounded_pps,
+        bounded.comparison.metrics.kappa,
+        full_kappa,
+    );
+
+    // -- observability pass (--obs): the instrumented engine must stay
+    // bit-identical, and the stream.* profile is rendered + exported.
+    let obs_snap = if opts.obs {
+        use choir_core::obs;
+        obs::configure(&obs::ObsConfig {
+            enabled: true,
+            ring_capacity: 4096,
+        });
+        obs::reset();
+        obs::set_enabled(true);
+        let live = stream_pair(&trials[0], &trials[1], full_cfg, 256);
+        assert_eq!(
+            live.comparison.metrics.kappa.to_bits(),
+            full_kappa.to_bits(),
+            "obs-enabled streaming pass must stay bit-identical"
+        );
+        let snap = obs::snapshot();
+        obs::set_enabled(false);
+        println!("   obs-enabled streaming pass bit-identical to plain");
+        print!("{}", fmt::render_obs(&snap));
+        Some(snap)
+    } else {
+        None
+    };
+
+    #[derive(serde::Serialize)]
+    struct StreamBench {
+        scale: f64,
+        seed: u64,
+        trials: usize,
+        pairs: usize,
+        packets_per_trial: usize,
+        chunk_sizes: Vec<usize>,
+        bit_identical: bool,
+        full_lookahead_ns: u64,
+        full_lookahead_pps: f64,
+        bounded_window: usize,
+        bounded_peak_resident: usize,
+        bounded_evicted: usize,
+        bounded_ns: u64,
+        bounded_pps: f64,
+        bounded_kappa: f64,
+        batch_kappa: f64,
+        obs: Option<choir_core::ObsSnapshot>,
+    }
+    let bench = StreamBench {
+        scale: opts.scale,
+        seed: opts.seed,
+        trials: n,
+        pairs,
+        packets_per_trial: per_trial,
+        chunk_sizes: chunk_sizes.to_vec(),
+        bit_identical: true,
+        full_lookahead_ns: full_ns,
+        full_lookahead_pps: full_pps,
+        bounded_window: window,
+        bounded_peak_resident: bounded.peak_resident,
+        bounded_evicted: bounded.evicted,
+        bounded_ns,
+        bounded_pps,
+        bounded_kappa: bounded.comparison.metrics.kappa,
+        batch_kappa: full_kappa,
+        obs: obs_snap,
+    };
+    let body = serde_json::to_string_pretty(&bench).expect("serialize bench record");
+    std::fs::write("BENCH_stream.json", body).expect("write BENCH_stream.json");
+    println!("   [wrote BENCH_stream.json]\n");
 }
 
 /// Chaos sweep: replay one recording through a fault-injecting dataplane

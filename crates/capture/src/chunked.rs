@@ -1,0 +1,309 @@
+//! Chunked pcap reading for the streaming κ engine.
+//!
+//! [`choir_packet::pcap::read_pcap`] materializes a whole capture before
+//! anything can be analyzed — fine for the batch pipeline, wasteful for
+//! [`choir_core::metrics::stream`], which only ever needs the next burst.
+//! [`PcapChunkReader`] reads a capture incrementally from any
+//! [`std::io::Read`], yielding record batches of a configurable size, so
+//! a multi-gigabyte capture streams into an `IncrementalComparison` with
+//! memory bounded by the chunk size (plus the engine's lookahead window).
+//!
+//! The reader accepts the same four magics as the batch parser
+//! (nanosecond/microsecond resolution, native and byte-swapped) and
+//! yields records identical to [`choir_packet::pcap::parse_pcap`]'s, in
+//! the same order — only the delivery granularity differs.
+
+use std::io::{self, Read};
+
+use bytes::Bytes;
+
+use choir_packet::pcap::{PcapError, PcapRecord, PCAP_NS_MAGIC, PCAP_US_MAGIC};
+use choir_packet::Frame;
+
+/// Default records per chunk: roughly a few mbuf bursts' worth.
+pub const DEFAULT_CHUNK_RECORDS: usize = 1024;
+
+/// An incremental pcap reader yielding batches of records.
+///
+/// ```
+/// use choir_capture::chunked::PcapChunkReader;
+/// use choir_packet::pcap::PcapWriter;
+/// use choir_packet::Frame;
+/// use bytes::Bytes;
+///
+/// let mut w = PcapWriter::new(Vec::new()).unwrap();
+/// for i in 0..10u64 {
+///     w.write_record(i * 1_000, &Frame::new(Bytes::from(vec![0u8; 60]))).unwrap();
+/// }
+/// let buf = w.finish().unwrap();
+/// let reader = PcapChunkReader::new(&buf[..], 4).unwrap();
+/// let sizes: Vec<usize> = reader.map(|c| c.unwrap().len()).collect();
+/// assert_eq!(sizes, [4, 4, 2]);
+/// ```
+pub struct PcapChunkReader<R: Read> {
+    input: R,
+    swapped: bool,
+    subsec_to_ns: u64,
+    chunk: usize,
+    done: bool,
+}
+
+impl<R: Read> PcapChunkReader<R> {
+    /// Validate the 24-byte global header and return a reader that yields
+    /// up to `chunk_size` records per batch (`0` is clamped to 1).
+    pub fn new(mut input: R, chunk_size: usize) -> Result<Self, PcapError> {
+        let mut hdr = [0u8; 24];
+        input.read_exact(&mut hdr).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                PcapError::Truncated
+            } else {
+                PcapError::Io(e)
+            }
+        })?;
+        let raw_magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+        let (subsec_to_ns, swapped): (u64, bool) = match raw_magic {
+            PCAP_NS_MAGIC => (1, false),
+            PCAP_US_MAGIC => (1_000, false),
+            m if m == PCAP_NS_MAGIC.swap_bytes() => (1, true),
+            m if m == PCAP_US_MAGIC.swap_bytes() => (1_000, true),
+            other => return Err(PcapError::BadMagic(other)),
+        };
+        Ok(PcapChunkReader {
+            input,
+            swapped,
+            subsec_to_ns,
+            chunk: chunk_size.max(1),
+            done: false,
+        })
+    }
+
+    /// Read a 16-byte record header, distinguishing clean end-of-capture
+    /// (EOF on the first byte → `None`) from a capture cut mid-header.
+    fn read_record_header(&mut self) -> Result<Option<[u8; 16]>, PcapError> {
+        let mut hdr = [0u8; 16];
+        let mut filled = 0;
+        while filled < 16 {
+            match self.input.read(&mut hdr[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => return Err(PcapError::Truncated),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(PcapError::Io(e)),
+            }
+        }
+        Ok(Some(hdr))
+    }
+
+    /// The next batch of up to `chunk_size` records, `None` at clean EOF.
+    ///
+    /// The final batch may be short. After an error or EOF every further
+    /// call returns `Ok(None)`.
+    pub fn next_chunk(&mut self) -> Result<Option<Vec<PcapRecord>>, PcapError> {
+        if self.done {
+            return Ok(None);
+        }
+        let result = self.fill_chunk();
+        if result.is_err() {
+            self.done = true;
+        }
+        result
+    }
+
+    fn fill_chunk(&mut self) -> Result<Option<Vec<PcapRecord>>, PcapError> {
+        let mut out = Vec::with_capacity(self.chunk);
+        while out.len() < self.chunk {
+            let Some(hdr) = self.read_record_header()? else {
+                self.done = true;
+                break;
+            };
+            let u32at = |o: usize| {
+                let v = u32::from_le_bytes([hdr[o], hdr[o + 1], hdr[o + 2], hdr[o + 3]]);
+                if self.swapped {
+                    v.swap_bytes()
+                } else {
+                    v
+                }
+            };
+            let sec = u32at(0) as u64;
+            let nsec = u32at(4) as u64;
+            let incl = u32at(8) as usize;
+            let orig = u32at(12);
+            let mut body = vec![0u8; incl];
+            self.input.read_exact(&mut body).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    PcapError::Truncated
+                } else {
+                    PcapError::Io(e)
+                }
+            })?;
+            let data = Bytes::from(body);
+            let frame = if orig as usize > incl {
+                Frame::truncated(data, orig)
+            } else {
+                Frame::new(data)
+            };
+            out.push(PcapRecord {
+                ts_ns: sec * 1_000_000_000 + nsec * self.subsec_to_ns,
+                frame,
+            });
+        }
+        if out.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(out))
+        }
+    }
+}
+
+impl<R: Read> Iterator for PcapChunkReader<R> {
+    type Item = Result<Vec<PcapRecord>, PcapError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_chunk() {
+            Ok(Some(chunk)) => Some(Ok(chunk)),
+            Ok(None) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choir_packet::pcap::{parse_pcap, PcapWriter, DEFAULT_SNAPLEN, LINKTYPE_ETHERNET};
+    use choir_packet::ChoirTag;
+
+    fn sample_pcap(n: u64) -> Vec<u8> {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for i in 0..n {
+            let mut buf = vec![0u8; 80];
+            ChoirTag::new(1, 0, i).stamp_trailer(&mut buf);
+            w.write_record(i * 1_000 + 37, &Frame::new(Bytes::from(buf)))
+                .unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn chunked_equals_batch_parse_across_chunk_sizes() {
+        let buf = sample_pcap(101);
+        let batch = parse_pcap(&buf).unwrap();
+        for chunk in [1usize, 3, 64, 101, 10_000] {
+            let reader = PcapChunkReader::new(&buf[..], chunk).unwrap();
+            let streamed: Vec<PcapRecord> = reader.flat_map(|c| c.unwrap()).collect();
+            assert_eq!(streamed, batch, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_and_short_tail() {
+        let buf = sample_pcap(10);
+        let sizes: Vec<usize> = PcapChunkReader::new(&buf[..], 4)
+            .unwrap()
+            .map(|c| c.unwrap().len())
+            .collect();
+        assert_eq!(sizes, [4, 4, 2]);
+    }
+
+    #[test]
+    fn empty_capture_yields_no_chunks() {
+        let buf = PcapWriter::new(Vec::new()).unwrap().finish().unwrap();
+        let mut reader = PcapChunkReader::new(&buf[..], 8).unwrap();
+        assert!(reader.next_chunk().unwrap().is_none());
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn zero_chunk_size_clamps_to_one() {
+        let buf = sample_pcap(3);
+        let sizes: Vec<usize> = PcapChunkReader::new(&buf[..], 0)
+            .unwrap()
+            .map(|c| c.unwrap().len())
+            .collect();
+        assert_eq!(sizes, [1, 1, 1]);
+    }
+
+    #[test]
+    fn bad_magic_rejected_up_front() {
+        let mut buf = sample_pcap(1);
+        buf[0] ^= 0xff;
+        assert!(matches!(
+            PcapChunkReader::new(&buf[..], 8),
+            Err(PcapError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_global_header() {
+        assert!(matches!(
+            PcapChunkReader::new(&[0u8; 10][..], 8),
+            Err(PcapError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn truncated_record_body_errors_then_stops() {
+        let buf = sample_pcap(2);
+        let mut reader = PcapChunkReader::new(&buf[..buf.len() - 5], 8).unwrap();
+        assert!(matches!(reader.next(), Some(Err(PcapError::Truncated))));
+        assert!(reader.next().is_none(), "errors are terminal");
+    }
+
+    #[test]
+    fn truncated_record_header_errors() {
+        let buf = sample_pcap(1);
+        // Global header + 8 of the 16 record-header bytes.
+        let mut reader = PcapChunkReader::new(&buf[..32], 8).unwrap();
+        assert!(matches!(reader.next(), Some(Err(PcapError::Truncated))));
+    }
+
+    /// A one-record pcap with explicit endianness and magic (mirrors the
+    /// batch parser's handmade fixture).
+    fn handmade_pcap(magic: u32, big_endian: bool, sec: u32, subsec: u32, payload: &[u8]) -> Vec<u8> {
+        let put = |buf: &mut Vec<u8>, v: u32| {
+            if big_endian {
+                buf.extend_from_slice(&v.to_be_bytes());
+            } else {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        };
+        let put16 = |buf: &mut Vec<u8>, v: u16| {
+            if big_endian {
+                buf.extend_from_slice(&v.to_be_bytes());
+            } else {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        };
+        let mut buf = Vec::new();
+        put(&mut buf, magic);
+        put16(&mut buf, 2);
+        put16(&mut buf, 4);
+        put(&mut buf, 0);
+        put(&mut buf, 0);
+        put(&mut buf, DEFAULT_SNAPLEN);
+        put(&mut buf, LINKTYPE_ETHERNET);
+        put(&mut buf, sec);
+        put(&mut buf, subsec);
+        put(&mut buf, payload.len() as u32);
+        put(&mut buf, payload.len() as u32);
+        buf.extend_from_slice(payload);
+        buf
+    }
+
+    #[test]
+    fn microsecond_and_swapped_magics_match_batch_parser() {
+        for (magic, big_endian) in [
+            (PCAP_US_MAGIC, false),
+            (PCAP_US_MAGIC, true),
+            (PCAP_NS_MAGIC, true),
+        ] {
+            let buf = handmade_pcap(magic, big_endian, 1, 2, b"abcd");
+            let batch = parse_pcap(&buf).unwrap();
+            let streamed: Vec<PcapRecord> = PcapChunkReader::new(&buf[..], 8)
+                .unwrap()
+                .flat_map(|c| c.unwrap())
+                .collect();
+            assert_eq!(streamed, batch, "magic {magic:#x} be={big_endian}");
+        }
+    }
+}

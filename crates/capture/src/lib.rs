@@ -6,6 +6,7 @@
 //! [`choir_core::metrics::Trial`] for the consistency analysis. It can
 //! optionally retain whole frames for pcap export.
 
+pub mod chunked;
 pub mod meter;
 
 use choir_core::metrics::Trial;
@@ -14,6 +15,7 @@ use choir_dpdk::{App, Burst, ControlMsg, Dataplane, PortId};
 use choir_packet::pcap::PcapWriter;
 use choir_packet::Frame;
 
+pub use chunked::PcapChunkReader;
 pub use meter::RateMeter;
 
 /// Recorder configuration.

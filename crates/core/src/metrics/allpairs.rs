@@ -42,16 +42,14 @@ use serde::{Deserialize, Serialize};
 use crate::obs;
 use choir_packet::ident::PacketId;
 
-use super::histogram::DeltaHistogram;
 use super::iat::IatResult;
 use super::kappa::KappaConfig;
 use super::latency::LatencyResult;
 use super::matching::{MatchedPair, Matching};
-use super::ordering::ordering;
-use super::report::{abs_percentiles_ns, analyze_with, trial_label, StageTimings, TrialComparison};
+use super::pair::PairAnalyzer;
+use super::report::{analyze_with, trial_label, StageTimings, TrialComparison};
 use super::stats;
 use super::trial::Trial;
-use super::uniqueness::uniqueness;
 
 /// Per-trial precomputation cache: everything a pairwise comparison needs
 /// from one side that does not depend on the other side.
@@ -121,7 +119,14 @@ impl<'t> TrialIndex<'t> {
 /// [`Matching::build`] on the underlying trials, but with no per-pair
 /// hash-table construction: only B's arrival scan remains, each packet
 /// resolved with one lookup into A's (shared, immutable) identity table.
+#[deprecated(note = "use metrics::PairAnalyzer::from_indexes (see DESIGN.md §12)")]
 pub fn matching_indexed(a: &TrialIndex<'_>, b: &TrialIndex<'_>) -> Matching {
+    matching_indexed_core(a, b)
+}
+
+/// Shared kernel behind [`matching_indexed`] and
+/// [`super::pair::PairAnalyzer`].
+pub(crate) fn matching_indexed_core(a: &TrialIndex<'_>, b: &TrialIndex<'_>) -> Matching {
     let mut pairs = Vec::with_capacity(a.len().min(b.len()));
     for (j, o) in b.trial.observations().iter().enumerate() {
         if let Some(positions) = a.by_id.get(&o.id) {
@@ -143,7 +148,18 @@ pub fn matching_indexed(a: &TrialIndex<'_>, b: &TrialIndex<'_>) -> Matching {
 }
 
 /// [`super::iat::iat_full`] on cached gaps and spans — bit-identical.
+#[deprecated(note = "use metrics::PairAnalyzer::from_indexes (see DESIGN.md §12)")]
 pub fn iat_full_indexed(a: &TrialIndex<'_>, b: &TrialIndex<'_>, m: &Matching) -> IatResult {
+    iat_full_indexed_core(a, b, m)
+}
+
+/// Shared kernel behind [`iat_full_indexed`] and
+/// [`super::pair::PairAnalyzer`].
+pub(crate) fn iat_full_indexed_core(
+    a: &TrialIndex<'_>,
+    b: &TrialIndex<'_>,
+    m: &Matching,
+) -> IatResult {
     let mc = m.common();
     if mc == 0 {
         return IatResult {
@@ -171,7 +187,18 @@ pub fn iat_full_indexed(a: &TrialIndex<'_>, b: &TrialIndex<'_>, m: &Matching) ->
 
 /// [`super::latency::latency_full`] on cached offsets and spans —
 /// bit-identical.
+#[deprecated(note = "use metrics::PairAnalyzer::from_indexes (see DESIGN.md §12)")]
 pub fn latency_full_indexed(
+    a: &TrialIndex<'_>,
+    b: &TrialIndex<'_>,
+    m: &Matching,
+) -> LatencyResult {
+    latency_full_indexed_core(a, b, m)
+}
+
+/// Shared kernel behind [`latency_full_indexed`] and
+/// [`super::pair::PairAnalyzer`].
+pub(crate) fn latency_full_indexed_core(
     a: &TrialIndex<'_>,
     b: &TrialIndex<'_>,
     m: &Matching,
@@ -207,58 +234,14 @@ pub fn latency_full_indexed(
 /// Analyze one pair from prebuilt indexes, recording per-stage wall-clock
 /// time. Metric output is bit-identical to [`analyze_with`] on the
 /// underlying trials (only the `timings` field differs run to run).
+#[deprecated(note = "use metrics::PairAnalyzer::from_indexes (see DESIGN.md §12)")]
 pub fn analyze_indexed(
     label: impl Into<String>,
     a: &TrialIndex<'_>,
     b: &TrialIndex<'_>,
     cfg: &KappaConfig,
 ) -> TrialComparison {
-    // Worker threads root their own span stacks, so inside the sharded
-    // engine this aggregates as a per-pair tally rather than nesting
-    // under the orchestrator's "allpairs" span.
-    let _span = obs::span("pair");
-    let t0 = Instant::now();
-    let m = matching_indexed(a, b);
-    let t1 = Instant::now();
-    let u = uniqueness(&m);
-    let ord = ordering(&m);
-    let t2 = Instant::now();
-    let lat = latency_full_indexed(a, b, &m);
-    let t3 = Instant::now();
-    let ia = iat_full_indexed(a, b, &m);
-    let t4 = Instant::now();
-    let metrics = cfg.combine(u, ord.o, lat.l, ia.i);
-
-    let iat_hist = DeltaHistogram::of(ia.deltas_ns.iter().copied());
-    let latency_hist = DeltaHistogram::of(lat.deltas_ns.iter().copied());
-    let within = stats::fraction_within(ia.deltas_ns.iter().copied(), 10.0);
-    let iat_abs_percentiles_ns = abs_percentiles_ns(&ia.deltas_ns);
-    let latency_abs_percentiles_ns = abs_percentiles_ns(&lat.deltas_ns);
-    let t5 = Instant::now();
-
-    TrialComparison {
-        label: label.into(),
-        metrics,
-        a_len: m.a_len,
-        b_len: m.b_len,
-        common: m.common(),
-        missing: m.missing_in_b(),
-        extra: m.extra_in_b(),
-        moved: ord.moved(),
-        iat_within_10ns: within,
-        iat_abs_percentiles_ns,
-        latency_abs_percentiles_ns,
-        edit_stats: ord.stats(),
-        iat_hist,
-        latency_hist,
-        timings: StageTimings {
-            match_ns: (t1 - t0).as_nanos() as u64,
-            order_ns: (t2 - t1).as_nanos() as u64,
-            latency_ns: (t3 - t2).as_nanos() as u64,
-            iat_ns: (t4 - t3).as_nanos() as u64,
-            histogram_ns: (t5 - t4).as_nanos() as u64,
-        },
-    }
+    PairAnalyzer::from_indexes(a, b).label(label).config(*cfg).analyze()
 }
 
 /// Summary statistics of the off-diagonal κ values — the "how unstable is
@@ -433,7 +416,10 @@ pub fn all_pairs_sharded_with(
     let analyze_pair = |&(i, j): &(u32, u32)| {
         let (i, j) = (i as usize, j as usize);
         let label = format!("{}-{}", labels[i], labels[j]);
-        analyze_indexed(label, &indexes[i], &indexes[j], cfg)
+        PairAnalyzer::from_indexes(&indexes[i], &indexes[j])
+            .label(label)
+            .config(*cfg)
+            .analyze()
     };
 
     let t_pairs = Instant::now();
@@ -518,6 +504,7 @@ pub fn pair_count(n: usize) -> usize {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must keep working until callers migrate
 mod tests {
     use super::*;
     use crate::metrics::iat::iat_full;

@@ -71,7 +71,7 @@ pub fn gapreplay_with(a: &Trial, b: &Trial, m: &Matching) -> GapReplayMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{iat::iat_of, latency::latency_of};
+    use crate::metrics::pair::PairAnalyzer;
 
     fn cbr(n: u64, gap: u64, shift: u64) -> Trial {
         let mut t = Trial::new();
@@ -106,8 +106,8 @@ mod tests {
             b.push_tagged(0, 0, i, i * 1_000 + (i % 5) * 11);
         }
         let g = gapreplay_metrics(&a, &b);
-        let l = latency_of(&a, &b).l;
-        let i = iat_of(&a, &b).i;
+        let m = PairAnalyzer::new(&a, &b).metrics();
+        let (l, i) = (m.l, m.i);
 
         let reach = (b.end_ps() as f64).max(a.end_ps() as f64) / 1_000.0; // both start at 0
         let l_expected = g.cumulative_latency_ns / (g.common as f64 * reach);

@@ -135,7 +135,17 @@ impl DeltaHistogram {
     }
 
     /// Merge another histogram into this one.
+    ///
+    /// Both histograms must share the same bucket geometry. Today that is
+    /// guaranteed (`SUBS`/`DECADES` are compile-time constants), but a
+    /// deserialized histogram from an older or foreign build could carry a
+    /// different bucket count — zipping those would silently drop mass.
     pub fn merge(&mut self, other: &DeltaHistogram) {
+        debug_assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "merging histograms with different bucket geometries"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -245,6 +255,19 @@ mod tests {
         let b = DeltaHistogram::of([-5.0]);
         a.merge(&b);
         assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "different bucket geometries")]
+    fn merge_rejects_mismatched_geometry() {
+        // A foreign/older build could serialize a different bucket count;
+        // merging it must trip the debug assertion instead of silently
+        // dropping mass.
+        let mut a = DeltaHistogram::new();
+        let b: DeltaHistogram =
+            serde_json::from_str(r#"{"counts":[1,2,3],"total":6,"clamped":0}"#).unwrap();
+        a.merge(&b);
     }
 
     #[test]

@@ -27,12 +27,20 @@ pub struct IatResult {
 }
 
 /// Compute `I` from trials and a prebuilt matching.
+#[deprecated(note = "use metrics::PairAnalyzer (see DESIGN.md §12)")]
 pub fn iat(a: &Trial, b: &Trial, m: &Matching) -> f64 {
-    iat_full(a, b, m).i
+    iat_full_core(a, b, m).i
 }
 
 /// Compute `I` along with the delta series.
+#[deprecated(note = "use metrics::PairAnalyzer (see DESIGN.md §12)")]
 pub fn iat_full(a: &Trial, b: &Trial, m: &Matching) -> IatResult {
+    iat_full_core(a, b, m)
+}
+
+/// Shared kernel behind the deprecated free functions and
+/// [`super::pair::PairAnalyzer`].
+pub(crate) fn iat_full_core(a: &Trial, b: &Trial, m: &Matching) -> IatResult {
     let mc = m.common();
     if mc == 0 {
         return IatResult {
@@ -68,11 +76,13 @@ pub fn iat_full(a: &Trial, b: &Trial, m: &Matching) -> IatResult {
 }
 
 /// Convenience: `I` straight from two trials.
+#[deprecated(note = "use metrics::PairAnalyzer (see DESIGN.md §12)")]
 pub fn iat_of(a: &Trial, b: &Trial) -> IatResult {
-    iat_full(a, b, &Matching::build(a, b))
+    iat_full_core(a, b, &Matching::build(a, b))
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must keep working until callers migrate
 mod tests {
     use super::*;
 

@@ -33,12 +33,20 @@ pub struct LatencyResult {
 }
 
 /// Compute `L` and the per-packet deltas.
+#[deprecated(note = "use metrics::PairAnalyzer (see DESIGN.md §12)")]
 pub fn latency(a: &Trial, b: &Trial, m: &Matching) -> f64 {
-    latency_full(a, b, m).l
+    latency_full_core(a, b, m).l
 }
 
 /// Compute `L` along with the delta series.
+#[deprecated(note = "use metrics::PairAnalyzer (see DESIGN.md §12)")]
 pub fn latency_full(a: &Trial, b: &Trial, m: &Matching) -> LatencyResult {
+    latency_full_core(a, b, m)
+}
+
+/// Shared kernel behind the deprecated free functions and
+/// [`super::pair::PairAnalyzer`].
+pub(crate) fn latency_full_core(a: &Trial, b: &Trial, m: &Matching) -> LatencyResult {
     let mc = m.common();
     if mc == 0 {
         return LatencyResult {
@@ -83,11 +91,13 @@ pub fn latency_full(a: &Trial, b: &Trial, m: &Matching) -> LatencyResult {
 }
 
 /// Convenience: `L` straight from two trials.
+#[deprecated(note = "use metrics::PairAnalyzer (see DESIGN.md §12)")]
 pub fn latency_of(a: &Trial, b: &Trial) -> LatencyResult {
-    latency_full(a, b, &Matching::build(a, b))
+    latency_full_core(a, b, &Matching::build(a, b))
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must keep working until callers migrate
 mod tests {
     use super::*;
 

@@ -24,9 +24,11 @@ pub mod kappa;
 pub mod latency;
 pub mod matching;
 pub mod ordering;
+pub mod pair;
 pub mod report;
 pub mod reorder;
 pub mod stats;
+pub mod stream;
 pub mod trial;
 pub mod uniqueness;
 pub mod windowed;
@@ -40,23 +42,23 @@ pub use histogram::DeltaHistogram;
 pub use kappa::{kappa_from_components, ConsistencyMetrics, KappaConfig, Scaling};
 pub use matching::Matching;
 pub use ordering::EditScriptStats;
+pub use pair::PairAnalyzer;
 pub use report::{
-    trial_label, ReportError, RunReport, SimStatsReport, StageTimings, TrialComparison,
+    trial_label, ReportError, RunReport, SimStatsReport, StageTimings, StreamReport,
+    StreamRunTrail, TrialComparison,
 };
+pub use stream::{IncrementalComparison, KappaSnapshot, Side, StreamConfig, StreamOutcome};
 pub use trial::{Observation, Trial};
 pub use windowed::{windowed_kappa, worst_window, WindowScore};
 
 /// Compute all four metrics plus κ between two trials.
 ///
-/// This is the everyday entry point; use the per-module functions when you
-/// need intermediate artifacts (the matching, the edit script, …).
+/// This is the everyday entry point — sugar for
+/// [`PairAnalyzer::metrics`] with the paper's κ configuration. Build a
+/// [`PairAnalyzer`] directly when you need intermediate artifacts (the
+/// matching, the edit script, the full [`TrialComparison`], …).
 pub fn compare(a: &Trial, b: &Trial) -> ConsistencyMetrics {
-    let m = Matching::build(a, b);
-    let u = uniqueness::uniqueness(&m);
-    let o = ordering::ordering(&m).o;
-    let l = latency::latency(a, b, &m);
-    let i = iat::iat(a, b, &m);
-    kappa_from_components(u, o, l, i)
+    PairAnalyzer::new(a, b).metrics()
 }
 
 #[cfg(test)]

@@ -93,8 +93,12 @@ impl EditScriptStats {
     }
 }
 
-/// Compute the ordering metric from a prebuilt matching.
-pub fn ordering(m: &Matching) -> OrderingResult {
+/// Shared kernel behind [`ordering`] and
+/// [`super::pair::PairAnalyzer`]. Also the exact finalizer of the
+/// streaming engine ([`super::stream`]): it only reads `m.common()` and
+/// the pairs' relative positions, so a synthetic [`Matching`] assembled
+/// from streamed matches reproduces the batch result bit-for-bit.
+pub(crate) fn ordering_core(m: &Matching) -> OrderingResult {
     let mc = m.common();
     if mc <= 1 {
         return OrderingResult {
@@ -135,9 +139,16 @@ pub fn ordering(m: &Matching) -> OrderingResult {
     }
 }
 
+/// Compute the ordering metric from a prebuilt matching.
+#[deprecated(note = "use metrics::PairAnalyzer (see DESIGN.md §12)")]
+pub fn ordering(m: &Matching) -> OrderingResult {
+    ordering_core(m)
+}
+
 /// Convenience: `O` straight from two trials.
+#[deprecated(note = "use metrics::PairAnalyzer (see DESIGN.md §12)")]
 pub fn ordering_of(a: &super::trial::Trial, b: &super::trial::Trial) -> OrderingResult {
-    ordering(&Matching::build(a, b))
+    ordering_core(&Matching::build(a, b))
 }
 
 /// Membership mask of the *minimum-move-distance* maximal increasing
@@ -212,6 +223,7 @@ fn lis_membership(seq: &[u32]) -> Vec<bool> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must keep working until callers migrate
 mod tests {
     use super::*;
     use crate::metrics::trial::Trial;

@@ -1,0 +1,297 @@
+//! The unified pair-analysis entry point.
+//!
+//! Historically every metric shipped its own free-function zoo
+//! (`uniqueness`/`uniqueness_of`, `ordering`/`ordering_of`,
+//! `latency`/`latency_full`/`latency_of`, `iat`/`iat_full`/`iat_of`, plus
+//! the `*_indexed` variants in [`super::allpairs`]), each rebuilding or
+//! re-threading the [`Matching`] by hand. [`PairAnalyzer`] collapses them
+//! behind one builder that owns the matching (built lazily, built once)
+//! and dispatches to the exact same kernels — plain-trial or
+//! index-cached — so results stay bit-identical to the deprecated paths.
+//!
+//! ```
+//! use choir_core::metrics::{PairAnalyzer, Trial};
+//!
+//! let mut a = Trial::new();
+//! let mut b = Trial::new();
+//! for i in 0..10u64 {
+//!     a.push_tagged(0, 0, i, i * 1000);
+//!     b.push_tagged(0, 0, i, i * 1000 + (i % 3) * 7);
+//! }
+//! // Quick look: just the metrics.
+//! let m = PairAnalyzer::new(&a, &b).metrics();
+//! assert_eq!(m.u, 0.0);
+//! // Full report: histograms, percentiles, edit script, timings.
+//! let cmp = PairAnalyzer::new(&a, &b).label("B").analyze();
+//! assert_eq!(cmp.common, 10);
+//! ```
+//!
+//! The migration table from the old free functions lives in DESIGN.md §12.
+
+use std::time::Instant;
+
+use super::allpairs::{
+    iat_full_indexed_core, latency_full_indexed_core, matching_indexed_core, TrialIndex,
+};
+use super::histogram::DeltaHistogram;
+use super::iat::{iat_full_core, IatResult};
+use super::kappa::{ConsistencyMetrics, KappaConfig};
+use super::latency::{latency_full_core, LatencyResult};
+use super::matching::Matching;
+use super::ordering::ordering_core;
+use super::report::{abs_percentiles_ns, StageTimings, TrialComparison};
+use super::trial::Trial;
+use super::uniqueness::uniqueness_core;
+
+/// Where a pair's observations come from: borrowed trials (the matching
+/// is built from scratch) or prebuilt [`TrialIndex`]es (the sharded
+/// engine's cached path).
+enum Source<'t> {
+    Trials { a: &'t Trial, b: &'t Trial },
+    Indexed { a: &'t TrialIndex<'t>, b: &'t TrialIndex<'t> },
+}
+
+/// Builder-style analyzer for one trial pair.
+///
+/// Owns the [`Matching`] cache: the first accessor that needs it builds
+/// it, every later call (including [`PairAnalyzer::analyze`]) reuses it.
+/// All outputs are bit-identical to the deprecated free-function paths —
+/// the same kernels run on the same operands in the same order.
+pub struct PairAnalyzer<'t> {
+    source: Source<'t>,
+    label: String,
+    cfg: KappaConfig,
+    matching: Option<Matching>,
+}
+
+impl<'t> PairAnalyzer<'t> {
+    /// Analyze a pair of plain trials.
+    pub fn new(a: &'t Trial, b: &'t Trial) -> Self {
+        PairAnalyzer {
+            source: Source::Trials { a, b },
+            label: "B".to_string(),
+            cfg: KappaConfig::paper(),
+            matching: None,
+        }
+    }
+
+    /// Analyze a pair through prebuilt per-trial indexes (the cached path
+    /// the sharded all-pairs engine uses).
+    pub fn from_indexes(a: &'t TrialIndex<'t>, b: &'t TrialIndex<'t>) -> Self {
+        PairAnalyzer {
+            source: Source::Indexed { a, b },
+            label: "B".to_string(),
+            cfg: KappaConfig::paper(),
+            matching: None,
+        }
+    }
+
+    /// Set the run label carried into the [`TrialComparison`] (default
+    /// `"B"`, the paper's first non-baseline run).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Use a custom κ configuration (default: the paper's formula).
+    pub fn config(mut self, cfg: KappaConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    fn build_matching(&self) -> Matching {
+        match self.source {
+            Source::Trials { a, b } => Matching::build(a, b),
+            Source::Indexed { a, b } => matching_indexed_core(a, b),
+        }
+    }
+
+    fn latency(&self, m: &Matching) -> LatencyResult {
+        match self.source {
+            Source::Trials { a, b } => latency_full_core(a, b, m),
+            Source::Indexed { a, b } => latency_full_indexed_core(a, b, m),
+        }
+    }
+
+    fn iat(&self, m: &Matching) -> IatResult {
+        match self.source {
+            Source::Trials { a, b } => iat_full_core(a, b, m),
+            Source::Indexed { a, b } => iat_full_indexed_core(a, b, m),
+        }
+    }
+
+    /// The occurrence-wise matching, built on first access and cached.
+    pub fn matching(&mut self) -> &Matching {
+        if self.matching.is_none() {
+            self.matching = Some(self.build_matching());
+        }
+        self.matching.as_ref().expect("matching just built")
+    }
+
+    /// `|A ∩ B|` — the number of common packets.
+    pub fn common(&mut self) -> usize {
+        self.matching().common()
+    }
+
+    /// Just the four component metrics plus κ — the light-weight path
+    /// (no histograms, no percentiles) behind [`super::compare`] and the
+    /// windowed scorer.
+    pub fn metrics(&mut self) -> ConsistencyMetrics {
+        let cfg = self.cfg;
+        let m = self.matching();
+        let u = uniqueness_core(m);
+        let o = ordering_core(m).o;
+        let (l, i) = {
+            let m = self.matching.as_ref().expect("matching cached");
+            (self.latency(m).l, self.iat(m).i)
+        };
+        cfg.combine(u, o, l, i)
+    }
+
+    /// The complete comparison: metrics, drop/extra/moved counts,
+    /// histograms, percentiles, edit-script statistics, stage timings.
+    pub fn analyze(mut self) -> TrialComparison {
+        // One span per pair comparison; inside the sharded engine each
+        // worker thread roots its own "pair" spans, so the aggregate
+        // count doubles as a pairs-analyzed tally in the span tree.
+        let _span = crate::obs::span("pair");
+        let t0 = Instant::now();
+        let m = match self.matching.take() {
+            Some(m) => m,
+            None => self.build_matching(),
+        };
+        let t1 = Instant::now();
+        let u = uniqueness_core(&m);
+        let ord = ordering_core(&m);
+        let t2 = Instant::now();
+        let lat = self.latency(&m);
+        let t3 = Instant::now();
+        let ia = self.iat(&m);
+        let t4 = Instant::now();
+        let metrics = self.cfg.combine(u, ord.o, lat.l, ia.i);
+
+        let iat_hist = DeltaHistogram::of(ia.deltas_ns.iter().copied());
+        let latency_hist = DeltaHistogram::of(lat.deltas_ns.iter().copied());
+        let within = super::stats::fraction_within(ia.deltas_ns.iter().copied(), 10.0);
+        let iat_abs_percentiles_ns = abs_percentiles_ns(&ia.deltas_ns);
+        let latency_abs_percentiles_ns = abs_percentiles_ns(&lat.deltas_ns);
+        let t5 = Instant::now();
+
+        TrialComparison {
+            label: self.label,
+            metrics,
+            a_len: m.a_len,
+            b_len: m.b_len,
+            common: m.common(),
+            missing: m.missing_in_b(),
+            extra: m.extra_in_b(),
+            moved: ord.moved(),
+            iat_within_10ns: within,
+            iat_abs_percentiles_ns,
+            latency_abs_percentiles_ns,
+            edit_stats: ord.stats(),
+            iat_hist,
+            latency_hist,
+            timings: StageTimings {
+                match_ns: (t1 - t0).as_nanos() as u64,
+                order_ns: (t2 - t1).as_nanos() as u64,
+                latency_ns: (t3 - t2).as_nanos() as u64,
+                iat_ns: (t4 - t3).as_nanos() as u64,
+                histogram_ns: (t5 - t4).as_nanos() as u64,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(deprecated)] // equivalence tests exercise the deprecated shims
+mod tests {
+    use super::*;
+    use crate::metrics::iat::iat_of;
+    use crate::metrics::latency::latency_of;
+    use crate::metrics::ordering::ordering_of;
+    use crate::metrics::report::analyze_with;
+    use crate::metrics::uniqueness::uniqueness_of;
+
+    fn jittered_pair(n: u64) -> (Trial, Trial) {
+        let mut a = Trial::new();
+        let mut b = Trial::new();
+        for i in 0..n {
+            a.push_tagged(0, 0, i, i * 1000);
+            // Jitter plus one local swap and one drop to touch every
+            // metric component.
+            if i != 17 {
+                let j = if i % 11 == 3 { i ^ 1 } else { i };
+                b.push_tagged(0, 0, j, i * 1000 + (i % 5) * 37);
+            }
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn metrics_match_the_deprecated_free_functions() {
+        let (a, b) = jittered_pair(200);
+        let got = PairAnalyzer::new(&a, &b).metrics();
+        assert_eq!(got.u.to_bits(), uniqueness_of(&a, &b).to_bits());
+        assert_eq!(got.o.to_bits(), ordering_of(&a, &b).o.to_bits());
+        assert_eq!(got.l.to_bits(), latency_of(&a, &b).l.to_bits());
+        assert_eq!(got.i.to_bits(), iat_of(&a, &b).i.to_bits());
+    }
+
+    #[test]
+    fn analyze_matches_analyze_with_bitwise() {
+        let (a, b) = jittered_pair(300);
+        let new = PairAnalyzer::new(&a, &b).label("B").analyze();
+        let old = analyze_with("B", &a, &b, &KappaConfig::paper());
+        assert_eq!(new.metrics.kappa.to_bits(), old.metrics.kappa.to_bits());
+        assert_eq!(new.iat_abs_percentiles_ns, old.iat_abs_percentiles_ns);
+        assert_eq!(new.latency_abs_percentiles_ns, old.latency_abs_percentiles_ns);
+        assert_eq!(new.edit_stats, old.edit_stats);
+        assert_eq!(
+            (new.a_len, new.b_len, new.common, new.missing, new.extra, new.moved),
+            (old.a_len, old.b_len, old.common, old.missing, old.extra, old.moved)
+        );
+    }
+
+    #[test]
+    fn indexed_source_matches_trial_source_bitwise() {
+        let (a, b) = jittered_pair(250);
+        let (ia, ib) = (TrialIndex::build(&a), TrialIndex::build(&b));
+        let direct = PairAnalyzer::new(&a, &b).analyze();
+        let indexed = PairAnalyzer::from_indexes(&ia, &ib).analyze();
+        assert_eq!(direct.metrics.kappa.to_bits(), indexed.metrics.kappa.to_bits());
+        assert_eq!(direct.metrics.o.to_bits(), indexed.metrics.o.to_bits());
+        assert_eq!(direct.iat_within_10ns.to_bits(), indexed.iat_within_10ns.to_bits());
+        assert_eq!(direct.edit_stats, indexed.edit_stats);
+    }
+
+    #[test]
+    fn matching_is_built_once_and_cached() {
+        let (a, b) = jittered_pair(50);
+        let mut pa = PairAnalyzer::new(&a, &b);
+        let common = pa.common();
+        let first = pa.matching() as *const Matching;
+        let second = pa.matching() as *const Matching;
+        assert_eq!(first, second, "second access must reuse the cache");
+        // And the cache feeds analyze() without a rebuild changing results.
+        let cmp = pa.analyze();
+        assert_eq!(cmp.common, common);
+    }
+
+    #[test]
+    fn custom_config_flows_through() {
+        let (a, b) = jittered_pair(100);
+        let linear = PairAnalyzer::new(&a, &b).metrics();
+        let strict = PairAnalyzer::new(&a, &b)
+            .config(KappaConfig::drop_sensitive())
+            .metrics();
+        assert!(strict.kappa < linear.kappa);
+    }
+
+    #[test]
+    fn default_label_is_b() {
+        let (a, b) = jittered_pair(10);
+        assert_eq!(PairAnalyzer::new(&a, &b).analyze().label, "B");
+        assert_eq!(PairAnalyzer::new(&a, &b).label("A-C").analyze().label, "A-C");
+    }
+}

@@ -2,19 +2,15 @@
 //! run-vs-baseline comparison, computed in a single pass over the
 //! matching, plus the multi-run aggregation used by Table 2.
 
-use std::time::Instant;
-
 use serde::{Deserialize, Serialize};
 
 use super::allpairs::MatrixSummary;
 use super::histogram::DeltaHistogram;
-use super::iat::iat_full;
 use super::kappa::{ConsistencyMetrics, KappaConfig};
-use super::latency::latency_full;
-use super::matching::Matching;
-use super::ordering::{ordering, EditScriptStats};
+use super::ordering::EditScriptStats;
+use super::pair::PairAnalyzer;
+use super::stream::KappaSnapshot;
 use super::trial::Trial;
-use super::uniqueness::uniqueness;
 
 /// Wall-clock nanoseconds spent in each analysis stage of one comparison.
 ///
@@ -127,59 +123,16 @@ pub fn analyze(label: impl Into<String>, a: &Trial, b: &Trial) -> TrialCompariso
 }
 
 /// Analyze with a custom κ configuration.
+///
+/// Thin forwarding wrapper over [`PairAnalyzer`] (which owns the actual
+/// pipeline); kept non-deprecated as the ergonomic one-call entry point.
 pub fn analyze_with(
     label: impl Into<String>,
     a: &Trial,
     b: &Trial,
     cfg: &KappaConfig,
 ) -> TrialComparison {
-    // One span per pair comparison; inside the sharded engine each
-    // worker thread roots its own "pair" spans, so the aggregate count
-    // doubles as a pairs-analyzed tally in the span tree.
-    let _span = crate::obs::span("pair");
-    let t0 = Instant::now();
-    let m = Matching::build(a, b);
-    let t1 = Instant::now();
-    let u = uniqueness(&m);
-    let ord = ordering(&m);
-    let t2 = Instant::now();
-    let lat = latency_full(a, b, &m);
-    let t3 = Instant::now();
-    let ia = iat_full(a, b, &m);
-    let t4 = Instant::now();
-    let metrics = cfg.combine(u, ord.o, lat.l, ia.i);
-
-    let iat_hist = DeltaHistogram::of(ia.deltas_ns.iter().copied());
-    let latency_hist = DeltaHistogram::of(lat.deltas_ns.iter().copied());
-    let within = super::stats::fraction_within(ia.deltas_ns.iter().copied(), 10.0);
-
-    let iat_abs_percentiles_ns = abs_percentiles_ns(&ia.deltas_ns);
-    let latency_abs_percentiles_ns = abs_percentiles_ns(&lat.deltas_ns);
-    let t5 = Instant::now();
-
-    TrialComparison {
-        label: label.into(),
-        metrics,
-        a_len: m.a_len,
-        b_len: m.b_len,
-        common: m.common(),
-        missing: m.missing_in_b(),
-        extra: m.extra_in_b(),
-        moved: ord.moved(),
-        iat_within_10ns: within,
-        iat_abs_percentiles_ns,
-        latency_abs_percentiles_ns,
-        edit_stats: ord.stats(),
-        iat_hist,
-        latency_hist,
-        timings: StageTimings {
-            match_ns: (t1 - t0).as_nanos() as u64,
-            order_ns: (t2 - t1).as_nanos() as u64,
-            latency_ns: (t3 - t2).as_nanos() as u64,
-            iat_ns: (t4 - t3).as_nanos() as u64,
-            histogram_ns: (t5 - t4).as_nanos() as u64,
-        },
-    }
+    PairAnalyzer::new(a, b).label(label).config(*cfg).analyze()
 }
 
 /// Analyze several runs against one baseline concurrently (each run's
@@ -266,6 +219,41 @@ pub struct RunReport {
     /// obs layer existed.
     #[serde(default)]
     pub obs: Option<choir_obs::ObsSnapshot>,
+    /// Streaming-mode trail: per-run snapshot series from the incremental
+    /// κ engine, when the experiment scored runs as they arrived (`None`
+    /// for batch-only reports and reports written before the streaming
+    /// engine existed).
+    #[serde(default)]
+    pub stream: Option<StreamReport>,
+}
+
+/// Per-run streaming trail attached to a [`RunReport`] when the
+/// experiment ran the incremental engine alongside (or instead of) the
+/// batch analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamReport {
+    /// Configured reorder/lookahead window (`None` = unbounded).
+    pub lookahead: Option<usize>,
+    /// Snapshot cadence in packets (0 = snapshots were taken manually).
+    pub snapshot_every: u64,
+    /// One trail per streamed run.
+    pub runs: Vec<StreamRunTrail>,
+}
+
+/// The streaming engine's trail for one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamRunTrail {
+    /// Run label ("B", "C", …).
+    pub label: String,
+    /// Final streaming κ at finalize.
+    pub final_kappa: f64,
+    /// Peak number of unmatched packets resident in the reorder window.
+    pub peak_resident: usize,
+    /// Packets evicted unmatched by the bounded window (0 = the window
+    /// covered the whole run and the final κ is exact).
+    pub evicted: usize,
+    /// Periodic snapshots taken while the run streamed in.
+    pub snapshots: Vec<KappaSnapshot>,
 }
 
 /// Event-queue observability counters for the simulation behind a report
@@ -312,6 +300,7 @@ impl RunReport {
             matrix: None,
             sim: None,
             obs: None,
+            stream: None,
         })
     }
 
@@ -339,6 +328,12 @@ impl RunReport {
         if !obs.is_empty() {
             self.obs = Some(obs);
         }
+        self
+    }
+
+    /// Attach the streaming engine's per-run snapshot trail.
+    pub fn with_stream(mut self, stream: StreamReport) -> Self {
+        self.stream = Some(stream);
         self
     }
 
@@ -540,6 +535,42 @@ mod tests {
         // Empty snapshots are not attached.
         let none = base.with_obs(choir_obs::ObsSnapshot::default());
         assert!(none.obs.is_none());
+    }
+
+    #[test]
+    fn report_roundtrips_with_and_without_stream_trail() {
+        let a = cbr_trial(10, 1000, |_| 0);
+        let base = RunReport::new("env", vec![analyze("B", &a, &a.clone())]).unwrap();
+
+        // Without: serializes as null, round-trips to None; a report
+        // written before the field existed (key absent) also loads.
+        let json = serde_json::to_string(&base).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert!(back.stream.is_none());
+        let idx = json.rfind(",\"stream\":").expect("stream serialized last");
+        let old = format!("{}}}", &json[..idx]);
+        let back: RunReport = serde_json::from_str(&old).unwrap();
+        assert!(back.stream.is_none());
+
+        // With: the trail survives the round trip.
+        let with = base.with_stream(StreamReport {
+            lookahead: Some(64),
+            snapshot_every: 100,
+            runs: vec![StreamRunTrail {
+                label: "B".into(),
+                final_kappa: 0.875,
+                peak_resident: 12,
+                evicted: 0,
+                snapshots: Vec::new(),
+            }],
+        });
+        let json = serde_json::to_string(&with).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        let s = back.stream.expect("stream trail present");
+        assert_eq!(s.lookahead, Some(64));
+        assert_eq!(s.runs.len(), 1);
+        assert_eq!(s.runs[0].label, "B");
+        assert_eq!(s.runs[0].final_kappa, 0.875);
     }
 
     #[test]

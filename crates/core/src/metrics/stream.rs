@@ -1,0 +1,1159 @@
+//! The streaming incremental-κ engine.
+//!
+//! The paper computes κ post-hoc over complete capture pairs; this module
+//! scores consistency *while packets arrive*. [`IncrementalComparison`]
+//! consumes observations (or bursts) from two trials as they stream in,
+//! maintains an online occurrence-wise matching plus running U/O/L/I
+//! accumulators, and emits periodic [`KappaSnapshot`]s. `finalize`
+//! returns the same [`TrialComparison`] type as the batch analyzers.
+//!
+//! ## Exactness contract
+//!
+//! With an **unbounded lookahead** (`StreamConfig::lookahead = None`) the
+//! finalized comparison is **bit-identical** to the batch pipeline
+//! ([`super::pair::PairAnalyzer`] / the deprecated `analyze_indexed`) on
+//! the same observations, for any interleaving and any chunking of the
+//! two input streams. This works without buffering the raw trials:
+//!
+//! - U, drop/extra counts: totals and the matched count are
+//!   order-independent.
+//! - L and I numerators: integer deltas are computed at match time and
+//!   accumulated into `u128` sums — exact and commutative, so the match
+//!   order (which differs from B's arrival order whenever A lags) is
+//!   irrelevant.
+//! - The denominators need only per-side first-arrival offsets and
+//!   min/max spans, tracked incrementally.
+//! - Histograms and the within-10 ns count are multiset functions of the
+//!   deltas.
+//! - Only O and the edit-script statistics are order-sensitive; they are
+//!   produced at finalize by running the exact batch LIS kernel over the
+//!   matched pairs sorted into B arrival order — the identical
+//!   permutation the batch path sees.
+//!
+//! ## Bounded mode
+//!
+//! With `lookahead = Some(w)` at most `w` unmatched observations stay
+//! resident; the globally oldest pending observation is evicted first.
+//! An evicted packet can never match, so a pair whose true match distance
+//! exceeds the window is scored as a drop on both sides (U rises — the
+//! honest reading: within the window's horizon the packet never showed
+//! up). O is accumulated over sealed `w`-sized segments of matched pairs,
+//! a lower bound of the global move distance; percentiles are
+//! approximated from the histogram buckets. L/I stay exact over the
+//! matches that happened. DESIGN.md §12 spells out the semantics.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::obs;
+use choir_packet::ident::PacketId;
+
+use super::histogram::DeltaHistogram;
+use super::kappa::{ConsistencyMetrics, KappaConfig};
+use super::matching::{MatchedPair, Matching};
+use super::ordering::{ordering_core, EditScriptStats};
+use super::report::{abs_percentiles_ns, StageTimings, TrialComparison};
+use super::trial::Observation;
+use super::uniqueness::uniqueness_core;
+use super::windowed::WindowScore;
+
+/// Which of the two streams an observation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Side {
+    /// The baseline stream (trial A).
+    A,
+    /// The run under comparison (trial B).
+    B,
+}
+
+impl Side {
+    fn index(self) -> usize {
+        match self {
+            Side::A => 0,
+            Side::B => 1,
+        }
+    }
+}
+
+/// Configuration of one incremental comparison. The default is full
+/// lookahead, no automatic snapshots, and the paper's κ weights
+/// (`KappaConfig::default()` == `KappaConfig::paper()`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamConfig {
+    /// Reorder/lookahead window: the maximum number of unmatched
+    /// observations kept resident across both sides. `None` = unbounded
+    /// (exact batch-identical finalize). `Some(0)` is clamped to 1.
+    pub lookahead: Option<usize>,
+    /// Take a [`KappaSnapshot`] automatically every this many pushed
+    /// observations (both sides counted). 0 = only explicit
+    /// [`IncrementalComparison::snapshot_now`] calls.
+    pub snapshot_every: u64,
+    /// κ configuration applied to running and final scores.
+    pub kappa: KappaConfig,
+}
+
+/// A periodic progress report: running totals, the running κ, and a
+/// [`WindowScore`] over the slice since the previous snapshot (the same
+/// shape [`super::windowed`] emits, so snapshot trails and windowed
+/// series render through the same tooling).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KappaSnapshot {
+    /// Observations pushed on side A so far.
+    pub seen_a: usize,
+    /// Observations pushed on side B so far.
+    pub seen_b: usize,
+    /// Matched pairs so far.
+    pub common: usize,
+    /// Unmatched observations currently resident in the window.
+    pub resident: usize,
+    /// Observations evicted unmatched so far (bounded mode only).
+    pub evicted: usize,
+    /// Running κ and components over everything seen so far.
+    pub running: ConsistencyMetrics,
+    /// Score of just the slice since the previous snapshot.
+    pub window: WindowScore,
+}
+
+/// Everything `finalize` hands back.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// The finished comparison — bit-identical to the batch analyzers
+    /// when the lookahead was unbounded.
+    pub comparison: TrialComparison,
+    /// The snapshot trail taken while streaming.
+    pub snapshots: Vec<KappaSnapshot>,
+    /// High-water mark of resident unmatched observations.
+    pub peak_resident: usize,
+    /// Observations evicted unmatched (0 in unbounded mode).
+    pub evicted: usize,
+    /// True when a bounded lookahead was configured (the comparison is
+    /// then the documented approximation, not the exact batch result).
+    pub bounded: bool,
+}
+
+/// Per-side incremental statistics (the streaming mirror of what
+/// `Trial::start_ps`/`minmax_span_ps`/`gap_ps` provide in batch).
+#[derive(Debug, Clone, Copy, Default)]
+struct SideState {
+    len: usize,
+    first_t_ps: u64,
+    prev_t_ps: u64,
+    min_t_ps: u64,
+    max_t_ps: u64,
+    evicted: usize,
+}
+
+impl SideState {
+    fn start_ps(&self) -> u64 {
+        if self.len == 0 {
+            0
+        } else {
+            self.first_t_ps
+        }
+    }
+
+    fn minmax_span_ps(&self) -> u64 {
+        if self.len == 0 {
+            0
+        } else {
+            self.max_t_ps - self.min_t_ps
+        }
+    }
+}
+
+/// An observation waiting for its counterpart on the other side.
+#[derive(Debug, Clone, Copy)]
+struct PendingObs {
+    pos: u32,
+    t_ps: u64,
+    gap_ps: i64,
+    /// Global push counter value at enqueue time — unique, monotone; the
+    /// eviction key.
+    tick: u64,
+}
+
+/// FIFO queues of pending occurrences of one identity, one per side. At
+/// most one side is non-empty at any time (two non-empty sides would
+/// have matched).
+#[derive(Debug, Default)]
+struct IdQueues {
+    a: VecDeque<PendingObs>,
+    b: VecDeque<PendingObs>,
+}
+
+/// One matched pair as recorded at match time (global positions plus the
+/// exact integer deltas).
+#[derive(Debug, Clone, Copy)]
+struct PairRec {
+    a_pos: u32,
+    b_pos: u32,
+    d_lat_ps: i128,
+    d_iat_ps: i64,
+}
+
+/// Welford accumulator matching `stats::Summary`'s update order (sample
+/// stddev, n−1).
+#[derive(Debug, Clone, Copy, Default)]
+struct MomentAcc {
+    count: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl MomentAcc {
+    fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    fn stddev(&self) -> f64 {
+        if self.count > 1 {
+            (self.m2 / (self.count as f64 - 1.0)).sqrt()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Accumulators for the slice between two snapshots.
+#[derive(Debug)]
+struct SliceState {
+    a_pushed: usize,
+    b_pushed: usize,
+    pairs: Vec<PairRec>,
+    lat_num: u128,
+    iat_num: u128,
+    a_lo: u32,
+    a_hi: u32,
+}
+
+impl SliceState {
+    fn new() -> Self {
+        SliceState {
+            a_pushed: 0,
+            b_pushed: 0,
+            pairs: Vec::new(),
+            lat_num: 0,
+            iat_num: 0,
+            a_lo: u32::MAX,
+            a_hi: 0,
+        }
+    }
+}
+
+/// Sort a run of matched pairs into B arrival order and dress it as a
+/// [`Matching`] for the exact LIS kernel (which reads only the pairs'
+/// relative positions and count).
+fn segment_matching(pairs: &[PairRec]) -> Matching {
+    let mut sorted: Vec<PairRec> = pairs.to_vec();
+    sorted.sort_unstable_by_key(|p| p.b_pos);
+    Matching {
+        pairs: sorted
+            .iter()
+            .map(|p| MatchedPair {
+                a_idx: p.a_pos as usize,
+                b_idx: p.b_pos as usize,
+            })
+            .collect(),
+        a_len: sorted.len(),
+        b_len: sorted.len(),
+    }
+}
+
+/// Total edit-script move distance of a run of matched pairs.
+fn segment_move_distance(pairs: &[PairRec]) -> u128 {
+    if pairs.len() <= 1 {
+        return 0;
+    }
+    ordering_core(&segment_matching(pairs))
+        .displacements
+        .iter()
+        .map(|d| d.unsigned_abs() as u128)
+        .sum()
+}
+
+/// Nearest-rank (p50, p90, p99) of |Δ| approximated from histogram
+/// buckets: each percentile reports the lower |edge| of the bucket its
+/// rank lands in (0.0 for the zero bucket) — a deterministic lower
+/// bound of the true percentile.
+fn hist_abs_percentiles(h: &DeltaHistogram) -> (f64, f64, f64) {
+    let total = h.total();
+    if total == 0 {
+        return (0.0, 0.0, 0.0);
+    }
+    // Fold the signed buckets by absolute lower edge (mirror buckets
+    // share bit-identical edges) and sort ascending.
+    let mut folded: Vec<(f64, u64)> = Vec::new();
+    for (lo, hi, c, _) in h.buckets() {
+        if c == 0 {
+            continue;
+        }
+        let abs_lo = if lo <= 0.0 && hi >= 0.0 {
+            0.0
+        } else if lo > 0.0 {
+            lo
+        } else {
+            -hi
+        };
+        folded.push((abs_lo, c));
+    }
+    folded.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite edges"));
+    let mut merged: Vec<(f64, u64)> = Vec::with_capacity(folded.len());
+    for (v, c) in folded {
+        match merged.last_mut() {
+            Some(last) if last.0 == v => last.1 += c,
+            _ => merged.push((v, c)),
+        }
+    }
+    let pick = |p: f64| {
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for &(v, c) in &merged {
+            cum += c;
+            if cum >= rank {
+                return v;
+            }
+        }
+        merged.last().expect("non-empty").0
+    };
+    (pick(50.0), pick(90.0), pick(99.0))
+}
+
+/// The streaming incremental-κ engine. See the module docs for the
+/// exactness contract and the bounded-window semantics.
+///
+/// Feed each side's observations **in that side's arrival order** (the
+/// order a capture or live tap naturally produces); the interleaving
+/// *between* the sides is arbitrary.
+///
+/// ```
+/// use choir_core::metrics::stream::{IncrementalComparison, Side, StreamConfig};
+/// use choir_core::metrics::Trial;
+///
+/// let mut a = Trial::new();
+/// let mut b = Trial::new();
+/// for i in 0..100u64 {
+///     a.push_tagged(0, 0, i, i * 1000);
+///     b.push_tagged(0, 0, i, i * 1000 + (i % 3) * 7);
+/// }
+/// let mut eng = IncrementalComparison::new(StreamConfig::default());
+/// eng.push_burst(Side::A, a.observations());
+/// eng.push_burst(Side::B, b.observations());
+/// let out = eng.finalize("B");
+/// assert_eq!(out.comparison.common, 100);
+/// assert!(!out.bounded);
+/// ```
+#[derive(Debug)]
+pub struct IncrementalComparison {
+    cfg: StreamConfig,
+    sides: [SideState; 2],
+    pending: HashMap<PacketId, IdQueues>,
+    /// tick → (id, side) of every *pending* observation; `pop_first`
+    /// yields the globally oldest, which is necessarily at the front of
+    /// its id+side FIFO queue. Size == `resident`, so bounded mode is
+    /// truly bounded.
+    pending_by_age: BTreeMap<u64, (PacketId, Side)>,
+    tick: u64,
+    resident: usize,
+    peak_resident: usize,
+    matched: usize,
+    lat_num: u128,
+    iat_num: u128,
+    within_10ns: usize,
+    iat_hist: DeltaHistogram,
+    lat_hist: DeltaHistogram,
+    /// Unbounded mode: every matched pair, for the exact finalize.
+    all_pairs: Vec<PairRec>,
+    /// Bounded mode: the unsealed segment of matched pairs…
+    seg: Vec<PairRec>,
+    /// …and the accumulators over sealed segments.
+    o_num: u128,
+    moved: usize,
+    disp_signed: MomentAcc,
+    disp_abs: MomentAcc,
+    disp_min: i64,
+    disp_max: i64,
+    slice: SliceState,
+    last_snapshot_tick: u64,
+    snapshots: Vec<KappaSnapshot>,
+}
+
+impl IncrementalComparison {
+    /// A fresh engine.
+    pub fn new(cfg: StreamConfig) -> Self {
+        IncrementalComparison {
+            cfg,
+            sides: [SideState::default(), SideState::default()],
+            pending: HashMap::new(),
+            pending_by_age: BTreeMap::new(),
+            tick: 0,
+            resident: 0,
+            peak_resident: 0,
+            matched: 0,
+            lat_num: 0,
+            iat_num: 0,
+            within_10ns: 0,
+            iat_hist: DeltaHistogram::new(),
+            lat_hist: DeltaHistogram::new(),
+            all_pairs: Vec::new(),
+            seg: Vec::new(),
+            o_num: 0,
+            moved: 0,
+            disp_signed: MomentAcc::default(),
+            disp_abs: MomentAcc::default(),
+            disp_min: i64::MAX,
+            disp_max: i64::MIN,
+            slice: SliceState::new(),
+            last_snapshot_tick: 0,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Observations pushed on side A so far.
+    pub fn seen_a(&self) -> usize {
+        self.sides[0].len
+    }
+
+    /// Observations pushed on side B so far.
+    pub fn seen_b(&self) -> usize {
+        self.sides[1].len
+    }
+
+    /// Matched pairs so far.
+    pub fn matched(&self) -> usize {
+        self.matched
+    }
+
+    /// Unmatched observations currently resident.
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// High-water mark of resident unmatched observations. In bounded
+    /// mode this never exceeds the configured window.
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// Observations evicted unmatched so far.
+    pub fn evicted(&self) -> usize {
+        self.sides[0].evicted + self.sides[1].evicted
+    }
+
+    /// Snapshots taken so far.
+    pub fn snapshots(&self) -> &[KappaSnapshot] {
+        &self.snapshots
+    }
+
+    /// Feed one observation.
+    pub fn push(&mut self, side: Side, id: PacketId, t_ps: u64) {
+        let s = &mut self.sides[side.index()];
+        assert!(s.len < u32::MAX as usize, "stream too large");
+        let pos = s.len as u32;
+        let gap_ps = if s.len == 0 {
+            0
+        } else {
+            t_ps as i64 - s.prev_t_ps as i64
+        };
+        if s.len == 0 {
+            s.first_t_ps = t_ps;
+            s.min_t_ps = t_ps;
+            s.max_t_ps = t_ps;
+        } else {
+            s.min_t_ps = s.min_t_ps.min(t_ps);
+            s.max_t_ps = s.max_t_ps.max(t_ps);
+        }
+        s.prev_t_ps = t_ps;
+        s.len += 1;
+        self.tick += 1;
+        match side {
+            Side::A => self.slice.a_pushed += 1,
+            Side::B => self.slice.b_pushed += 1,
+        }
+
+        let me = PendingObs {
+            pos,
+            t_ps,
+            gap_ps,
+            tick: self.tick,
+        };
+        let q = self.pending.entry(id).or_default();
+        let counterpart = match side {
+            Side::A => q.b.pop_front(),
+            Side::B => q.a.pop_front(),
+        };
+        match counterpart {
+            Some(other) => {
+                // The k-th occurrence of an identity on one side meets
+                // the k-th on the other — the same occurrence-wise rule
+                // as `Matching::build`, for any interleaving.
+                if q.a.is_empty() && q.b.is_empty() {
+                    self.pending.remove(&id);
+                }
+                self.pending_by_age.remove(&other.tick);
+                self.resident -= 1;
+                let (ap, bp) = match side {
+                    Side::A => (me, other),
+                    Side::B => (other, me),
+                };
+                self.record_match(ap, bp);
+            }
+            None => {
+                match side {
+                    Side::A => q.a.push_back(me),
+                    Side::B => q.b.push_back(me),
+                }
+                self.pending_by_age.insert(self.tick, (id, side));
+                self.resident += 1;
+            }
+        }
+
+        if let Some(w) = self.cfg.lookahead {
+            let w = w.max(1);
+            while self.resident > w {
+                self.evict_oldest();
+            }
+        }
+        self.peak_resident = self.peak_resident.max(self.resident);
+
+        if self.cfg.snapshot_every > 0
+            && self.tick - self.last_snapshot_tick >= self.cfg.snapshot_every
+        {
+            self.snapshot_now();
+        }
+    }
+
+    /// Feed a burst of observations from one side (a record batch from
+    /// the chunked pcap reader, a whole trial, a simulation tap flush).
+    pub fn push_burst(&mut self, side: Side, observations: &[Observation]) {
+        for o in observations {
+            self.push(side, o.id, o.t_ps);
+        }
+    }
+
+    fn record_match(&mut self, ap: PendingObs, bp: PendingObs) {
+        // Both sides have pushed at least once by now, so the per-side
+        // origins are final (a side's first push fixes them forever) —
+        // identical operands to the batch kernels.
+        let ta0 = self.sides[0].start_ps() as i128;
+        let tb0 = self.sides[1].start_ps() as i128;
+        let d_lat = (ap.t_ps as i128 - ta0) - (bp.t_ps as i128 - tb0);
+        let d_iat = ap.gap_ps - bp.gap_ps;
+        self.lat_num += d_lat.unsigned_abs();
+        self.iat_num += d_iat.unsigned_abs() as u128;
+        let d_iat_ns = d_iat as f64 / 1000.0;
+        if d_iat_ns.abs() <= 10.0 {
+            self.within_10ns += 1;
+        }
+        self.iat_hist.add(d_iat_ns);
+        self.lat_hist.add(d_lat as f64 / 1000.0);
+        self.matched += 1;
+
+        let rec = PairRec {
+            a_pos: ap.pos,
+            b_pos: bp.pos,
+            d_lat_ps: d_lat,
+            d_iat_ps: d_iat,
+        };
+        self.slice.pairs.push(rec);
+        self.slice.lat_num += d_lat.unsigned_abs();
+        self.slice.iat_num += d_iat.unsigned_abs() as u128;
+        self.slice.a_lo = self.slice.a_lo.min(ap.pos);
+        self.slice.a_hi = self.slice.a_hi.max(ap.pos);
+
+        match self.cfg.lookahead {
+            None => self.all_pairs.push(rec),
+            Some(w) => {
+                self.seg.push(rec);
+                if self.seg.len() >= w.max(2) {
+                    self.seal_segment();
+                }
+            }
+        }
+    }
+
+    fn evict_oldest(&mut self) {
+        let (tick, (id, side)) = self.pending_by_age.pop_first().expect("resident > 0");
+        let q = self.pending.get_mut(&id).expect("pending id");
+        let victim = match side {
+            Side::A => q.a.pop_front(),
+            Side::B => q.b.pop_front(),
+        }
+        .expect("pending entry");
+        debug_assert_eq!(victim.tick, tick, "age map out of sync with id queue");
+        if q.a.is_empty() && q.b.is_empty() {
+            self.pending.remove(&id);
+        }
+        self.resident -= 1;
+        self.sides[side.index()].evicted += 1;
+    }
+
+    /// Run the exact LIS kernel over the current bounded segment and fold
+    /// its displacements into the sealed accumulators.
+    fn seal_segment(&mut self) {
+        if self.seg.len() > 1 {
+            let ord = ordering_core(&segment_matching(&self.seg));
+            for &d in &ord.displacements {
+                self.o_num += d.unsigned_abs() as u128;
+                self.disp_signed.push(d as f64);
+                self.disp_abs.push(d.abs() as f64);
+                self.disp_min = self.disp_min.min(d);
+                self.disp_max = self.disp_max.max(d);
+            }
+            self.moved += ord.displacements.len();
+        }
+        self.seg.clear();
+    }
+
+    fn running_li(&self) -> (f64, f64) {
+        let mc = self.matched;
+        let span_a = self.sides[0].minmax_span_ps();
+        let span_b = self.sides[1].minmax_span_ps();
+        let reach = (span_a as i128).max(span_b as i128);
+        let denom_l = mc as i128 * reach;
+        let l = if mc <= 1 || denom_l <= 0 {
+            0.0
+        } else {
+            (self.lat_num as f64 / denom_l as f64).min(1.0)
+        };
+        let denom_i = span_a as u128 + span_b as u128;
+        let i = if mc <= 1 || denom_i == 0 {
+            0.0
+        } else {
+            (self.iat_num as f64 / denom_i as f64).min(1.0)
+        };
+        (l, i)
+    }
+
+    fn running_o(&self) -> f64 {
+        let mc = self.matched;
+        if mc <= 1 {
+            return 0.0;
+        }
+        let dist = match self.cfg.lookahead {
+            None => segment_move_distance(&self.all_pairs),
+            Some(_) => self.o_num + segment_move_distance(&self.seg),
+        };
+        let denom = (mc as u128 * (mc as u128 + 1)) / 2;
+        dist as f64 / denom as f64
+    }
+
+    /// Running κ and components over everything seen so far.
+    pub fn running_metrics(&self) -> ConsistencyMetrics {
+        let mc = self.matched;
+        let total = self.sides[0].len + self.sides[1].len;
+        let u = if total == 0 {
+            0.0
+        } else {
+            1.0 - (2.0 * mc as f64) / total as f64
+        };
+        let o = self.running_o();
+        let (l, i) = self.running_li();
+        self.cfg.kappa.combine(u, o, l, i)
+    }
+
+    fn slice_window_score(&self) -> WindowScore {
+        let s = &self.slice;
+        let mc = s.pairs.len();
+        let total = s.a_pushed + s.b_pushed;
+        // A slice's pairs may involve observations pushed before the
+        // slice began (a pending A matched by a fresh B), so 2·mc can
+        // exceed the slice's own push count — clamp at 0.
+        let u = if total == 0 {
+            0.0
+        } else {
+            (1.0 - (2.0 * mc as f64) / total as f64).max(0.0)
+        };
+        let o = if mc <= 1 {
+            0.0
+        } else {
+            segment_move_distance(&s.pairs) as f64
+                / ((mc as u128 * (mc as u128 + 1)) / 2) as f64
+        };
+        // L/I numerators are slice-local but normalized by the running
+        // whole-stream spans (a slice carries no self-contained origin):
+        // each window scores its *contribution* to the global metrics,
+        // unlike `windowed_kappa`'s re-zeroed sub-trials.
+        let span_a = self.sides[0].minmax_span_ps();
+        let span_b = self.sides[1].minmax_span_ps();
+        let reach = (span_a as i128).max(span_b as i128);
+        let denom_l = mc as i128 * reach;
+        let l = if mc <= 1 || denom_l <= 0 {
+            0.0
+        } else {
+            (s.lat_num as f64 / denom_l as f64).min(1.0)
+        };
+        let denom_i = span_a as u128 + span_b as u128;
+        let i = if mc <= 1 || denom_i == 0 {
+            0.0
+        } else {
+            (s.iat_num as f64 / denom_i as f64).min(1.0)
+        };
+        WindowScore {
+            index: self.snapshots.len(),
+            a_range: if s.a_lo == u32::MAX {
+                (0, 0)
+            } else {
+                (s.a_lo as usize, s.a_hi as usize + 1)
+            },
+            metrics: self.cfg.kappa.combine(u, o, l, i),
+            common: mc,
+        }
+    }
+
+    /// Take a snapshot now (also called automatically on the
+    /// `snapshot_every` cadence). Resets the per-slice window.
+    pub fn snapshot_now(&mut self) -> KappaSnapshot {
+        let snap = KappaSnapshot {
+            seen_a: self.sides[0].len,
+            seen_b: self.sides[1].len,
+            common: self.matched,
+            resident: self.resident,
+            evicted: self.evicted(),
+            running: self.running_metrics(),
+            window: self.slice_window_score(),
+        };
+        self.slice = SliceState::new();
+        self.last_snapshot_tick = self.tick;
+        self.snapshots.push(snap.clone());
+        snap
+    }
+
+    /// Finish the comparison. Unbounded mode returns the exact batch
+    /// result (see the module docs); bounded mode the documented
+    /// approximation.
+    pub fn finalize(mut self, label: impl Into<String>) -> StreamOutcome {
+        let _span = obs::span("stream.finalize");
+        let bounded = self.cfg.lookahead.is_some();
+        let comparison = if bounded {
+            self.finalize_bounded(label.into())
+        } else {
+            self.finalize_exact(label.into())
+        };
+        if obs::is_enabled() {
+            obs::counter_add("stream.packets_in", self.tick);
+            obs::counter_add("stream.matched", self.matched as u64);
+            obs::counter_add("stream.evicted", self.evicted() as u64);
+            obs::counter_add("stream.snapshots", self.snapshots.len() as u64);
+            obs::gauge_max("stream.peak_resident", self.peak_resident as u64);
+        }
+        StreamOutcome {
+            comparison,
+            peak_resident: self.peak_resident,
+            evicted: self.evicted(),
+            snapshots: self.snapshots,
+            bounded,
+        }
+    }
+
+    fn finalize_exact(&mut self, label: String) -> TrialComparison {
+        let t0 = Instant::now();
+        // Pairs were recorded in match order; restore B arrival order
+        // (b_pos is unique, so the sort is deterministic) and dress them
+        // as the synthetic Matching the batch kernels would have built.
+        let mut pairs = std::mem::take(&mut self.all_pairs);
+        pairs.sort_unstable_by_key(|p| p.b_pos);
+        let m = Matching {
+            pairs: pairs
+                .iter()
+                .map(|p| MatchedPair {
+                    a_idx: p.a_pos as usize,
+                    b_idx: p.b_pos as usize,
+                })
+                .collect(),
+            a_len: self.sides[0].len,
+            b_len: self.sides[1].len,
+        };
+        let t1 = Instant::now();
+        let u = uniqueness_core(&m);
+        let ord = ordering_core(&m);
+        let t2 = Instant::now();
+        let mc = m.common();
+        // L/I from the exact running numerators and the batch
+        // denominators/degenerate rules (latency.rs / iat.rs).
+        let span_a = self.sides[0].minmax_span_ps();
+        let span_b = self.sides[1].minmax_span_ps();
+        let reach = (span_a as i128).max(span_b as i128);
+        let denom_l = mc as i128 * reach;
+        let l = if mc <= 1 || denom_l <= 0 {
+            0.0
+        } else {
+            (self.lat_num as f64 / denom_l as f64).min(1.0)
+        };
+        let latency_deltas: Vec<f64> =
+            pairs.iter().map(|p| p.d_lat_ps as f64 / 1000.0).collect();
+        let t3 = Instant::now();
+        let denom_i = span_a as u128 + span_b as u128;
+        let i = if mc <= 1 || denom_i == 0 {
+            0.0
+        } else {
+            (self.iat_num as f64 / denom_i as f64).min(1.0)
+        };
+        let iat_deltas: Vec<f64> = pairs.iter().map(|p| p.d_iat_ps as f64 / 1000.0).collect();
+        let t4 = Instant::now();
+        let metrics = self.cfg.kappa.combine(u, ord.o, l, i);
+        let within = if mc == 0 {
+            0.0
+        } else {
+            self.within_10ns as f64 / mc as f64
+        };
+        let iat_abs_percentiles_ns = abs_percentiles_ns(&iat_deltas);
+        let latency_abs_percentiles_ns = abs_percentiles_ns(&latency_deltas);
+        let t5 = Instant::now();
+
+        TrialComparison {
+            label,
+            metrics,
+            a_len: m.a_len,
+            b_len: m.b_len,
+            common: mc,
+            missing: m.missing_in_b(),
+            extra: m.extra_in_b(),
+            moved: ord.moved(),
+            iat_within_10ns: within,
+            iat_abs_percentiles_ns,
+            latency_abs_percentiles_ns,
+            edit_stats: ord.stats(),
+            iat_hist: std::mem::take(&mut self.iat_hist),
+            latency_hist: std::mem::take(&mut self.lat_hist),
+            timings: StageTimings {
+                match_ns: (t1 - t0).as_nanos() as u64,
+                order_ns: (t2 - t1).as_nanos() as u64,
+                latency_ns: (t3 - t2).as_nanos() as u64,
+                iat_ns: (t4 - t3).as_nanos() as u64,
+                histogram_ns: (t5 - t4).as_nanos() as u64,
+            },
+        }
+    }
+
+    fn finalize_bounded(&mut self, label: String) -> TrialComparison {
+        let t0 = Instant::now();
+        self.seal_segment();
+        let t1 = Instant::now();
+        let mc = self.matched;
+        let a_len = self.sides[0].len;
+        let b_len = self.sides[1].len;
+        // Same U formula as uniqueness_core, on the streamed totals.
+        let total = a_len + b_len;
+        let u = if total == 0 {
+            0.0
+        } else {
+            1.0 - (2.0 * mc as f64) / total as f64
+        };
+        // Segment-local move distance over the global normalizer — a
+        // lower bound of the batch O (a window can't see cross-segment
+        // moves).
+        let o = if mc <= 1 {
+            0.0
+        } else {
+            self.o_num as f64 / ((mc as u128 * (mc as u128 + 1)) / 2) as f64
+        };
+        let t2 = Instant::now();
+        let (l, i) = self.running_li();
+        let t4 = Instant::now();
+        let metrics = self.cfg.kappa.combine(u, o, l, i);
+        let within = if mc == 0 {
+            0.0
+        } else {
+            self.within_10ns as f64 / mc as f64
+        };
+        let iat_abs_percentiles_ns = hist_abs_percentiles(&self.iat_hist);
+        let latency_abs_percentiles_ns = hist_abs_percentiles(&self.lat_hist);
+        let edit_stats = EditScriptStats {
+            count: self.moved,
+            mean: self.disp_signed.mean(),
+            stddev: self.disp_signed.stddev(),
+            abs_mean: self.disp_abs.mean(),
+            abs_stddev: self.disp_abs.stddev(),
+            min: if self.moved == 0 { 0 } else { self.disp_min },
+            max: if self.moved == 0 { 0 } else { self.disp_max },
+        };
+        let t5 = Instant::now();
+
+        TrialComparison {
+            label,
+            metrics,
+            a_len,
+            b_len,
+            common: mc,
+            missing: a_len - mc,
+            extra: b_len - mc,
+            moved: self.moved,
+            iat_within_10ns: within,
+            iat_abs_percentiles_ns,
+            latency_abs_percentiles_ns,
+            edit_stats,
+            iat_hist: std::mem::take(&mut self.iat_hist),
+            latency_hist: std::mem::take(&mut self.lat_hist),
+            timings: StageTimings {
+                match_ns: (t1 - t0).as_nanos() as u64,
+                order_ns: (t2 - t1).as_nanos() as u64,
+                latency_ns: 0,
+                iat_ns: (t4 - t2).as_nanos() as u64,
+                histogram_ns: (t5 - t4).as_nanos() as u64,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::pair::PairAnalyzer;
+    use crate::metrics::trial::Trial;
+
+    fn jittered_pair(n: u64) -> (Trial, Trial) {
+        let mut a = Trial::new();
+        let mut b = Trial::new();
+        for i in 0..n {
+            a.push_tagged(0, 0, i, i * 1000);
+            // Jitter, one local swap region, one drop, one extra.
+            if i != 23 {
+                let j = if i % 13 == 5 { i ^ 1 } else { i };
+                b.push_tagged(0, 0, j, i * 1000 + (i % 7) * 41);
+            }
+        }
+        b.push_tagged(9, 0, 0, n * 1000);
+        (a, b)
+    }
+
+    fn assert_bit_identical(x: &TrialComparison, y: &TrialComparison) {
+        assert_eq!(x.label, y.label);
+        assert_eq!(x.metrics.kappa.to_bits(), y.metrics.kappa.to_bits());
+        assert_eq!(x.metrics.u.to_bits(), y.metrics.u.to_bits());
+        assert_eq!(x.metrics.o.to_bits(), y.metrics.o.to_bits());
+        assert_eq!(x.metrics.l.to_bits(), y.metrics.l.to_bits());
+        assert_eq!(x.metrics.i.to_bits(), y.metrics.i.to_bits());
+        assert_eq!(
+            (x.a_len, x.b_len, x.common, x.missing, x.extra, x.moved),
+            (y.a_len, y.b_len, y.common, y.missing, y.extra, y.moved)
+        );
+        assert_eq!(x.iat_within_10ns.to_bits(), y.iat_within_10ns.to_bits());
+        assert_eq!(x.iat_abs_percentiles_ns, y.iat_abs_percentiles_ns);
+        assert_eq!(x.latency_abs_percentiles_ns, y.latency_abs_percentiles_ns);
+        assert_eq!(x.edit_stats, y.edit_stats);
+        assert_eq!(x.iat_hist.total(), y.iat_hist.total());
+        assert_eq!(x.latency_hist.total(), y.latency_hist.total());
+    }
+
+    fn stream_in_chunks(a: &Trial, b: &Trial, chunk: usize, cfg: StreamConfig) -> StreamOutcome {
+        let mut eng = IncrementalComparison::new(cfg);
+        let (oa, ob) = (a.observations(), b.observations());
+        let (mut ia, mut ib) = (0usize, 0usize);
+        while ia < oa.len() || ib < ob.len() {
+            let hi = (ia + chunk).min(oa.len());
+            eng.push_burst(Side::A, &oa[ia..hi]);
+            ia = hi;
+            let hi = (ib + chunk).min(ob.len());
+            eng.push_burst(Side::B, &ob[ib..hi]);
+            ib = hi;
+        }
+        eng.finalize("B")
+    }
+
+    #[test]
+    fn full_lookahead_bit_identical_to_batch_across_chunkings() {
+        let (a, b) = jittered_pair(400);
+        let batch = PairAnalyzer::new(&a, &b).label("B").analyze();
+        for chunk in [1usize, 7, 64, 10_000] {
+            let out = stream_in_chunks(&a, &b, chunk, StreamConfig::default());
+            assert!(!out.bounded);
+            assert_eq!(out.evicted, 0);
+            assert_bit_identical(&out.comparison, &batch);
+        }
+    }
+
+    #[test]
+    fn full_lookahead_sequential_sides_bit_identical() {
+        // A fully first, then B — the maximal-residency interleave.
+        let (a, b) = jittered_pair(300);
+        let batch = PairAnalyzer::new(&a, &b).label("B").analyze();
+        let mut eng = IncrementalComparison::new(StreamConfig::default());
+        eng.push_burst(Side::A, a.observations());
+        eng.push_burst(Side::B, b.observations());
+        assert_eq!(eng.seen_a(), 300);
+        let out = eng.finalize("B");
+        assert_bit_identical(&out.comparison, &batch);
+        assert_eq!(out.peak_resident, 300, "all of A pending before B starts");
+    }
+
+    #[test]
+    fn empty_streams_finalize_to_kappa_one() {
+        let out = IncrementalComparison::new(StreamConfig::default()).finalize("B");
+        assert_eq!(out.comparison.metrics.kappa, 1.0);
+        assert_eq!(out.comparison.common, 0);
+        assert_eq!(out.peak_resident, 0);
+    }
+
+    #[test]
+    fn bounded_window_caps_residency_and_evicts() {
+        let (a, b) = jittered_pair(500); // ≥ 10× the window below
+        let w = 32usize;
+        let cfg = StreamConfig {
+            lookahead: Some(w),
+            ..StreamConfig::default()
+        };
+        let mut eng = IncrementalComparison::new(cfg);
+        eng.push_burst(Side::A, a.observations());
+        eng.push_burst(Side::B, b.observations());
+        assert!(eng.peak_resident() <= w, "peak {} > window {w}", eng.peak_resident());
+        assert!(eng.evicted() > 0, "A-then-B at 500 packets must evict");
+        let out = eng.finalize("B");
+        assert!(out.bounded);
+        assert!(out.peak_resident <= w);
+        let k = out.comparison.metrics.kappa;
+        assert!((0.0..=1.0).contains(&k), "kappa {k}");
+    }
+
+    #[test]
+    fn bounded_alternating_dropfree_matches_batch_kappa() {
+        // Drop-free, order-preserving pair fed alternately: nothing is
+        // ever evicted, no packet moves, so even the bounded engine's κ
+        // is bit-identical (O = 0 on both paths; L/I/U are exact).
+        let mut a = Trial::new();
+        let mut b = Trial::new();
+        for i in 0..600u64 {
+            a.push_tagged(0, 0, i, i * 1000);
+            b.push_tagged(0, 0, i, i * 1000 + (i % 5) * 23);
+        }
+        let batch = PairAnalyzer::new(&a, &b).metrics();
+        let cfg = StreamConfig {
+            lookahead: Some(16),
+            ..StreamConfig::default()
+        };
+        let mut eng = IncrementalComparison::new(cfg);
+        for i in 0..600usize {
+            let oa = a.observations()[i];
+            let ob = b.observations()[i];
+            eng.push(Side::A, oa.id, oa.t_ps);
+            eng.push(Side::B, ob.id, ob.t_ps);
+        }
+        assert_eq!(eng.evicted(), 0);
+        let out = eng.finalize("B");
+        assert_eq!(out.comparison.metrics.kappa.to_bits(), batch.kappa.to_bits());
+        assert_eq!(out.comparison.moved, 0);
+    }
+
+    #[test]
+    fn snapshot_cadence_and_trail() {
+        let (a, b) = jittered_pair(500);
+        let cfg = StreamConfig {
+            snapshot_every: 100,
+            ..StreamConfig::default()
+        };
+        let out = stream_in_chunks(&a, &b, 25, cfg);
+        // ~1000 pushes at one snapshot per 100 → 9–10 snapshots.
+        assert!(
+            out.snapshots.len() >= 9,
+            "expected ≥9 snapshots, got {}",
+            out.snapshots.len()
+        );
+        // Trails are monotone in seen totals and windows index in order.
+        for (k, s) in out.snapshots.iter().enumerate() {
+            assert_eq!(s.window.index, k);
+            let kappa = s.running.kappa;
+            assert!((0.0..=1.0).contains(&kappa), "snapshot {k} kappa {kappa}");
+            if k > 0 {
+                let prev = &out.snapshots[k - 1];
+                assert!(s.seen_a + s.seen_b > prev.seen_a + prev.seen_b);
+                assert!(s.common >= prev.common);
+            }
+        }
+        // The last snapshot's running κ is the κ over everything seen at
+        // that point — close to (not necessarily equal to) the final.
+        let last = out.snapshots.last().expect("non-empty trail");
+        assert!((last.running.kappa - out.comparison.metrics.kappa).abs() < 0.05);
+    }
+
+    #[test]
+    fn manual_snapshot_resets_slice_window() {
+        let mut a = Trial::new();
+        let mut b = Trial::new();
+        for i in 0..100u64 {
+            a.push_tagged(0, 0, i, i * 1000);
+            b.push_tagged(0, 0, i, i * 1000);
+        }
+        let mut eng = IncrementalComparison::new(StreamConfig::default());
+        eng.push_burst(Side::A, &a.observations()[..50]);
+        eng.push_burst(Side::B, &b.observations()[..50]);
+        let s1 = eng.snapshot_now();
+        assert_eq!(s1.window.common, 50);
+        assert_eq!(s1.window.a_range, (0, 50));
+        eng.push_burst(Side::A, &a.observations()[50..]);
+        eng.push_burst(Side::B, &b.observations()[50..]);
+        let s2 = eng.snapshot_now();
+        assert_eq!(s2.window.common, 50, "slice must cover only the new half");
+        assert_eq!(s2.window.a_range, (50, 100));
+        assert_eq!(s2.window.index, 1);
+        assert_eq!(eng.snapshots().len(), 2);
+    }
+
+    #[test]
+    fn running_metrics_are_sane_mid_stream() {
+        let (a, b) = jittered_pair(200);
+        let mut eng = IncrementalComparison::new(StreamConfig::default());
+        eng.push_burst(Side::A, &a.observations()[..100]);
+        eng.push_burst(Side::B, &b.observations()[..100]);
+        let m = eng.running_metrics();
+        assert!((0.0..=1.0).contains(&m.kappa));
+        assert!(m.u >= 0.0 && m.o >= 0.0 && m.l >= 0.0 && m.i >= 0.0);
+    }
+
+    #[test]
+    fn duplicates_match_occurrence_wise_like_batch() {
+        // Same identity several times on each side, asymmetric counts.
+        let mut a = Trial::new();
+        let mut b = Trial::new();
+        for k in 0..5u64 {
+            a.push_tagged(0, 0, 7, k * 100);
+        }
+        for k in 0..3u64 {
+            b.push_tagged(0, 0, 7, k * 110);
+        }
+        let batch = PairAnalyzer::new(&a, &b).label("B").analyze();
+        let out = stream_in_chunks(&a, &b, 2, StreamConfig::default());
+        assert_bit_identical(&out.comparison, &batch);
+        assert_eq!(out.comparison.common, 3);
+        assert_eq!(out.comparison.missing, 2);
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let (a, b) = jittered_pair(120);
+        let cfg = StreamConfig {
+            snapshot_every: 50,
+            ..StreamConfig::default()
+        };
+        let out = stream_in_chunks(&a, &b, 10, cfg);
+        let snap = out.snapshots.first().expect("has snapshots");
+        let json = serde_json::to_string(snap).unwrap();
+        let back: KappaSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seen_a, snap.seen_a);
+        assert_eq!(back.running.kappa.to_bits(), snap.running.kappa.to_bits());
+        assert_eq!(back.window.common, snap.window.common);
+    }
+
+    #[test]
+    fn hist_percentiles_report_bucket_lower_edges() {
+        let h = DeltaHistogram::of((0..100).map(|i| i as f64 * 0.01)); // all |Δ| < 1
+        assert_eq!(hist_abs_percentiles(&h), (0.0, 0.0, 0.0));
+        let h = DeltaHistogram::of([0.0, 0.0, 0.0, 500.0]);
+        let (p50, p90, p99) = hist_abs_percentiles(&h);
+        assert_eq!(p50, 0.0);
+        assert!(p90 > 0.0 && p90 <= 500.0);
+        assert!(p99 >= p90);
+        assert_eq!(hist_abs_percentiles(&DeltaHistogram::new()), (0.0, 0.0, 0.0));
+    }
+}

@@ -10,8 +10,9 @@
 
 use super::matching::Matching;
 
-/// Compute `U` from a prebuilt matching.
-pub fn uniqueness(m: &Matching) -> f64 {
+/// Shared kernel behind [`uniqueness`] and
+/// [`super::pair::PairAnalyzer`].
+pub(crate) fn uniqueness_core(m: &Matching) -> f64 {
     let total = m.a_len + m.b_len;
     if total == 0 {
         return 0.0; // two empty trials are identical
@@ -19,12 +20,20 @@ pub fn uniqueness(m: &Matching) -> f64 {
     1.0 - (2.0 * m.common() as f64) / total as f64
 }
 
+/// Compute `U` from a prebuilt matching.
+#[deprecated(note = "use metrics::PairAnalyzer (see DESIGN.md §12)")]
+pub fn uniqueness(m: &Matching) -> f64 {
+    uniqueness_core(m)
+}
+
 /// Convenience: `U` straight from two trials.
+#[deprecated(note = "use metrics::PairAnalyzer (see DESIGN.md §12)")]
 pub fn uniqueness_of(a: &super::trial::Trial, b: &super::trial::Trial) -> f64 {
-    uniqueness(&Matching::build(a, b))
+    uniqueness_core(&Matching::build(a, b))
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must keep working until callers migrate
 mod tests {
     use super::*;
     use crate::metrics::trial::Trial;

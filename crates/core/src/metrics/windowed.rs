@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use super::kappa::{ConsistencyMetrics, KappaConfig};
 use super::matching::Matching;
+use super::pair::PairAnalyzer;
 use super::trial::Trial;
 
 /// One window's verdict.
@@ -36,8 +37,9 @@ pub struct WindowScore {
 /// metrics are normalized to its own span, and a globally-bad run shows
 /// *which* windows carry the damage).
 ///
-/// # Panics
-/// Panics if `windows` is zero.
+/// `windows == 0` is clamped to 1 (a single whole-trial window): callers
+/// deriving a window count from a duration or rate can round down to zero
+/// without poisoning a whole report run.
 pub fn windowed_kappa(a: &Trial, b: &Trial, windows: usize) -> Vec<WindowScore> {
     windowed_kappa_with(a, b, windows, &KappaConfig::paper())
 }
@@ -49,7 +51,7 @@ pub fn windowed_kappa_with(
     windows: usize,
     cfg: &KappaConfig,
 ) -> Vec<WindowScore> {
-    assert!(windows > 0, "need at least one window");
+    let windows = windows.max(1);
     if a.is_empty() {
         return Vec::new();
     }
@@ -87,16 +89,14 @@ pub fn windowed_kappa_with(
             .collect();
         let sub_a = sub_a.rezeroed();
         let sub_b = sub_b.rezeroed();
-        let mm = Matching::build(&sub_a, &sub_b);
-        let u = super::uniqueness::uniqueness(&mm);
-        let o = super::ordering::ordering(&mm).o;
-        let l = super::latency::latency(&sub_a, &sub_b, &mm);
-        let i = super::iat::iat(&sub_a, &sub_b, &mm);
+        let mut pa = PairAnalyzer::new(&sub_a, &sub_b).config(*cfg);
+        let metrics = pa.metrics();
+        let common = pa.common();
         out.push(WindowScore {
             index: w,
             a_range: (lo, hi),
-            metrics: cfg.combine(u, o, l, i),
-            common: mm.common(),
+            metrics,
+            common,
         });
     }
     out
@@ -193,8 +193,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one window")]
-    fn zero_windows_panics() {
-        windowed_kappa(&cbr(3, 1), &cbr(3, 1), 0);
+    fn zero_windows_clamps_to_one() {
+        let a = cbr(3, 1);
+        let zero = windowed_kappa(&a, &a.clone(), 0);
+        let one = windowed_kappa(&a, &a.clone(), 1);
+        assert_eq!(zero.len(), 1);
+        assert_eq!(zero[0].a_range, one[0].a_range);
+        assert_eq!(
+            zero[0].metrics.kappa.to_bits(),
+            one[0].metrics.kappa.to_bits()
+        );
     }
 }

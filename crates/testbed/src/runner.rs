@@ -21,10 +21,16 @@
 //!    the off-diagonal summary quantifies the run-to-run spread §7's run
 //!    lists exhibit.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use choir_capture::{Recorder, RecorderConfig};
 use choir_core::metrics::allpairs::{all_pairs_sharded_with, KappaMatrix};
 use choir_core::metrics::report::{RunReport, TrialComparison};
-use choir_core::metrics::{KappaConfig, Trial};
+use choir_core::metrics::{
+    trial_label, IncrementalComparison, KappaConfig, Observation, Side, StreamConfig,
+    StreamOutcome, StreamReport, StreamRunTrail, Trial,
+};
 use choir_core::replay::middlebox::{ChoirMiddlebox, MiddleboxConfig};
 use choir_dpdk::ControlMsg;
 use choir_netsim::clock::{NodeClock, PtpModel};
@@ -149,6 +155,76 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutput {
 /// # Panics
 /// Same contract as [`run_experiment`].
 pub fn run_experiment_tuned(cfg: &ExperimentConfig, tuning: SimTuning) -> ExperimentOutput {
+    run_experiment_inner(cfg, tuning, None)
+}
+
+/// Streaming-κ configuration for [`run_experiment_streaming`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingMode {
+    /// Reorder window for the incremental engine: `None` streams with
+    /// full lookahead (exact, bit-identical to the batch analysis on
+    /// time-ordered trials); `Some(w)` bounds resident packets at `w`.
+    pub lookahead: Option<usize>,
+    /// Emit a [`choir_core::metrics::KappaSnapshot`] every this many
+    /// pushed packets (`0` disables automatic snapshots).
+    pub snapshot_every: u64,
+}
+
+/// [`run_experiment_tuned`] with a live streaming-κ engine tapped into
+/// the recorder's rx path: from the second replay run onward, every
+/// admitted packet is scored against the baseline run *while the
+/// simulation executes*, and the per-run snapshot trails ride along in
+/// `report.stream`.
+///
+/// # Panics
+/// Same contract as [`run_experiment`].
+pub fn run_experiment_streaming(
+    cfg: &ExperimentConfig,
+    tuning: SimTuning,
+    mode: StreamingMode,
+) -> ExperimentOutput {
+    run_experiment_inner(cfg, tuning, Some(mode))
+}
+
+/// A live comparison between the baseline run (side A, fed from the
+/// already-captured first trial) and the in-flight run (side B, fed by
+/// the recorder-port rx tap).
+///
+/// A is fed in lock step — one baseline observation per tapped packet —
+/// so bounded-window mode keeps residency near the configured window
+/// instead of buffering one whole side. Any baseline tail left when the
+/// run ends is flushed in [`LiveStream::finish`]; in full-lookahead mode
+/// feeding order cannot affect the result, so the flush preserves
+/// exactness.
+struct LiveStream {
+    eng: IncrementalComparison,
+    baseline: Vec<Observation>,
+    fed_a: usize,
+}
+
+impl LiveStream {
+    fn on_rx(&mut self, id: choir_packet::PacketId, t_ps: u64) {
+        if let Some(&o) = self.baseline.get(self.fed_a) {
+            self.eng.push(Side::A, o.id, o.t_ps);
+            self.fed_a += 1;
+        }
+        self.eng.push(Side::B, id, t_ps);
+    }
+
+    fn finish(mut self, label: String) -> StreamOutcome {
+        while let Some(&o) = self.baseline.get(self.fed_a) {
+            self.eng.push(Side::A, o.id, o.t_ps);
+            self.fed_a += 1;
+        }
+        self.eng.finalize(label)
+    }
+}
+
+fn run_experiment_inner(
+    cfg: &ExperimentConfig,
+    tuning: SimTuning,
+    streaming: Option<StreamingMode>,
+) -> ExperimentOutput {
     let t_capture = std::time::Instant::now();
     let p = &cfg.profile;
     let n_packets = cfg.packet_count();
@@ -301,7 +377,9 @@ pub fn run_experiment_tuned(cfg: &ExperimentConfig, tuning: SimTuning) -> Experi
     // --- Phase 2: replays --------------------------------------------
     let mut resync = DetRng::derive(cfg.seed, &["resync", label]);
     let margin = 3 * MS;
-    for _run in 0..p.runs {
+    let mut raw_trials: Vec<Trial> = Vec::new();
+    let mut stream_trails: Vec<StreamRunTrail> = Vec::new();
+    for run in 0..p.runs {
         // Between-run clock wander: PTP resync on every node, timestamp
         // servo re-steered on the recorder.
         for &node in mbs.iter().chain([gen, rec].iter()) {
@@ -312,6 +390,38 @@ pub fn run_experiment_tuned(cfg: &ExperimentConfig, tuning: SimTuning) -> Experi
         }
         let slope = (p.ts_slope_sigma_ppb * resync.std_normal()) as i64;
         sim.set_rx_clock_slope(rec, 0, slope);
+
+        // Streaming mode: from the second run onward, score this run
+        // against the baseline capture live, via the recorder's rx tap.
+        // The tap fires on exactly the admitted packets the Recorder
+        // app later drains, with the same hardware timestamps, so the
+        // engine sees the same stream the batch path analyzes.
+        let live: Option<Rc<RefCell<Option<LiveStream>>>> = match (streaming, raw_trials.first()) {
+            (Some(mode), Some(baseline)) if run >= 1 => {
+                let ls = LiveStream {
+                    eng: IncrementalComparison::new(StreamConfig {
+                        lookahead: mode.lookahead,
+                        snapshot_every: mode.snapshot_every,
+                        kappa: KappaConfig::paper(),
+                    }),
+                    baseline: baseline.observations().to_vec(),
+                    fed_a: 0,
+                };
+                let cell = Rc::new(RefCell::new(Some(ls)));
+                let tap_cell = Rc::clone(&cell);
+                sim.set_rx_tap(
+                    rec,
+                    0,
+                    Box::new(move |ts, m| {
+                        if let Some(ls) = tap_cell.borrow_mut().as_mut() {
+                            ls.on_rx(m.frame.packet_id(), ts);
+                        }
+                    }),
+                );
+                Some(cell)
+            }
+            _ => None,
+        };
 
         let start_wall_ns = (sim.now_ps() + margin) / 1_000;
         let mut max_skew_ps: u64 = 0;
@@ -329,14 +439,26 @@ pub fn run_experiment_tuned(cfg: &ExperimentConfig, tuning: SimTuning) -> Experi
         }
         let end = sim.now_ps() + margin + duration + margin + max_skew_ps;
         sim.run_until(end);
-        sim.with_app::<Recorder, _>(rec, |r| r.cut_trial());
+        if let Some(cell) = live {
+            sim.clear_rx_tap(rec, 0);
+            let ls = cell.borrow_mut().take().expect("live stream installed");
+            let run_label = trial_label(run);
+            let out = ls.finish(run_label.clone());
+            stream_trails.push(StreamRunTrail {
+                label: run_label,
+                final_kappa: out.comparison.metrics.kappa,
+                peak_resident: out.peak_resident,
+                evicted: out.evicted,
+                snapshots: out.snapshots,
+            });
+        }
+        // Harvest this run's capture immediately (cut + drain); the
+        // streaming tap needs run A materialized before run B starts.
+        let mut cut = sim.with_app::<Recorder, _>(rec, |r| r.take_trials());
+        raw_trials.append(&mut cut);
     }
 
-    let trials: Vec<Trial> = sim
-        .with_app::<Recorder, _>(rec, |r| r.take_trials())
-        .into_iter()
-        .map(|t| t.rezeroed())
-        .collect();
+    let trials: Vec<Trial> = raw_trials.into_iter().map(|t| t.rezeroed()).collect();
     assert!(
         trials.len() >= 2,
         "experiment produced {} trials; wiring bug",
@@ -372,6 +494,13 @@ pub fn run_experiment_tuned(cfg: &ExperimentConfig, tuning: SimTuning) -> Experi
         .with_sim_stats(sim_stats_report(&sim_stats));
     if let Some(summary) = matrix.summary() {
         report = report.with_matrix(summary);
+    }
+    if let Some(mode) = streaming {
+        report = report.with_stream(StreamReport {
+            lookahead: mode.lookahead,
+            snapshot_every: mode.snapshot_every,
+            runs: stream_trails,
+        });
     }
     // `with_obs` drops empty snapshots, so this is a no-op unless the
     // caller configured the obs layer before running the experiment.
@@ -460,6 +589,51 @@ mod tests {
         assert_eq!(out.report.runs[1].label, "C");
         // Stage timings were recorded for real work.
         assert!(out.matrix.total_timings().total_ns() > 0);
+    }
+
+    #[test]
+    fn streaming_mode_matches_batch_kappa_bitwise() {
+        let mut profile = EnvKind::LocalSingle.profile();
+        profile.runs = 3;
+        let cfg = ExperimentConfig {
+            profile,
+            scale: 0.001,
+            seed: 7,
+        };
+        let out = run_experiment_streaming(
+            &cfg,
+            SimTuning::default(),
+            StreamingMode {
+                lookahead: None,
+                snapshot_every: 500,
+            },
+        );
+        let stream = out.report.stream.as_ref().expect("stream trail attached");
+        assert_eq!(stream.lookahead, None);
+        assert_eq!(stream.snapshot_every, 500);
+        assert_eq!(stream.runs.len(), out.report.runs.len());
+        // Raw-timestamp streaming is bit-identical to the batch analysis
+        // of the re-zeroed trials only when each trial is time-ordered
+        // (the uniform first-arrival shift then cancels in every
+        // component); LocalSingle captures are, and the batch runs come
+        // rezeroed out of the pipeline, so the gate is exact.
+        assert!(out.trials.iter().all(|t| t.is_time_ordered()));
+        for (trail, run) in stream.runs.iter().zip(out.report.runs.iter()) {
+            assert_eq!(trail.label, run.label);
+            assert_eq!(
+                trail.final_kappa.to_bits(),
+                run.metrics.kappa.to_bits(),
+                "streaming κ must match batch κ bitwise for run {}",
+                run.label
+            );
+            assert!(!trail.snapshots.is_empty(), "cadence produced snapshots");
+            assert_eq!(trail.evicted, 0, "full lookahead never evicts");
+            assert!(trail.peak_resident > 0);
+        }
+        // Streaming is an observer: trials and batch report are
+        // unchanged vs the plain tuned run.
+        let plain = run_experiment_tuned(&cfg, SimTuning::default());
+        assert_eq!(plain.trials, out.trials);
     }
 
     #[test]

@@ -97,8 +97,7 @@ fn main() {
     };
     let linear = compare(&a, &rare_drop);
     let strict = {
-        let m = Matching::build(&a, &rare_drop);
-        let u = choir::metrics::uniqueness::uniqueness(&m);
+        let u = choir::metrics::PairAnalyzer::new(&a, &rare_drop).metrics().u;
         KappaConfig::drop_sensitive().combine(u, 0.0, 0.0, 0.0)
     };
     println!(

@@ -3,6 +3,11 @@
 //! every shard count, and the `TrialIndex`-cached metric paths must
 //! reproduce the uncached ones exactly, over randomized trials.
 
+// The indexed-vs-uncached equivalences are stated kernel by kernel
+// (`iat_full_indexed` vs `iat_full`, …), which only the deprecated free
+// functions expose; `PairAnalyzer` sits on top of these same kernels.
+#![allow(deprecated)]
+
 use choir::metrics::allpairs::{
     all_pairs_serial, all_pairs_sharded, iat_full_indexed, latency_full_indexed, matching_indexed,
     TrialIndex,

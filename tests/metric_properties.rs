@@ -2,6 +2,11 @@
 //! symmetry, normalization, invariances, and agreement with reference
 //! implementations, over randomized trials.
 
+// These properties are stated per kernel (U, O, L, I in isolation, with
+// their full result structs), which only the deprecated free functions
+// expose; `PairAnalyzer` equivalence is covered in metrics::pair tests.
+#![allow(deprecated)]
+
 use choir::metrics::iat::iat_of;
 use choir::metrics::latency::latency_of;
 use choir::metrics::matching::Matching;
