@@ -23,8 +23,16 @@
 //!                      analysis, bounded-window residency gated at the
 //!                      configured window, throughput in pkts/s
 //!                      (writes BENCH_stream.json)
+//!   recover            crash-tolerance sweep: kill-point density x
+//!                      checkpoint cadence over the supervised streaming
+//!                      engine, gated on the recovered κ and the whole
+//!                      snapshot trail staying bit-identical to an
+//!                      uninterrupted run, zero injected panics escaping
+//!                      the supervisor, and salvage reading back exactly
+//!                      the records preceding an injected truncation
+//!                      (writes BENCH_recover.json)
 //!
-//! `--obs` (matrix / pipeline / stream) additionally exercises the in-tree
+//! `--obs` (matrix / pipeline / stream / recover) additionally exercises the in-tree
 //! observability layer: an obs-enabled pass must stay bit-identical to
 //! the plain one, the disabled-path overhead is gated (pipeline), and
 //! the span/counter profile is rendered and exported
@@ -133,6 +141,7 @@ fn main() {
         "matrix" => matrix(&opts),
         "pipeline" => pipeline(&opts),
         "stream" => stream(&opts),
+        "recover" => recover(&opts),
         "throughput" => throughput(),
         "chaos" => chaos(&opts),
         "calibrate" => calibrate(&opts),
@@ -965,6 +974,326 @@ fn stream(opts: &Opts) {
     let body = serde_json::to_string_pretty(&bench).expect("serialize bench record");
     std::fs::write("BENCH_stream.json", body).expect("write BENCH_stream.json");
     println!("   [wrote BENCH_stream.json]\n");
+}
+
+/// Crash-tolerance sweep over the supervised streaming-κ engine.
+///
+/// For every (kill-point density × checkpoint cadence) cell the full
+/// record-then-replay pipeline runs under
+/// [`choir_testbed::run_experiment_streaming_supervised`], with tap
+/// panics injected on a fixed cadence and the retained capture corrupted
+/// at a seeded offset afterwards. Three hard gates, all enforced with
+/// `assert!` so a violation exits non-zero:
+///
+/// 1. the recovered final κ AND the whole snapshot trail of every run
+///    are bit-identical (`f64::to_bits`) to the uninterrupted streaming
+///    reference, and the trials themselves are untouched;
+/// 2. every injected kill and tap panic is survived — nothing escapes
+///    the supervisor (an escaped panic would abort the process);
+/// 3. salvage-reading a randomly truncated capture yields *exactly* the
+///    records preceding the cut, record for record.
+///
+/// Writes `BENCH_recover.json` with recovery latency and replay
+/// amplification (journal records re-fed per tapped packet) per cell.
+fn recover(opts: &Opts) {
+    use choir_capture::PcapChunkReader;
+    use choir_packet::pcap::{parse_pcap, PcapRecord, PcapWriter};
+    use choir_testbed::{
+        run_experiment_streaming, run_experiment_streaming_supervised, SimTuning, StreamingMode,
+        SupervisorConfig,
+    };
+
+    // Injected tap panics are part of the experiment: silence their
+    // default-hook backtrace spam but delegate anything unexpected.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains("injected tap fault"));
+        if !injected {
+            prev_hook(info);
+        }
+    }));
+
+    let mut profile = EnvKind::LocalSingle.profile();
+    profile.runs = opts.runs.unwrap_or(3);
+    let runs = profile.runs;
+    // A dense cell serializes thousands of checkpoints whose size grows
+    // with the engine's seen-packet state, so the sweep runs at a
+    // fraction of the requested `--scale`: every gate is scale-invariant
+    // (bit-identity, survival, exact salvage); only the cost curves in
+    // BENCH_recover.json stretch with packet count.
+    let scale = (opts.scale * 0.04).max(0.002);
+    let cfg = choir_testbed::ExperimentConfig {
+        profile,
+        scale,
+        seed: opts.seed,
+    };
+    let mode = StreamingMode {
+        lookahead: None,
+        snapshot_every: 137,
+    };
+    println!(
+        "== recover: crash-tolerance sweep over {} runs of {} (scale {} -> {}, seed {}) ==",
+        runs,
+        EnvKind::LocalSingle.label(),
+        opts.scale,
+        scale,
+        opts.seed
+    );
+
+    // The uninterrupted reference every swept cell must reproduce bitwise.
+    let reference = run_experiment_streaming(&cfg, SimTuning::default(), mode);
+    let ref_stream = reference.report.stream.as_ref().expect("reference trail");
+    let per_trial = reference.trials[0].len();
+    // Packets tapped per sweep cell: every admitted packet of runs B..,
+    // the denominator of replay amplification.
+    let tapped_total: u64 = reference.trials[1..].iter().map(|t| t.len() as u64).sum();
+    println!("   reference: {} packets/trial, {} tapped per cell", per_trial, tapped_total);
+
+    let cadences = [32u64, 128, 512];
+    let kill_densities: [Option<u64>; 3] = [None, Some(383), Some(101)];
+    let panic_every = Some(457);
+
+    #[derive(serde::Serialize)]
+    struct RecoverCell {
+        checkpoint_every: u64,
+        kill_every: Option<u64>,
+        panic_every: Option<u64>,
+        kills_injected: u64,
+        kills_survived: u64,
+        tap_panics_caught: u64,
+        checkpoints_taken: u64,
+        checkpoint_bytes_last: u64,
+        checkpoint_bytes_peak: u64,
+        records_replayed: u64,
+        replay_amplification: f64,
+        resume_latency_ns_avg: u64,
+        salvaged_records: u64,
+        lost_records: u64,
+        bit_identical: bool,
+    }
+    let mut cells: Vec<RecoverCell> = Vec::new();
+    let mut export_total: Option<u64> = None;
+
+    for (ci, &checkpoint_every) in cadences.iter().enumerate() {
+        for (ki, &kill_every) in kill_densities.iter().enumerate() {
+            let sup = SupervisorConfig {
+                checkpoint_every,
+                kill_every,
+                panic_every,
+                corrupt_capture_seed: Some(opts.seed ^ ((ci * 3 + ki) as u64 + 1)),
+            };
+            let out = run_experiment_streaming_supervised(&cfg, SimTuning::default(), mode, sup);
+            let rec = out.report.recovery.expect("supervised run attaches recovery");
+
+            // -- gate 2: every fault survived, none escaped ------------
+            assert_eq!(
+                rec.kills_survived, rec.kills_injected,
+                "cadence {checkpoint_every}, kills {kill_every:?}: unsurvived kill"
+            );
+            if let Some(k) = kill_every {
+                // A tap that panics unwinds before its own kill check, so
+                // each caught panic can absorb at most one scheduled kill,
+                // and each run's tap counter restarts from zero.
+                let floor = (tapped_total / k).saturating_sub(rec.tap_panics_caught + runs as u64);
+                assert!(
+                    rec.kills_injected >= floor,
+                    "kill cadence {k} under-fired: {} kills over {tapped_total} taps (floor {floor})",
+                    rec.kills_injected
+                );
+                assert!(rec.records_replayed > 0, "recoveries must replay the journal");
+            }
+            assert!(
+                rec.tap_panics_caught > 0,
+                "panic cadence {panic_every:?} never fired over {tapped_total} taps"
+            );
+            assert!(rec.checkpoints_taken > 1, "cadence checkpoints were taken");
+
+            // -- gate 1: recovery is invisible in the measurement ------
+            let s = out.report.stream.as_ref().expect("supervised trail");
+            assert_eq!(s.runs.len(), ref_stream.runs.len());
+            for (a, b) in s.runs.iter().zip(ref_stream.runs.iter()) {
+                assert_eq!(
+                    a.final_kappa.to_bits(),
+                    b.final_kappa.to_bits(),
+                    "cadence {checkpoint_every}, kills {kill_every:?}: recovered κ diverged on run {}",
+                    a.label
+                );
+                assert_eq!(a.peak_resident, b.peak_resident);
+                assert_eq!(a.evicted, b.evicted);
+                assert_eq!(a.snapshots.len(), b.snapshots.len(), "snapshot trail length");
+                for (x, y) in a.snapshots.iter().zip(b.snapshots.iter()) {
+                    assert_eq!((x.seen_a, x.seen_b, x.common), (y.seen_a, y.seen_b, y.common));
+                    assert_eq!(
+                        x.running.kappa.to_bits(),
+                        y.running.kappa.to_bits(),
+                        "snapshot κ diverged under cadence {checkpoint_every}, kills {kill_every:?}"
+                    );
+                    assert_eq!(x.window.metrics.kappa.to_bits(), y.window.metrics.kappa.to_bits());
+                }
+            }
+            assert_eq!(out.trials, reference.trials, "supervision must not touch trials");
+
+            // -- salvage accounting: same export, seeded cut -----------
+            let total = rec.salvaged_records + rec.lost_records;
+            assert!(rec.salvaged_records > 0, "salvage recovered a prefix");
+            match export_total {
+                None => export_total = Some(total),
+                Some(t) => assert_eq!(t, total, "capture export size must not vary across cells"),
+            }
+
+            let faults = rec.kills_survived + rec.tap_panics_caught;
+            let cell = RecoverCell {
+                checkpoint_every,
+                kill_every,
+                panic_every,
+                kills_injected: rec.kills_injected,
+                kills_survived: rec.kills_survived,
+                tap_panics_caught: rec.tap_panics_caught,
+                checkpoints_taken: rec.checkpoints_taken,
+                checkpoint_bytes_last: rec.checkpoint_bytes_last,
+                checkpoint_bytes_peak: rec.checkpoint_bytes_peak,
+                records_replayed: rec.records_replayed,
+                replay_amplification: rec.records_replayed as f64 / tapped_total.max(1) as f64,
+                resume_latency_ns_avg: rec.resume_latency_ns_total / faults.max(1),
+                salvaged_records: rec.salvaged_records,
+                lost_records: rec.lost_records,
+                bit_identical: true,
+            };
+            println!(
+                "   ckpt {:>4} kill {:>9} | {:>3} kills {:>2} panics {:>4} ckpts | replayed {:>6} (amp {:>6.4}) | resume {:>7} ns avg | salvage {}/{} | bit-identical",
+                cell.checkpoint_every,
+                cell.kill_every.map_or("off".into(), |k| format!("every {k}")),
+                cell.kills_injected,
+                cell.tap_panics_caught,
+                cell.checkpoints_taken,
+                cell.records_replayed,
+                cell.replay_amplification,
+                cell.resume_latency_ns_avg,
+                cell.salvaged_records,
+                total,
+            );
+            cells.push(cell);
+        }
+    }
+
+    // -- gate 3: salvage yields exactly the records preceding the cut --
+    // Fixed-size records make the byte layout predictable: 24-byte
+    // global header, then 16-byte record headers framing equal-length
+    // frames, so the expected prefix length is arithmetic on the cut
+    // offset — no parser in the loop to agree with itself.
+    let builder = FrameBuilder::new(256, 1, 2);
+    let mut writer = PcapWriter::new(Vec::new()).expect("pcap header");
+    for i in 0..400u64 {
+        let f = builder.build_tagged_snap(ChoirTag::new(0, 0, i));
+        writer.write_record(i * 1_000, &f).expect("pcap record");
+    }
+    let mut bytes = writer.finish().expect("pcap bytes");
+    let full = parse_pcap(&bytes).expect("intact capture parses");
+    assert_eq!(full.len(), 400);
+    // Identical frames mean identical on-disk records; recover the
+    // per-record byte size from the file itself rather than assuming
+    // the builder's wire format.
+    assert_eq!((bytes.len() - 24) % 400, 0, "records must be uniform");
+    let rec_size = (bytes.len() - 24) / 400;
+    let mut exact = true;
+    for round in 0..32u64 {
+        let mut cut_bytes = bytes.clone();
+        let cut = choir_dpdk::fault::truncate_stream(&mut cut_bytes, opts.seed ^ round, 24);
+        let expected = (cut as usize - 24) / rec_size;
+        let mut salvaged: Vec<PcapRecord> = Vec::new();
+        let mut reader = PcapChunkReader::new(&cut_bytes[..], 64).expect("header survives");
+        loop {
+            match reader.next_chunk() {
+                Ok(Some(recs)) => salvaged.extend(recs),
+                Ok(None) => break,
+                Err(e) => {
+                    salvaged.extend(e.salvaged);
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            salvaged.len(),
+            expected,
+            "cut at byte {cut}: salvage must recover every whole record before it"
+        );
+        assert_eq!(
+            salvaged[..],
+            full[..expected],
+            "cut at byte {cut}: salvaged records must equal the batch prefix"
+        );
+        exact &= salvaged[..] == full[..expected];
+    }
+    bytes.clear();
+    println!("   salvage exact-prefix gate: 32 seeded cuts, salvaged == batch prefix every time");
+
+    // -- observability pass (--obs): supervised recovery under obs must
+    // stay bit-identical, and the recover.* profile is rendered.
+    let obs_snap = if opts.obs {
+        use choir_core::obs;
+        obs::configure(&obs::ObsConfig {
+            enabled: true,
+            ring_capacity: 4096,
+        });
+        obs::reset();
+        obs::set_enabled(true);
+        let sup = SupervisorConfig {
+            checkpoint_every: cadences[1],
+            kill_every: kill_densities[2],
+            panic_every,
+            corrupt_capture_seed: Some(opts.seed),
+        };
+        let out = run_experiment_streaming_supervised(&cfg, SimTuning::default(), mode, sup);
+        let s = out.report.stream.as_ref().expect("supervised trail");
+        for (a, b) in s.runs.iter().zip(ref_stream.runs.iter()) {
+            assert_eq!(
+                a.final_kappa.to_bits(),
+                b.final_kappa.to_bits(),
+                "obs-enabled supervised pass must stay bit-identical"
+            );
+        }
+        let snap = obs::snapshot();
+        obs::set_enabled(false);
+        println!("   obs-enabled supervised pass bit-identical to plain");
+        print!("{}", fmt::render_obs(&snap));
+        Some(snap)
+    } else {
+        None
+    };
+
+    let _ = std::panic::take_hook(); // drop the filter; later targets get the default
+
+    #[derive(serde::Serialize)]
+    struct RecoverBench {
+        requested_scale: f64,
+        scale: f64,
+        seed: u64,
+        runs: usize,
+        packets_per_trial: usize,
+        tapped_per_cell: u64,
+        export_records: u64,
+        salvage_prefix_exact: bool,
+        cells: Vec<RecoverCell>,
+        obs: Option<choir_core::ObsSnapshot>,
+    }
+    let bench = RecoverBench {
+        requested_scale: opts.scale,
+        scale,
+        seed: opts.seed,
+        runs,
+        packets_per_trial: per_trial,
+        tapped_per_cell: tapped_total,
+        export_records: export_total.unwrap_or(0),
+        salvage_prefix_exact: exact,
+        cells,
+        obs: obs_snap,
+    };
+    let body = serde_json::to_string_pretty(&bench).expect("serialize bench record");
+    std::fs::write("BENCH_recover.json", body).expect("write BENCH_recover.json");
+    println!("   [wrote BENCH_recover.json]\n");
 }
 
 /// Chaos sweep: replay one recording through a fault-injecting dataplane

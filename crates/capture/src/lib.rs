@@ -11,6 +11,7 @@ pub mod meter;
 
 use choir_core::metrics::Trial;
 use choir_core::obs;
+use choir_core::replay::degrade::DegradationReport;
 use choir_dpdk::{App, Burst, ControlMsg, Dataplane, PortId};
 use choir_packet::pcap::PcapWriter;
 use choir_packet::Frame;
@@ -35,6 +36,12 @@ pub struct RecorderConfig {
     /// length (ps) — the observation behind §7.1's "bounced between
     /// 35 Gbps and 50 Gbps".
     pub meter_window_ps: Option<u64>,
+    /// Upper bound on retained frames when `keep_frames` is set. Once
+    /// the bound is reached further frames are dropped from retention
+    /// and counted ([`Recorder::frames_dropped`], `capture.ring_full`)
+    /// instead of growing without limit — identity/timestamp capture
+    /// into the trial is unaffected. `None` retains everything.
+    pub max_frames: Option<usize>,
 }
 
 
@@ -49,6 +56,7 @@ pub struct Recorder {
     buf: Burst,
     untimestamped: u64,
     filtered: u64,
+    frames_dropped: u64,
     meter: Option<RateMeter>,
 }
 
@@ -66,6 +74,7 @@ impl Recorder {
             buf: Burst::new(),
             untimestamped: 0,
             filtered: 0,
+            frames_dropped: 0,
             meter: cfg.meter_window_ps.map(RateMeter::new),
         }
     }
@@ -89,6 +98,22 @@ impl Recorder {
     /// Untagged packets skipped by the `tagged_only` filter.
     pub fn filtered(&self) -> u64 {
         self.filtered
+    }
+
+    /// Frames dropped from retention because the
+    /// [`RecorderConfig::max_frames`] bound was reached. The trial
+    /// itself (identities + timestamps) still recorded them.
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped
+    }
+
+    /// This recorder's graceful-degradation events, in the shared
+    /// vocabulary `choir-testbed` aggregates into run reports.
+    pub fn degradation_report(&self) -> DegradationReport {
+        DegradationReport {
+            capture_ring_full: self.frames_dropped,
+            ..DegradationReport::default()
+        }
     }
 
     /// End the current trial and start a new one. Empty trials are not
@@ -155,7 +180,18 @@ impl App for Recorder {
                     meter.record(ts, m.frame.wire_len());
                 }
                 if self.cfg.keep_frames {
-                    self.frames.push((ts, m.frame.clone()));
+                    if self.cfg.max_frames.is_none_or(|cap| self.frames.len() < cap) {
+                        self.frames.push((ts, m.frame.clone()));
+                    } else {
+                        // Retention ring full: drop the frame copy and
+                        // count, instead of growing without bound (or,
+                        // in a fixed-ring port, panicking). The trial
+                        // keeps the packet's identity and timestamp.
+                        self.frames_dropped += 1;
+                        if obs::is_enabled() {
+                            obs::counter_inc("capture.ring_full");
+                        }
+                    }
                 }
             }
             self.buf = buf;
@@ -187,21 +223,32 @@ mod tests {
     struct RxPlane {
         pool: Mempool,
         rx: VecDeque<Mbuf>,
+        alloc_failed: u64,
     }
 
     impl RxPlane {
         fn new() -> Self {
+            Self::with_pool_capacity(1 << 12)
+        }
+        fn with_pool_capacity(cap: usize) -> Self {
             RxPlane {
-                pool: Mempool::new("cap", 1 << 12),
+                pool: Mempool::new("cap", cap),
                 rx: VecDeque::new(),
+                alloc_failed: 0,
             }
         }
         fn inject(&mut self, seq: u64, ts_ps: Option<u64>) {
             let mut buf = vec![0u8; 60];
             ChoirTag::new(1, 0, seq).stamp_trailer(&mut buf);
-            let mut m = self.pool.alloc(Frame::new(Bytes::from(buf))).unwrap();
-            m.rx_ts_ps = ts_ps;
-            self.rx.push_back(m);
+            // An exhausted pool drops the arrival and counts it, like a
+            // real rx path out of descriptors — never panics.
+            match self.pool.alloc(Frame::new(Bytes::from(buf))) {
+                Ok(mut m) => {
+                    m.rx_ts_ps = ts_ps;
+                    self.rx.push_back(m);
+                }
+                Err(_) => self.alloc_failed += 1,
+            }
         }
     }
 
@@ -217,10 +264,15 @@ mod tests {
             let mut n = 0;
             while n < choir_dpdk::MAX_BURST {
                 match self.rx.pop_front() {
-                    Some(m) => {
-                        out.push(m).unwrap();
-                        n += 1;
-                    }
+                    Some(m) => match out.push(m) {
+                        Ok(()) => n += 1,
+                        // Full burst: leave the packet queued for the
+                        // next call rather than panicking.
+                        Err(m) => {
+                            self.rx.push_front(m);
+                            break;
+                        }
+                    },
                     None => break,
                 }
             }
@@ -373,6 +425,44 @@ mod tests {
         assert!(m.pps(0) > 0.0);
         let (_, mean, _) = m.bps_summary();
         assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn bounded_retention_drops_and_counts_instead_of_growing() {
+        let mut dp = RxPlane::new();
+        let mut r = Recorder::new(RecorderConfig {
+            keep_frames: true,
+            max_frames: Some(2),
+            ..RecorderConfig::default()
+        });
+        for i in 0..5 {
+            dp.inject(i, Some(10 + i));
+        }
+        r.on_wake(&mut dp);
+        assert_eq!(r.frames_kept(), 2);
+        assert_eq!(r.frames_dropped(), 3);
+        assert_eq!(r.current_len(), 5, "trial capture unaffected by the bound");
+        let d = r.degradation_report();
+        assert_eq!(d.capture_ring_full, 3);
+        assert!(!d.is_clean());
+        // The bounded retention still exports a valid (short) pcap.
+        let mut out = Vec::new();
+        assert_eq!(r.write_pcap(&mut out).unwrap(), 2);
+    }
+
+    #[test]
+    fn undersized_pool_completes_run_instead_of_panicking() {
+        let mut dp = RxPlane::with_pool_capacity(4);
+        let mut r = Recorder::new(RecorderConfig::default());
+        for i in 0..10 {
+            dp.inject(i, Some(100 * (i + 1)));
+        }
+        assert_eq!(dp.alloc_failed, 6);
+        r.on_wake(&mut dp);
+        assert_eq!(r.current_len(), 4);
+        let trials = r.take_trials();
+        assert_eq!(trials.len(), 1);
+        assert!(trials[0].is_time_ordered());
     }
 
     #[test]

@@ -44,10 +44,12 @@ pub use matching::Matching;
 pub use ordering::EditScriptStats;
 pub use pair::PairAnalyzer;
 pub use report::{
-    trial_label, ReportError, RunReport, SimStatsReport, StageTimings, StreamReport,
-    StreamRunTrail, TrialComparison,
+    trial_label, RecoveryReport, ReportError, RunReport, SimStatsReport, StageTimings,
+    StreamReport, StreamRunTrail, TrialComparison,
 };
-pub use stream::{IncrementalComparison, KappaSnapshot, Side, StreamConfig, StreamOutcome};
+pub use stream::{
+    IncrementalComparison, KappaSnapshot, Side, StreamCheckpoint, StreamConfig, StreamOutcome,
+};
 pub use trial::{Observation, Trial};
 pub use windowed::{windowed_kappa, worst_window, WindowScore};
 

@@ -41,6 +41,19 @@
 //! a lower bound of the global move distance; percentiles are
 //! approximated from the histogram buckets. L/I stay exact over the
 //! matches that happened. DESIGN.md §12 spells out the semantics.
+//!
+//! ## Checkpoint / resume
+//!
+//! [`IncrementalComparison::checkpoint`] serializes the engine's *entire*
+//! algorithmic state — FIFO matching cursors, 128-bit accumulators,
+//! bounded-mode resident window, unsealed segment, slice, and snapshot
+//! trail — into a [`StreamCheckpoint`], and
+//! [`IncrementalComparison::resume`] rebuilds a live engine from one.
+//! The hard contract (tested exhaustively, DESIGN.md §13): feeding
+//! records `0..k`, checkpointing, resuming, and feeding `k..n` is
+//! bit-identical (`f64::to_bits`) to an uninterrupted run — at **every**
+//! cut point `k`, in both lookahead modes, including through a
+//! `serde_json` round trip of the checkpoint itself.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::Instant;
@@ -131,6 +144,239 @@ pub struct StreamOutcome {
     /// True when a bounded lookahead was configured (the comparison is
     /// then the documented approximation, not the exact batch result).
     pub bounded: bool,
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / resume
+//
+// The vendored serde data model carries at most 64-bit integers, so the
+// engine's u128/i128 accumulators and `PacketId(u128)` identities are
+// split into (hi, lo) halves; everything else mirrors the live state
+// field-for-field. `pending_by_age` is NOT serialized — every pending
+// observation carries its (unique, monotone) enqueue tick, so the age
+// index is rebuilt exactly on resume.
+// ---------------------------------------------------------------------
+
+fn split_u128(v: u128) -> (u64, u64) {
+    ((v >> 64) as u64, v as u64)
+}
+
+fn join_u128(hi: u64, lo: u64) -> u128 {
+    ((hi as u128) << 64) | lo as u128
+}
+
+fn split_i128(v: i128) -> (i64, u64) {
+    ((v >> 64) as i64, v as u64)
+}
+
+fn join_i128(hi: i64, lo: u64) -> i128 {
+    ((hi as i128) << 64) | lo as i128
+}
+
+/// Serialized mirror of [`SideState`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SideCk {
+    len: u64,
+    first_t_ps: u64,
+    prev_t_ps: u64,
+    min_t_ps: u64,
+    max_t_ps: u64,
+    evicted: u64,
+}
+
+/// Serialized mirror of [`PendingObs`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ObsCk {
+    pos: u32,
+    t_ps: u64,
+    gap_ps: i64,
+    tick: u64,
+}
+
+/// One identity's pending FIFO queues, with the `PacketId(u128)` split
+/// into 64-bit halves.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PendingIdCk {
+    id_hi: u64,
+    id_lo: u64,
+    a: Vec<ObsCk>,
+    b: Vec<ObsCk>,
+}
+
+/// Serialized mirror of [`PairRec`] (`d_lat_ps: i128` split).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PairCk {
+    a_pos: u32,
+    b_pos: u32,
+    d_lat_hi: i64,
+    d_lat_lo: u64,
+    d_iat_ps: i64,
+}
+
+/// Serialized mirror of [`MomentAcc`]. The vendored `serde_json` prints
+/// `f64` with shortest-roundtrip formatting, so `mean`/`m2` survive a
+/// JSON trip bit-exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MomentCk {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+/// Serialized mirror of [`SliceState`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SliceCk {
+    a_pushed: u64,
+    b_pushed: u64,
+    pairs: Vec<PairCk>,
+    lat_num: (u64, u64),
+    iat_num: (u64, u64),
+    a_lo: u32,
+    a_hi: u32,
+}
+
+/// A complete, serializable snapshot of an [`IncrementalComparison`]'s
+/// algorithmic state. Opaque by design: produce one with
+/// [`IncrementalComparison::checkpoint`], turn it back into a live
+/// engine with [`IncrementalComparison::resume`], and ship it across a
+/// crash boundary with `serde_json` (the round trip is bit-exact; see
+/// the module docs). Wall-clock timings are *not* part of a checkpoint —
+/// a resumed run re-measures its own stage timings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamCheckpoint {
+    lookahead: Option<u64>,
+    snapshot_every: u64,
+    kappa: KappaConfig,
+    side_a: SideCk,
+    side_b: SideCk,
+    pending: Vec<PendingIdCk>,
+    tick: u64,
+    peak_resident: u64,
+    matched: u64,
+    lat_num: (u64, u64),
+    iat_num: (u64, u64),
+    within_10ns: u64,
+    iat_hist: DeltaHistogram,
+    lat_hist: DeltaHistogram,
+    all_pairs: Vec<PairCk>,
+    seg: Vec<PairCk>,
+    o_num: (u64, u64),
+    moved: u64,
+    disp_signed: MomentCk,
+    disp_abs: MomentCk,
+    disp_min: i64,
+    disp_max: i64,
+    slice: SliceCk,
+    last_snapshot_tick: u64,
+    snapshots: Vec<KappaSnapshot>,
+}
+
+impl StreamCheckpoint {
+    /// Global push counter at checkpoint time (observations consumed
+    /// across both sides) — the replay cursor a supervisor needs to know
+    /// where to re-feed from.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Observations pushed on side A at checkpoint time.
+    pub fn seen_a(&self) -> usize {
+        self.side_a.len as usize
+    }
+
+    /// Observations pushed on side B at checkpoint time.
+    pub fn seen_b(&self) -> usize {
+        self.side_b.len as usize
+    }
+
+    /// Unmatched observations resident in the checkpoint.
+    pub fn resident(&self) -> usize {
+        self.pending.iter().map(|p| p.a.len() + p.b.len()).sum()
+    }
+}
+
+impl SideCk {
+    fn of(s: &SideState) -> Self {
+        SideCk {
+            len: s.len as u64,
+            first_t_ps: s.first_t_ps,
+            prev_t_ps: s.prev_t_ps,
+            min_t_ps: s.min_t_ps,
+            max_t_ps: s.max_t_ps,
+            evicted: s.evicted as u64,
+        }
+    }
+
+    fn restore(&self) -> SideState {
+        SideState {
+            len: self.len as usize,
+            first_t_ps: self.first_t_ps,
+            prev_t_ps: self.prev_t_ps,
+            min_t_ps: self.min_t_ps,
+            max_t_ps: self.max_t_ps,
+            evicted: self.evicted as usize,
+        }
+    }
+}
+
+impl ObsCk {
+    fn of(o: &PendingObs) -> Self {
+        ObsCk {
+            pos: o.pos,
+            t_ps: o.t_ps,
+            gap_ps: o.gap_ps,
+            tick: o.tick,
+        }
+    }
+
+    fn restore(&self) -> PendingObs {
+        PendingObs {
+            pos: self.pos,
+            t_ps: self.t_ps,
+            gap_ps: self.gap_ps,
+            tick: self.tick,
+        }
+    }
+}
+
+impl PairCk {
+    fn of(p: &PairRec) -> Self {
+        let (d_lat_hi, d_lat_lo) = split_i128(p.d_lat_ps);
+        PairCk {
+            a_pos: p.a_pos,
+            b_pos: p.b_pos,
+            d_lat_hi,
+            d_lat_lo,
+            d_iat_ps: p.d_iat_ps,
+        }
+    }
+
+    fn restore(&self) -> PairRec {
+        PairRec {
+            a_pos: self.a_pos,
+            b_pos: self.b_pos,
+            d_lat_ps: join_i128(self.d_lat_hi, self.d_lat_lo),
+            d_iat_ps: self.d_iat_ps,
+        }
+    }
+}
+
+impl MomentCk {
+    fn of(m: &MomentAcc) -> Self {
+        MomentCk {
+            count: m.count as u64,
+            mean: m.mean,
+            m2: m.m2,
+        }
+    }
+
+    fn restore(&self) -> MomentAcc {
+        MomentAcc {
+            count: self.count as usize,
+            mean: self.mean,
+            m2: self.m2,
+        }
+    }
 }
 
 /// Per-side incremental statistics (the streaming mirror of what
@@ -455,6 +701,138 @@ impl IncrementalComparison {
     /// Snapshots taken so far.
     pub fn snapshots(&self) -> &[KappaSnapshot] {
         &self.snapshots
+    }
+
+    /// Serialize the engine's complete algorithmic state. Non-consuming:
+    /// the live engine continues unperturbed, so a supervisor can
+    /// checkpoint on a cadence while streaming. Pending identities are
+    /// emitted in `PacketId` order, so identical states produce
+    /// byte-identical checkpoints regardless of hash-map iteration order.
+    pub fn checkpoint(&self) -> StreamCheckpoint {
+        let _span = obs::span("recover.checkpoint");
+        let mut pending: Vec<PendingIdCk> = self
+            .pending
+            .iter()
+            .map(|(id, q)| {
+                let (id_hi, id_lo) = split_u128(id.0);
+                PendingIdCk {
+                    id_hi,
+                    id_lo,
+                    a: q.a.iter().map(ObsCk::of).collect(),
+                    b: q.b.iter().map(ObsCk::of).collect(),
+                }
+            })
+            .collect();
+        pending.sort_unstable_by_key(|p| (p.id_hi, p.id_lo));
+        if obs::is_enabled() {
+            obs::counter_inc("recover.checkpoints");
+        }
+        StreamCheckpoint {
+            lookahead: self.cfg.lookahead.map(|w| w as u64),
+            snapshot_every: self.cfg.snapshot_every,
+            kappa: self.cfg.kappa,
+            side_a: SideCk::of(&self.sides[0]),
+            side_b: SideCk::of(&self.sides[1]),
+            pending,
+            tick: self.tick,
+            peak_resident: self.peak_resident as u64,
+            matched: self.matched as u64,
+            lat_num: split_u128(self.lat_num),
+            iat_num: split_u128(self.iat_num),
+            within_10ns: self.within_10ns as u64,
+            iat_hist: self.iat_hist.clone(),
+            lat_hist: self.lat_hist.clone(),
+            all_pairs: self.all_pairs.iter().map(PairCk::of).collect(),
+            seg: self.seg.iter().map(PairCk::of).collect(),
+            o_num: split_u128(self.o_num),
+            moved: self.moved as u64,
+            disp_signed: MomentCk::of(&self.disp_signed),
+            disp_abs: MomentCk::of(&self.disp_abs),
+            disp_min: self.disp_min,
+            disp_max: self.disp_max,
+            slice: SliceCk {
+                a_pushed: self.slice.a_pushed as u64,
+                b_pushed: self.slice.b_pushed as u64,
+                pairs: self.slice.pairs.iter().map(PairCk::of).collect(),
+                lat_num: split_u128(self.slice.lat_num),
+                iat_num: split_u128(self.slice.iat_num),
+                a_lo: self.slice.a_lo,
+                a_hi: self.slice.a_hi,
+            },
+            last_snapshot_tick: self.last_snapshot_tick,
+            snapshots: self.snapshots.clone(),
+        }
+    }
+
+    /// Rebuild a live engine from a [`StreamCheckpoint`]. The age index
+    /// over pending observations is reconstructed from their enqueue
+    /// ticks, so bounded-mode eviction order — and therefore every
+    /// downstream bit — is exactly what the uninterrupted run would have
+    /// produced (the module-docs contract).
+    pub fn resume(ck: StreamCheckpoint) -> Self {
+        let _span = obs::span("recover.resume");
+        let cfg = StreamConfig {
+            lookahead: ck.lookahead.map(|w| w as usize),
+            snapshot_every: ck.snapshot_every,
+            kappa: ck.kappa,
+        };
+        let mut pending = HashMap::with_capacity(ck.pending.len());
+        let mut pending_by_age = BTreeMap::new();
+        let mut resident = 0usize;
+        for e in &ck.pending {
+            let id = PacketId(join_u128(e.id_hi, e.id_lo));
+            let mut q = IdQueues::default();
+            for o in &e.a {
+                let p = o.restore();
+                pending_by_age.insert(p.tick, (id, Side::A));
+                q.a.push_back(p);
+                resident += 1;
+            }
+            for o in &e.b {
+                let p = o.restore();
+                pending_by_age.insert(p.tick, (id, Side::B));
+                q.b.push_back(p);
+                resident += 1;
+            }
+            pending.insert(id, q);
+        }
+        if obs::is_enabled() {
+            obs::counter_inc("recover.resumes");
+        }
+        IncrementalComparison {
+            cfg,
+            sides: [ck.side_a.restore(), ck.side_b.restore()],
+            pending,
+            pending_by_age,
+            tick: ck.tick,
+            resident,
+            peak_resident: ck.peak_resident as usize,
+            matched: ck.matched as usize,
+            lat_num: join_u128(ck.lat_num.0, ck.lat_num.1),
+            iat_num: join_u128(ck.iat_num.0, ck.iat_num.1),
+            within_10ns: ck.within_10ns as usize,
+            iat_hist: ck.iat_hist,
+            lat_hist: ck.lat_hist,
+            all_pairs: ck.all_pairs.iter().map(PairCk::restore).collect(),
+            seg: ck.seg.iter().map(PairCk::restore).collect(),
+            o_num: join_u128(ck.o_num.0, ck.o_num.1),
+            moved: ck.moved as usize,
+            disp_signed: ck.disp_signed.restore(),
+            disp_abs: ck.disp_abs.restore(),
+            disp_min: ck.disp_min,
+            disp_max: ck.disp_max,
+            slice: SliceState {
+                a_pushed: ck.slice.a_pushed as usize,
+                b_pushed: ck.slice.b_pushed as usize,
+                pairs: ck.slice.pairs.iter().map(PairCk::restore).collect(),
+                lat_num: join_u128(ck.slice.lat_num.0, ck.slice.lat_num.1),
+                iat_num: join_u128(ck.slice.iat_num.0, ck.slice.iat_num.1),
+                a_lo: ck.slice.a_lo,
+                a_hi: ck.slice.a_hi,
+            },
+            last_snapshot_tick: ck.last_snapshot_tick,
+            snapshots: ck.snapshots,
+        }
     }
 
     /// Feed one observation.
@@ -1143,6 +1521,165 @@ mod tests {
         assert_eq!(back.seen_a, snap.seen_a);
         assert_eq!(back.running.kappa.to_bits(), snap.running.kappa.to_bits());
         assert_eq!(back.window.common, snap.window.common);
+    }
+
+    /// Flatten a chunked interleave into a single event sequence so a
+    /// checkpoint cut can land at *any* global position.
+    fn interleave(a: &Trial, b: &Trial, chunk: usize) -> Vec<(Side, Observation)> {
+        let (oa, ob) = (a.observations(), b.observations());
+        let (mut ia, mut ib) = (0usize, 0usize);
+        let mut ev = Vec::with_capacity(oa.len() + ob.len());
+        while ia < oa.len() || ib < ob.len() {
+            let hi = (ia + chunk).min(oa.len());
+            ev.extend(oa[ia..hi].iter().map(|o| (Side::A, *o)));
+            ia = hi;
+            let hi = (ib + chunk).min(ob.len());
+            ev.extend(ob[ib..hi].iter().map(|o| (Side::B, *o)));
+            ib = hi;
+        }
+        ev
+    }
+
+    fn feed(eng: &mut IncrementalComparison, events: &[(Side, Observation)]) {
+        for (side, o) in events {
+            eng.push(*side, o.id, o.t_ps);
+        }
+    }
+
+    fn assert_snapshots_identical(x: &[KappaSnapshot], y: &[KappaSnapshot]) {
+        assert_eq!(x.len(), y.len(), "snapshot trail lengths differ");
+        for (k, (s, t)) in x.iter().zip(y).enumerate() {
+            assert_eq!(
+                (s.seen_a, s.seen_b, s.common, s.resident, s.evicted),
+                (t.seen_a, t.seen_b, t.common, t.resident, t.evicted),
+                "snapshot {k} counters diverged"
+            );
+            for (name, a, b) in [
+                ("kappa", s.running.kappa, t.running.kappa),
+                ("u", s.running.u, t.running.u),
+                ("o", s.running.o, t.running.o),
+                ("l", s.running.l, t.running.l),
+                ("i", s.running.i, t.running.i),
+                ("w.kappa", s.window.metrics.kappa, t.window.metrics.kappa),
+            ] {
+                assert_eq!(a.to_bits(), b.to_bits(), "snapshot {k} {name} diverged");
+            }
+            assert_eq!(s.window.index, t.window.index);
+            assert_eq!(s.window.a_range, t.window.a_range);
+            assert_eq!(s.window.common, t.window.common);
+        }
+    }
+
+    /// The tentpole contract: cut at every k, checkpoint, resume, finish
+    /// — bit-identical result *and* snapshot trail, both modes, with a
+    /// JSON round trip of the checkpoint in the loop.
+    fn check_every_cut(cfg: StreamConfig, n: u64, chunk: usize) {
+        let (a, b) = jittered_pair(n);
+        let events = interleave(&a, &b, chunk);
+        let mut whole = IncrementalComparison::new(cfg);
+        feed(&mut whole, &events);
+        let want = whole.finalize("B");
+        for k in 0..=events.len() {
+            let mut head = IncrementalComparison::new(cfg);
+            feed(&mut head, &events[..k]);
+            let ck = head.checkpoint();
+            // Round-trip through JSON at every cut: the serialized form
+            // must carry the full state, not just the in-memory mirror.
+            let json = serde_json::to_string(&ck).unwrap();
+            let ck: StreamCheckpoint = serde_json::from_str(&json).unwrap();
+            let mut tail = IncrementalComparison::resume(ck);
+            feed(&mut tail, &events[k..]);
+            let got = tail.finalize("B");
+            assert_bit_identical(&got.comparison, &want.comparison);
+            assert_eq!(got.peak_resident, want.peak_resident, "cut {k}");
+            assert_eq!(got.evicted, want.evicted, "cut {k}");
+            assert_snapshots_identical(&got.snapshots, &want.snapshots);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_bit_identical_at_every_cut_unbounded() {
+        let cfg = StreamConfig {
+            snapshot_every: 17,
+            ..StreamConfig::default()
+        };
+        check_every_cut(cfg, 60, 5);
+    }
+
+    #[test]
+    fn checkpoint_resume_bit_identical_at_every_cut_bounded() {
+        // Window far smaller than the stream: cuts land inside the
+        // resident window, mid-segment, and across evictions.
+        let cfg = StreamConfig {
+            lookahead: Some(8),
+            snapshot_every: 13,
+            ..StreamConfig::default()
+        };
+        check_every_cut(cfg, 60, 9);
+    }
+
+    #[test]
+    fn checkpoint_is_non_destructive() {
+        // The checkpointed engine keeps running and still matches the
+        // uninterrupted result — cadence checkpointing must be free.
+        let (a, b) = jittered_pair(120);
+        let events = interleave(&a, &b, 7);
+        let mut plain = IncrementalComparison::new(StreamConfig::default());
+        feed(&mut plain, &events);
+        let want = plain.finalize("B");
+        let mut eng = IncrementalComparison::new(StreamConfig::default());
+        for (k, (side, o)) in events.iter().enumerate() {
+            if k % 11 == 0 {
+                let _ = eng.checkpoint();
+            }
+            eng.push(*side, o.id, o.t_ps);
+        }
+        let got = eng.finalize("B");
+        assert_bit_identical(&got.comparison, &want.comparison);
+    }
+
+    #[test]
+    fn checkpoint_exposes_replay_cursor() {
+        let (a, b) = jittered_pair(40);
+        let events = interleave(&a, &b, 3);
+        let mut eng = IncrementalComparison::new(StreamConfig::default());
+        feed(&mut eng, &events[..25]);
+        let ck = eng.checkpoint();
+        assert_eq!(ck.tick(), 25);
+        assert_eq!(ck.seen_a() + ck.seen_b(), 25);
+        assert_eq!(ck.resident(), eng.resident());
+    }
+
+    #[test]
+    fn checkpoint_bytes_are_deterministic() {
+        // Two engines fed identically must serialize byte-identically
+        // (pending identities are emitted in sorted order, not hash
+        // order) — a supervisor may diff checkpoints to detect drift.
+        let (a, b) = jittered_pair(80);
+        let events = interleave(&a, &b, 4);
+        let mk = || {
+            let mut e = IncrementalComparison::new(StreamConfig::default());
+            feed(&mut e, &events[..events.len() / 2]);
+            serde_json::to_string(&e.checkpoint()).unwrap()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn resume_preserves_extreme_displacement_sentinels() {
+        // A fresh engine's disp_min/disp_max sentinels (i64::MAX/MIN)
+        // must survive the JSON trip — they only relax on real moves.
+        let eng = IncrementalComparison::new(StreamConfig {
+            lookahead: Some(4),
+            ..StreamConfig::default()
+        });
+        let json = serde_json::to_string(&eng.checkpoint()).unwrap();
+        let ck: StreamCheckpoint = serde_json::from_str(&json).unwrap();
+        let back = IncrementalComparison::resume(ck);
+        assert_eq!(back.disp_min, i64::MAX);
+        assert_eq!(back.disp_max, i64::MIN);
+        let out = back.finalize("B");
+        assert_eq!(out.comparison.edit_stats.min, 0);
     }
 
     #[test]

@@ -52,6 +52,17 @@ pub struct DegradationReport {
     pub control_failures: u64,
     /// Duplicate control deliveries suppressed by sequence dedupe.
     pub control_duplicates: u64,
+    /// Capture-path `Mempool::alloc` failures tolerated by dropping the
+    /// allocation (an unacknowledged ack, an unrecorded frame) instead
+    /// of panicking. The run continues; retransmission or a shorter
+    /// capture recovers.
+    #[serde(default)]
+    pub capture_alloc_failed: u64,
+    /// Capture-path ring/buffer pushes rejected because the ring was
+    /// full (frame dropped from capture and counted; forwarding and the
+    /// live trial are unaffected).
+    #[serde(default)]
+    pub capture_ring_full: u64,
 }
 
 impl DegradationReport {
@@ -72,6 +83,8 @@ impl DegradationReport {
             + self.control_retransmits
             + self.control_failures
             + self.control_duplicates
+            + self.capture_alloc_failed
+            + self.capture_ring_full
     }
 
     /// Field-wise add another component's counters into this report.
@@ -87,6 +100,8 @@ impl DegradationReport {
         self.control_retransmits += other.control_retransmits;
         self.control_failures += other.control_failures;
         self.control_duplicates += other.control_duplicates;
+        self.capture_alloc_failed += other.capture_alloc_failed;
+        self.capture_ring_full += other.capture_ring_full;
     }
 }
 

@@ -24,6 +24,8 @@ use choir_dpdk::{App, Burst, ControlMsg, Dataplane, PortId};
 use choir_packet::tag::{ChoirTag, TAG_LEN};
 use choir_packet::Frame;
 
+use crate::obs;
+
 use super::control::{decode_control_pdu, encode_control_ack, is_control_frame, ControlPdu};
 use super::degrade::DegradationReport;
 use super::recording::{Recording, RollingRecorder};
@@ -121,6 +123,14 @@ pub struct ForwardStats {
     /// Duplicate sequenced control deliveries suppressed (re-acked but
     /// not re-applied).
     pub control_duplicates: u64,
+    /// Mempool allocations that failed on the capture/control path and
+    /// were tolerated by dropping (e.g. an ack that could not be built
+    /// under pool exhaustion; the controller's retransmit recovers it).
+    pub alloc_failed: u64,
+    /// Packets dropped because the staging burst was already at
+    /// capacity when they arrived (a misbehaving rx plane overfilling
+    /// `MAX_BURST`; the forwarder degrades instead of panicking).
+    pub ring_full: u64,
 }
 
 /// The Choir middlebox application.
@@ -180,6 +190,8 @@ impl ChoirMiddlebox {
             record_skipped_packets: self.stats.record_skipped,
             forward_dropped_packets: self.stats.tx_dropped,
             control_duplicates: self.stats.control_duplicates,
+            capture_alloc_failed: self.stats.alloc_failed,
+            capture_ring_full: self.stats.ring_full,
             ..DegradationReport::default()
         }
     }
@@ -316,9 +328,17 @@ impl ChoirMiddlebox {
                 {
                     self.stamp(&mut m.frame);
                 }
-                // Bursts are bounded by rx_burst to MAX_BURST; the control
-                // frames we removed only make room.
-                tx.push(m).expect("tx burst within capacity");
+                // Bursts are bounded by rx_burst to MAX_BURST, so a full
+                // staging burst means an upstream plane misbehaved; a
+                // transparent forwarder must stay alive in-path, so the
+                // packet is dropped and counted rather than panicking.
+                if let Err(m) = tx.push(m) {
+                    self.stats.ring_full += 1;
+                    if obs::is_enabled() {
+                        obs::counter_inc("capture.ring_full");
+                    }
+                    drop(m);
+                }
             }
             self.rx_buf = rx;
             self.flush_tx(&mut tx, dp);
@@ -335,6 +355,10 @@ impl ChoirMiddlebox {
         };
         let ack = encode_control_ack(seq, eth.dst, eth.src);
         let Ok(mbuf) = dp.mempool().alloc(ack) else {
+            self.stats.alloc_failed += 1;
+            if obs::is_enabled() {
+                obs::counter_inc("capture.alloc_fail");
+            }
             return;
         };
         let mut burst = Burst::new();
@@ -456,8 +480,12 @@ mod tests {
 
     impl BridgePlane {
         fn new() -> Self {
+            Self::with_pool_capacity(4096)
+        }
+
+        fn with_pool_capacity(cap: usize) -> Self {
             BridgePlane {
-                pool: Mempool::new("mb", 4096),
+                pool: Mempool::new("mb", cap),
                 now: 0,
                 wake: None,
                 rx_q: VecDeque::new(),
@@ -962,6 +990,33 @@ mod tests {
             .collect();
         assert_eq!(seqs, vec![0, 1, 2]);
         assert_eq!(app.degradation_report().control_duplicates, 1);
+    }
+
+    #[test]
+    fn exhausted_pool_drops_ack_gracefully_and_counts() {
+        use crate::replay::control::encode_control_seq;
+        let mut dp = BridgePlane::with_pool_capacity(2);
+        let mut app = mb();
+        let src = MacAddr::local(9);
+        let dst = MacAddr::local(3);
+        dp.inject(encode_control_seq(&ControlMsg::StartRecord, 1, src, dst));
+        // Pin the remaining slot so the ack allocation must fail: the run
+        // completes anyway (the controller's retransmit recovers the ack).
+        let _pin = dp
+            .pool
+            .alloc(choir_packet::FrameBuilder::new(64, 1, 2).build_plain())
+            .unwrap();
+        app.on_wake(&mut dp);
+        assert_eq!(dp.ack_log.len(), 0, "no slot for the ack");
+        let st = app.forward_stats();
+        assert_eq!(st.alloc_failed, 1);
+        assert_eq!(st.control_acks_sent, 0);
+        // The command itself was still applied.
+        assert!(app.is_recording());
+        let d = app.degradation_report();
+        assert_eq!(d.capture_alloc_failed, 1);
+        assert!(!d.is_clean());
+        assert!(d.total_events() >= 1);
     }
 
     #[test]

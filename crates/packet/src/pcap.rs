@@ -50,8 +50,24 @@ pub enum PcapError {
     Io(io::Error),
     /// The global header's magic number was not a known pcap magic.
     BadMagic(u32),
-    /// A record header claimed more bytes than remain.
-    Truncated,
+    /// A record header claimed more bytes than remain. `offset` is the
+    /// byte position (from the start of the capture) where the cut item
+    /// begins, so truncation reports say *where* the capture broke.
+    Truncated {
+        /// Byte offset of the item the capture was cut inside.
+        offset: u64,
+    },
+}
+
+impl PcapError {
+    /// The byte offset a truncation was detected at, if this is a
+    /// truncation error.
+    pub fn offset(&self) -> Option<u64> {
+        match self {
+            PcapError::Truncated { offset } => Some(*offset),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for PcapError {
@@ -59,7 +75,9 @@ impl std::fmt::Display for PcapError {
         match self {
             PcapError::Io(e) => write!(f, "pcap i/o error: {e}"),
             PcapError::BadMagic(m) => write!(f, "not a pcap capture (magic {m:#010x})"),
-            PcapError::Truncated => write!(f, "pcap truncated mid-record"),
+            PcapError::Truncated { offset } => {
+                write!(f, "pcap truncated mid-record at byte offset {offset}")
+            }
         }
     }
 }
@@ -76,19 +94,44 @@ impl From<io::Error> for PcapError {
 pub struct PcapWriter<W: Write> {
     out: W,
     records: u64,
+    bytes_written: u64,
 }
 
 impl<W: Write> PcapWriter<W> {
-    /// Write the global header and return a writer.
-    pub fn new(mut out: W) -> io::Result<Self> {
-        out.write_all(&PCAP_NS_MAGIC.to_le_bytes())?;
-        out.write_all(&2u16.to_le_bytes())?; // major
-        out.write_all(&4u16.to_le_bytes())?; // minor
-        out.write_all(&0i32.to_le_bytes())?; // thiszone
-        out.write_all(&0u32.to_le_bytes())?; // sigfigs
-        out.write_all(&DEFAULT_SNAPLEN.to_le_bytes())?;
-        out.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
-        Ok(PcapWriter { out, records: 0 })
+    /// Write the global header and return a writer. Failures report the
+    /// byte offset the write broke at, like every other writer error.
+    pub fn new(out: W) -> io::Result<Self> {
+        let mut w = PcapWriter {
+            out,
+            records: 0,
+            bytes_written: 0,
+        };
+        let mut hdr = Vec::with_capacity(24);
+        hdr.extend_from_slice(&PCAP_NS_MAGIC.to_le_bytes());
+        hdr.extend_from_slice(&2u16.to_le_bytes()); // major
+        hdr.extend_from_slice(&4u16.to_le_bytes()); // minor
+        hdr.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+        hdr.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+        hdr.extend_from_slice(&DEFAULT_SNAPLEN.to_le_bytes());
+        hdr.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        w.write_tracked(&hdr)?;
+        Ok(w)
+    }
+
+    /// `write_all` that threads the output byte offset into any error, so
+    /// a failed write says exactly where the container was left cut.
+    fn write_tracked(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.out.write_all(bytes).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!(
+                    "pcap write failed at byte offset {} (record {}): {e}",
+                    self.bytes_written, self.records
+                ),
+            )
+        })?;
+        self.bytes_written += bytes.len() as u64;
+        Ok(())
     }
 
     /// Append one record. Frames larger than the advertised
@@ -103,11 +146,13 @@ impl<W: Write> PcapWriter<W> {
         let nsec = (ts_ns % 1_000_000_000) as u32;
         let incl = (frame.len() as u32).min(DEFAULT_SNAPLEN);
         let orig = frame.orig_len() as u32;
-        self.out.write_all(&sec.to_le_bytes())?;
-        self.out.write_all(&nsec.to_le_bytes())?;
-        self.out.write_all(&incl.to_le_bytes())?;
-        self.out.write_all(&orig.to_le_bytes())?;
-        self.out.write_all(&frame.data[..incl as usize])?;
+        let mut hdr = [0u8; 16];
+        hdr[0..4].copy_from_slice(&sec.to_le_bytes());
+        hdr[4..8].copy_from_slice(&nsec.to_le_bytes());
+        hdr[8..12].copy_from_slice(&incl.to_le_bytes());
+        hdr[12..16].copy_from_slice(&orig.to_le_bytes());
+        self.write_tracked(&hdr)?;
+        self.write_tracked(&frame.data[..incl as usize])?;
         self.records += 1;
         Ok(())
     }
@@ -115,6 +160,11 @@ impl<W: Write> PcapWriter<W> {
     /// Number of records written so far.
     pub fn records_written(&self) -> u64 {
         self.records
+    }
+
+    /// Total container bytes written so far (global header included).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
     }
 
     /// Flush and return the inner writer.
@@ -140,7 +190,7 @@ pub fn read_pcap<R: Read>(mut input: R) -> Result<Vec<PcapRecord>, PcapError> {
 /// those of the native-endian twin of the same capture.
 pub fn parse_pcap(data: &[u8]) -> Result<Vec<PcapRecord>, PcapError> {
     if data.len() < 24 {
-        return Err(PcapError::Truncated);
+        return Err(PcapError::Truncated { offset: 0 });
     }
     let raw_magic = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
     // Sub-second units: nanoseconds for the high-precision magic the
@@ -159,7 +209,9 @@ pub fn parse_pcap(data: &[u8]) -> Result<Vec<PcapRecord>, PcapError> {
     let mut boff = 0usize;
     while boff < body.len() {
         if body.len() - boff < 16 {
-            return Err(PcapError::Truncated);
+            return Err(PcapError::Truncated {
+                offset: 24 + boff as u64,
+            });
         }
         let u32at = |o: usize| {
             let v = u32::from_le_bytes([body[o], body[o + 1], body[o + 2], body[o + 3]]);
@@ -175,7 +227,9 @@ pub fn parse_pcap(data: &[u8]) -> Result<Vec<PcapRecord>, PcapError> {
         let orig = u32at(boff + 12);
         boff += 16;
         if body.len() - boff < incl {
-            return Err(PcapError::Truncated);
+            return Err(PcapError::Truncated {
+                offset: 24 + boff as u64 - 16,
+            });
         }
         // slice() on Bytes is zero-copy: records share the file buffer.
         let data = body.slice(boff..boff + incl);
@@ -259,27 +313,87 @@ mod tests {
 
     #[test]
     fn truncated_header() {
-        assert!(matches!(parse_pcap(&[0u8; 10]), Err(PcapError::Truncated)));
-    }
-
-    #[test]
-    fn truncated_record_body() {
-        let mut w = PcapWriter::new(Vec::new()).unwrap();
-        w.write_record(5, &tagged_frame(0)).unwrap();
-        let buf = w.finish().unwrap();
         assert!(matches!(
-            parse_pcap(&buf[..buf.len() - 1]),
-            Err(PcapError::Truncated)
+            parse_pcap(&[0u8; 10]),
+            Err(PcapError::Truncated { offset: 0 })
         ));
     }
 
     #[test]
-    fn truncated_record_header() {
+    fn truncated_record_body_reports_record_start() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(5, &tagged_frame(0)).unwrap();
+        let buf = w.finish().unwrap();
+        // The cut record starts right after the 24-byte global header.
+        match parse_pcap(&buf[..buf.len() - 1]) {
+            Err(PcapError::Truncated { offset }) => assert_eq!(offset, 24),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_record_header_reports_record_start() {
         let mut w = PcapWriter::new(Vec::new()).unwrap();
         w.write_record(5, &tagged_frame(0)).unwrap();
         let buf = w.finish().unwrap();
         // Keep global header + 8 bytes of the record header.
-        assert!(matches!(parse_pcap(&buf[..32]), Err(PcapError::Truncated)));
+        match parse_pcap(&buf[..32]) {
+            Err(PcapError::Truncated { offset }) => assert_eq!(offset, 24),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_in_second_record_reports_its_offset() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(5, &tagged_frame(0)).unwrap();
+        let first_end = w.bytes_written();
+        w.write_record(6, &tagged_frame(1)).unwrap();
+        let buf = w.finish().unwrap();
+        match parse_pcap(&buf[..buf.len() - 3]) {
+            Err(PcapError::Truncated { offset }) => {
+                assert_eq!(offset, first_end, "offset names the second record");
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        assert!(parse_pcap(&buf[..buf.len() - 3])
+            .unwrap_err()
+            .to_string()
+            .contains(&format!("byte offset {first_end}")));
+    }
+
+    #[test]
+    fn writer_errors_carry_byte_offset() {
+        /// A sink that accepts `cap` bytes, then fails.
+        struct Flaky {
+            cap: usize,
+            seen: usize,
+        }
+        impl Write for Flaky {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.seen + buf.len() > self.cap {
+                    return Err(io::Error::other("disk full"));
+                }
+                self.seen += buf.len();
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        // Room for the global header and one record header, then fail
+        // inside the second record's payload write.
+        let f = tagged_frame(0);
+        let cap = 24 + 16 + f.len() + 16;
+        let mut w = PcapWriter::new(Flaky { cap, seen: 0 }).unwrap();
+        w.write_record(1, &f).unwrap();
+        let err = w.write_record(2, &f).unwrap_err();
+        let offset = 24 + 16 + f.len() as u64 + 16;
+        assert!(
+            err.to_string().contains(&format!("byte offset {offset}")),
+            "error should name the failing offset: {err}"
+        );
+        assert!(err.to_string().contains("record 1"));
     }
 
     #[test]

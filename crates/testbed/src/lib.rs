@@ -20,6 +20,7 @@ pub mod runner;
 
 pub use profiles::{EnvKind, EnvProfile};
 pub use runner::{
-    run_experiment, run_experiment_tuned, sim_stats_report, ExperimentConfig, ExperimentOutput,
-    SimTuning,
+    run_experiment, run_experiment_streaming, run_experiment_streaming_supervised,
+    run_experiment_tuned, sim_stats_report, ExperimentConfig, ExperimentOutput, SimTuning,
+    StreamingMode, SupervisorConfig,
 };

@@ -24,13 +24,14 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use choir_capture::{Recorder, RecorderConfig};
+use choir_capture::{PcapChunkReader, Recorder, RecorderConfig};
 use choir_core::metrics::allpairs::{all_pairs_sharded_with, KappaMatrix};
-use choir_core::metrics::report::{RunReport, TrialComparison};
+use choir_core::metrics::report::{RecoveryReport, RunReport, TrialComparison};
 use choir_core::metrics::{
-    trial_label, IncrementalComparison, KappaConfig, Observation, Side, StreamConfig,
-    StreamOutcome, StreamReport, StreamRunTrail, Trial,
+    trial_label, IncrementalComparison, KappaConfig, Observation, Side, StreamCheckpoint,
+    StreamConfig, StreamOutcome, StreamReport, StreamRunTrail, Trial,
 };
+use choir_core::obs;
 use choir_core::replay::middlebox::{ChoirMiddlebox, MiddleboxConfig};
 use choir_dpdk::ControlMsg;
 use choir_netsim::clock::{NodeClock, PtpModel};
@@ -155,7 +156,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutput {
 /// # Panics
 /// Same contract as [`run_experiment`].
 pub fn run_experiment_tuned(cfg: &ExperimentConfig, tuning: SimTuning) -> ExperimentOutput {
-    run_experiment_inner(cfg, tuning, None)
+    run_experiment_inner(cfg, tuning, None, None)
 }
 
 /// Streaming-κ configuration for [`run_experiment_streaming`].
@@ -183,7 +184,63 @@ pub fn run_experiment_streaming(
     tuning: SimTuning,
     mode: StreamingMode,
 ) -> ExperimentOutput {
-    run_experiment_inner(cfg, tuning, Some(mode))
+    run_experiment_inner(cfg, tuning, Some(mode), None)
+}
+
+/// Fault schedule and recovery policy for
+/// [`run_experiment_streaming_supervised`]. The same philosophy as the
+/// PR-1 replay supervision (bounded budgets, degrade-and-count, typed
+/// accounting) applied to the streaming κ engine's lifetime: the
+/// supervisor checkpoints on a cadence, injects process-death and
+/// tap-panic faults on their own cadences, and recovers every one from
+/// the last durable checkpoint plus its journal.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Serialize a durable checkpoint every this many tapped packets
+    /// (`0` = only the initial pre-stream checkpoint).
+    pub checkpoint_every: u64,
+    /// Kill the streaming engine (simulated process death: the live
+    /// state is discarded wholesale) every this many tapped packets.
+    pub kill_every: Option<u64>,
+    /// Throw a panic inside the rx tap every this many tapped packets.
+    /// The supervisor catches it at the tap boundary (`catch_unwind`)
+    /// and recovers exactly as for a kill.
+    pub panic_every: Option<u64>,
+    /// After the runs, export the retained capture to pcap bytes, cut
+    /// them at a seeded offset ([`choir_dpdk::fault::truncate_stream`]),
+    /// and salvage-read the damage, recording salvaged-vs-lost records.
+    pub corrupt_capture_seed: Option<u64>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            checkpoint_every: 256,
+            kill_every: None,
+            panic_every: None,
+            corrupt_capture_seed: None,
+        }
+    }
+}
+
+/// [`run_experiment_streaming`] under a crash supervisor: the streaming
+/// engine is checkpointed on a cadence and driven through injected
+/// kills, tap panics, and (optionally) a corrupted capture stream,
+/// recovering every fault from the last durable checkpoint. The
+/// recovery accounting rides on `report.recovery`; the measurement
+/// itself is bit-identical to an unsupervised run — that is the
+/// recovery layer's whole contract, and `repro recover` gates on it.
+///
+/// # Panics
+/// Same contract as [`run_experiment`]. Injected tap panics never
+/// escape the supervisor.
+pub fn run_experiment_streaming_supervised(
+    cfg: &ExperimentConfig,
+    tuning: SimTuning,
+    mode: StreamingMode,
+    sup: SupervisorConfig,
+) -> ExperimentOutput {
+    run_experiment_inner(cfg, tuning, Some(mode), Some(sup))
 }
 
 /// A live comparison between the baseline run (side A, fed from the
@@ -220,10 +277,148 @@ impl LiveStream {
     }
 }
 
+/// A [`LiveStream`] under crash supervision: everything tapped since
+/// the last durable checkpoint is journaled, so when an injected kill
+/// discards the engine (or a tap panic is caught), the supervisor
+/// parses the checkpoint back, resumes, and re-feeds the journal —
+/// landing in a state bit-identical to never having crashed.
+///
+/// "Durable" here means the checkpoint is held only as serialized JSON
+/// bytes, exactly what a real supervisor would have on disk: every
+/// recovery round-trips the full parse path, not just a clone.
+struct SupervisedStream {
+    eng: IncrementalComparison,
+    baseline: Vec<Observation>,
+    fed_a: usize,
+    sup: SupervisorConfig,
+    /// Last durable checkpoint (serialized) and the A-side cursor at
+    /// the moment it was taken.
+    ck_json: String,
+    ck_fed_a: usize,
+    /// B-side arrivals since the last checkpoint, oldest first.
+    journal: Vec<(choir_packet::PacketId, u64)>,
+    /// Packets tapped so far (fault cadences count these).
+    tapped: u64,
+    rec: RecoveryReport,
+}
+
+impl SupervisedStream {
+    fn new(cfg: StreamConfig, baseline: Vec<Observation>, sup: SupervisorConfig) -> Self {
+        let eng = IncrementalComparison::new(cfg);
+        let ck_json = serde_json::to_string(&eng.checkpoint()).expect("checkpoint serializes");
+        let bytes = ck_json.len() as u64;
+        SupervisedStream {
+            eng,
+            baseline,
+            fed_a: 0,
+            sup,
+            ck_json,
+            ck_fed_a: 0,
+            journal: Vec::new(),
+            tapped: 0,
+            rec: RecoveryReport {
+                checkpoint_every: sup.checkpoint_every,
+                checkpoints_taken: 1,
+                checkpoint_bytes_last: bytes,
+                checkpoint_bytes_peak: bytes,
+                ..RecoveryReport::default()
+            },
+        }
+    }
+
+    fn due(count: u64, every: Option<u64>) -> bool {
+        matches!(every, Some(n) if n > 0 && count.is_multiple_of(n))
+    }
+
+    /// Feed one tapped packet, then run any fault or checkpoint due at
+    /// this position. May panic at an injected fault point — the caller
+    /// catches at the tap boundary and calls [`Self::recover_from_panic`].
+    fn feed(&mut self, id: choir_packet::PacketId, t_ps: u64) {
+        // Journal before anything can fail: a crash between here and
+        // the engine push must not lose the packet.
+        self.journal.push((id, t_ps));
+        self.tapped += 1;
+        if Self::due(self.tapped, self.sup.panic_every) {
+            panic!("injected tap fault at packet {}", self.tapped);
+        }
+        self.push_pair(id, t_ps);
+        if Self::due(self.tapped, self.sup.kill_every) {
+            self.rec.kills_injected += 1;
+            if obs::is_enabled() {
+                obs::counter_inc("recover.kills");
+                obs::event("recover.kill", self.tapped, self.journal.len() as u64);
+            }
+            self.recover();
+            self.rec.kills_survived += 1;
+        } else if Self::due(self.tapped, Some(self.sup.checkpoint_every)) {
+            self.take_checkpoint();
+        }
+    }
+
+    /// The lock-step A/B feeding of [`LiveStream::on_rx`].
+    fn push_pair(&mut self, id: choir_packet::PacketId, t_ps: u64) {
+        if let Some(&o) = self.baseline.get(self.fed_a) {
+            self.eng.push(Side::A, o.id, o.t_ps);
+            self.fed_a += 1;
+        }
+        self.eng.push(Side::B, id, t_ps);
+    }
+
+    fn take_checkpoint(&mut self) {
+        let json = serde_json::to_string(&self.eng.checkpoint()).expect("checkpoint serializes");
+        self.rec.checkpoints_taken += 1;
+        self.rec.checkpoint_bytes_last = json.len() as u64;
+        self.rec.checkpoint_bytes_peak = self.rec.checkpoint_bytes_peak.max(json.len() as u64);
+        self.ck_json = json;
+        self.ck_fed_a = self.fed_a;
+        self.journal.clear();
+    }
+
+    /// Discard the live engine and rebuild it: parse the durable
+    /// checkpoint, resume, re-feed the journal. The journal is kept —
+    /// it only becomes durable at the next checkpoint, and a second
+    /// crash before then must be able to replay it again.
+    fn recover(&mut self) {
+        let t = std::time::Instant::now();
+        let ck: StreamCheckpoint =
+            serde_json::from_str(&self.ck_json).expect("durable checkpoint parses");
+        self.eng = IncrementalComparison::resume(ck);
+        self.fed_a = self.ck_fed_a;
+        let n = self.journal.len();
+        for i in 0..n {
+            let (id, t_ps) = self.journal[i];
+            self.push_pair(id, t_ps);
+        }
+        self.rec.records_replayed += n as u64;
+        self.rec.resume_latency_ns_total += t.elapsed().as_nanos() as u64;
+        if obs::is_enabled() {
+            obs::counter_add("recover.records_replayed", n as u64);
+        }
+    }
+
+    /// Entry point for the tap-boundary `catch_unwind` handler.
+    fn recover_from_panic(&mut self) {
+        self.rec.tap_panics_caught += 1;
+        if obs::is_enabled() {
+            obs::counter_inc("recover.tap_panics");
+        }
+        self.recover();
+    }
+
+    fn finish(mut self, label: String) -> (StreamOutcome, RecoveryReport) {
+        while let Some(&o) = self.baseline.get(self.fed_a) {
+            self.eng.push(Side::A, o.id, o.t_ps);
+            self.fed_a += 1;
+        }
+        (self.eng.finalize(label), self.rec)
+    }
+}
+
 fn run_experiment_inner(
     cfg: &ExperimentConfig,
     tuning: SimTuning,
     streaming: Option<StreamingMode>,
+    supervised: Option<SupervisorConfig>,
 ) -> ExperimentOutput {
     let t_capture = std::time::Instant::now();
     let p = &cfg.profile;
@@ -321,9 +516,14 @@ fn run_experiment_inner(
         mbs.push(mb);
     }
 
+    // The salvage leg needs the raw frames back out as pcap bytes.
+    let keep_frames = supervised.is_some_and(|s| s.corrupt_capture_seed.is_some());
     let rec = sim.add_node(
         "recorder",
-        Recorder::new(RecorderConfig::default()),
+        Recorder::new(RecorderConfig {
+            keep_frames,
+            ..RecorderConfig::default()
+        }),
         clock(&mut rng, p),
         p.wake_jitter.clone(),
     );
@@ -379,6 +579,11 @@ fn run_experiment_inner(
     let margin = 3 * MS;
     let mut raw_trials: Vec<Trial> = Vec::new();
     let mut stream_trails: Vec<StreamRunTrail> = Vec::new();
+    let mut recovery_acc = RecoveryReport::default();
+    enum TapStream {
+        Plain(Rc<RefCell<Option<LiveStream>>>),
+        Supervised(Rc<RefCell<Option<SupervisedStream>>>),
+    }
     for run in 0..p.runs {
         // Between-run clock wander: PTP resync on every node, timestamp
         // servo re-steered on the recorder.
@@ -396,29 +601,58 @@ fn run_experiment_inner(
         // The tap fires on exactly the admitted packets the Recorder
         // app later drains, with the same hardware timestamps, so the
         // engine sees the same stream the batch path analyzes.
-        let live: Option<Rc<RefCell<Option<LiveStream>>>> = match (streaming, raw_trials.first()) {
+        let live: Option<TapStream> = match (streaming, raw_trials.first()) {
             (Some(mode), Some(baseline)) if run >= 1 => {
-                let ls = LiveStream {
-                    eng: IncrementalComparison::new(StreamConfig {
-                        lookahead: mode.lookahead,
-                        snapshot_every: mode.snapshot_every,
-                        kappa: KappaConfig::paper(),
-                    }),
-                    baseline: baseline.observations().to_vec(),
-                    fed_a: 0,
+                let stream_cfg = StreamConfig {
+                    lookahead: mode.lookahead,
+                    snapshot_every: mode.snapshot_every,
+                    kappa: KappaConfig::paper(),
                 };
-                let cell = Rc::new(RefCell::new(Some(ls)));
-                let tap_cell = Rc::clone(&cell);
-                sim.set_rx_tap(
-                    rec,
-                    0,
-                    Box::new(move |ts, m| {
-                        if let Some(ls) = tap_cell.borrow_mut().as_mut() {
-                            ls.on_rx(m.frame.packet_id(), ts);
-                        }
-                    }),
-                );
-                Some(cell)
+                if let Some(sup) = supervised {
+                    let ss =
+                        SupervisedStream::new(stream_cfg, baseline.observations().to_vec(), sup);
+                    let cell = Rc::new(RefCell::new(Some(ss)));
+                    let tap_cell = Rc::clone(&cell);
+                    sim.set_rx_tap(
+                        rec,
+                        0,
+                        Box::new(move |ts, m| {
+                            let mut guard = tap_cell.borrow_mut();
+                            if let Some(ss) = guard.as_mut() {
+                                let id = m.frame.packet_id();
+                                // The tap boundary is the supervisor's
+                                // blast shield: an injected (or real)
+                                // panic in the engine never reaches the
+                                // simulator, it becomes a recovery.
+                                let fed = std::panic::catch_unwind(
+                                    std::panic::AssertUnwindSafe(|| ss.feed(id, ts)),
+                                );
+                                if fed.is_err() {
+                                    ss.recover_from_panic();
+                                }
+                            }
+                        }),
+                    );
+                    Some(TapStream::Supervised(cell))
+                } else {
+                    let ls = LiveStream {
+                        eng: IncrementalComparison::new(stream_cfg),
+                        baseline: baseline.observations().to_vec(),
+                        fed_a: 0,
+                    };
+                    let cell = Rc::new(RefCell::new(Some(ls)));
+                    let tap_cell = Rc::clone(&cell);
+                    sim.set_rx_tap(
+                        rec,
+                        0,
+                        Box::new(move |ts, m| {
+                            if let Some(ls) = tap_cell.borrow_mut().as_mut() {
+                                ls.on_rx(m.frame.packet_id(), ts);
+                            }
+                        }),
+                    );
+                    Some(TapStream::Plain(cell))
+                }
             }
             _ => None,
         };
@@ -439,11 +673,21 @@ fn run_experiment_inner(
         }
         let end = sim.now_ps() + margin + duration + margin + max_skew_ps;
         sim.run_until(end);
-        if let Some(cell) = live {
+        if let Some(tap) = live {
             sim.clear_rx_tap(rec, 0);
-            let ls = cell.borrow_mut().take().expect("live stream installed");
             let run_label = trial_label(run);
-            let out = ls.finish(run_label.clone());
+            let out = match tap {
+                TapStream::Plain(cell) => {
+                    let ls = cell.borrow_mut().take().expect("live stream installed");
+                    ls.finish(run_label.clone())
+                }
+                TapStream::Supervised(cell) => {
+                    let ss = cell.borrow_mut().take().expect("supervised stream installed");
+                    let (out, run_recovery) = ss.finish(run_label.clone());
+                    recovery_acc.absorb(&run_recovery);
+                    out
+                }
+            };
             stream_trails.push(StreamRunTrail {
                 label: run_label,
                 final_kappa: out.comparison.metrics.kappa,
@@ -501,6 +745,43 @@ fn run_experiment_inner(
             snapshot_every: mode.snapshot_every,
             runs: stream_trails,
         });
+    }
+    if let Some(sup) = supervised {
+        // Salvage leg: export the retained capture, cut it at a seeded
+        // offset, and count what the journaled chunk reader gets back.
+        if let Some(seed) = sup.corrupt_capture_seed {
+            let mut bytes = sim.with_app::<Recorder, _>(rec, |r| {
+                let mut v = Vec::new();
+                r.write_pcap(&mut v).expect("in-memory pcap export");
+                v
+            });
+            let total = choir_packet::pcap::parse_pcap(&bytes)
+                .map(|rs| rs.len() as u64)
+                .unwrap_or(0);
+            choir_dpdk::fault::truncate_stream(&mut bytes, seed, 24);
+            let mut salvaged = 0u64;
+            if let Ok(mut rd) = PcapChunkReader::new(&bytes[..], 256) {
+                loop {
+                    match rd.next_chunk() {
+                        Ok(Some(chunk)) => salvaged += chunk.len() as u64,
+                        Ok(None) => break,
+                        // Salvage mode: the failed chunk's good prefix
+                        // still counts; errors are terminal.
+                        Err(e) => {
+                            salvaged += e.salvaged.len() as u64;
+                            break;
+                        }
+                    }
+                }
+            }
+            recovery_acc.salvaged_records = salvaged;
+            recovery_acc.lost_records = total - salvaged;
+            if obs::is_enabled() {
+                obs::counter_add("recover.salvaged_records", salvaged);
+                obs::counter_add("recover.lost_records", total - salvaged);
+            }
+        }
+        report = report.with_recovery(recovery_acc);
     }
     // `with_obs` drops empty snapshots, so this is a no-op unless the
     // caller configured the obs layer before running the experiment.
@@ -634,6 +915,107 @@ mod tests {
         // unchanged vs the plain tuned run.
         let plain = run_experiment_tuned(&cfg, SimTuning::default());
         assert_eq!(plain.trials, out.trials);
+    }
+
+    #[test]
+    fn supervised_streaming_survives_kills_and_panics_bit_identically() {
+        let mut profile = EnvKind::LocalSingle.profile();
+        profile.runs = 3;
+        let cfg = ExperimentConfig {
+            profile,
+            scale: 0.001,
+            seed: 7,
+        };
+        let mode = StreamingMode {
+            lookahead: None,
+            snapshot_every: 137,
+        };
+        let unsupervised = run_experiment_streaming(&cfg, SimTuning::default(), mode);
+        let sup = SupervisorConfig {
+            checkpoint_every: 97,
+            kill_every: Some(211),
+            panic_every: Some(401),
+            corrupt_capture_seed: Some(11),
+        };
+        let out = run_experiment_streaming_supervised(&cfg, SimTuning::default(), mode, sup);
+
+        let rec = out.report.recovery.expect("recovery report attached");
+        assert!(rec.kills_injected > 0, "kill cadence must have fired");
+        assert_eq!(rec.kills_survived, rec.kills_injected, "every kill survived");
+        assert!(rec.tap_panics_caught > 0, "panic cadence must have fired");
+        assert!(rec.records_replayed > 0, "recoveries replay the journal");
+        assert!(rec.checkpoints_taken > 1, "cadence checkpoints were taken");
+        assert!(rec.checkpoint_bytes_peak >= rec.checkpoint_bytes_last);
+        assert!(rec.checkpoint_bytes_last > 0);
+
+        // The hard contract: kills, panics, and recoveries are invisible
+        // in the measurement — final κ AND the whole snapshot trail are
+        // bit-identical to the uninterrupted streaming run.
+        let s = out.report.stream.as_ref().expect("stream trail");
+        let u = unsupervised.report.stream.as_ref().expect("stream trail");
+        assert_eq!(s.runs.len(), u.runs.len());
+        for (a, b) in s.runs.iter().zip(u.runs.iter()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(
+                a.final_kappa.to_bits(),
+                b.final_kappa.to_bits(),
+                "supervised κ must be bit-identical for run {}",
+                a.label
+            );
+            assert_eq!(a.peak_resident, b.peak_resident);
+            assert_eq!(a.evicted, b.evicted);
+            assert_eq!(a.snapshots.len(), b.snapshots.len());
+            for (x, y) in a.snapshots.iter().zip(b.snapshots.iter()) {
+                assert_eq!((x.seen_a, x.seen_b, x.common), (y.seen_a, y.seen_b, y.common));
+                assert_eq!(x.running.kappa.to_bits(), y.running.kappa.to_bits());
+                assert_eq!(x.window.metrics.kappa.to_bits(), y.window.metrics.kappa.to_bits());
+            }
+        }
+        // Trials themselves are untouched by supervision.
+        assert_eq!(out.trials, unsupervised.trials);
+
+        // Salvage leg: the corrupted capture still yielded its prefix.
+        assert!(rec.salvaged_records > 0, "salvage recovered a prefix");
+        assert!(
+            rec.salvaged_records + rec.lost_records > 0,
+            "capture export was non-empty"
+        );
+    }
+
+    #[test]
+    fn supervisor_with_no_faults_is_accounting_only() {
+        let mut profile = EnvKind::LocalSingle.profile();
+        profile.runs = 2;
+        let cfg = ExperimentConfig {
+            profile,
+            scale: 0.001,
+            seed: 21,
+        };
+        let mode = StreamingMode {
+            lookahead: Some(64),
+            snapshot_every: 200,
+        };
+        let out = run_experiment_streaming_supervised(
+            &cfg,
+            SimTuning::default(),
+            mode,
+            SupervisorConfig {
+                checkpoint_every: 128,
+                ..SupervisorConfig::default()
+            },
+        );
+        let rec = out.report.recovery.expect("recovery report attached");
+        assert_eq!(rec.kills_injected, 0);
+        assert_eq!(rec.tap_panics_caught, 0);
+        assert_eq!(rec.records_replayed, 0);
+        assert!(rec.checkpoints_taken > 1);
+        // Bounded-mode streaming still matches the unsupervised run.
+        let plain = run_experiment_streaming(&cfg, SimTuning::default(), mode);
+        let a = &out.report.stream.as_ref().unwrap().runs;
+        let b = &plain.report.stream.as_ref().unwrap().runs;
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.final_kappa.to_bits(), y.final_kappa.to_bits());
+        }
     }
 
     #[test]

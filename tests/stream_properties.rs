@@ -6,10 +6,14 @@
 //! window it must respect its residency cap and, on drop-free
 //! adjacent-swap pairs, never score below the batch κ.
 
+use choir::capture::PcapChunkReader;
 use choir::metrics::pair::PairAnalyzer;
 use choir::metrics::report::TrialComparison;
-use choir::metrics::stream::{IncrementalComparison, Side, StreamConfig, StreamOutcome};
+use choir::metrics::stream::{
+    IncrementalComparison, Side, StreamCheckpoint, StreamConfig, StreamOutcome,
+};
 use choir::metrics::{KappaConfig, Trial};
+use choir::packet::pcap::{parse_pcap, PcapRecord, PCAP_NS_MAGIC};
 use proptest::prelude::*;
 
 /// A random trial: a subset of sequence numbers 0..n (possibly shuffled,
@@ -46,6 +50,56 @@ fn stream_pair(a: &Trial, b: &Trial, cfg: StreamConfig, chunk: usize) -> StreamO
         ib = eb;
     }
     eng.finalize("stream")
+}
+
+/// Like [`stream_pair`], but at burst boundary `cut` the engine is
+/// checkpointed, the checkpoint shipped through its JSON wire format
+/// (the crash boundary a real supervisor crosses), and a fresh engine
+/// resumed from the parse to finish the feed. Returns the outcome plus
+/// the resident-unmatched count inside the checkpoint, so callers can
+/// see whether the cut landed inside a bounded-mode reorder window.
+fn stream_pair_cut(
+    a: &Trial,
+    b: &Trial,
+    cfg: StreamConfig,
+    chunk: usize,
+    cut: usize,
+) -> (StreamOutcome, usize) {
+    let (oa, ob) = (a.observations(), b.observations());
+    let mut schedule: Vec<(Side, usize, usize)> = Vec::new();
+    let (mut ia, mut ib) = (0usize, 0usize);
+    while ia < oa.len() || ib < ob.len() {
+        let ea = (ia + chunk).min(oa.len());
+        if ea > ia {
+            schedule.push((Side::A, ia, ea));
+        }
+        ia = ea;
+        let eb = (ib + chunk).min(ob.len());
+        if eb > ib {
+            schedule.push((Side::B, ib, eb));
+        }
+        ib = eb;
+    }
+    let cut = cut % (schedule.len() + 1);
+    let mut eng = IncrementalComparison::new(cfg);
+    let mut resident_at_cut = 0usize;
+    for (i, &(side, lo, hi)) in schedule.iter().enumerate() {
+        if i == cut {
+            let json = serde_json::to_string(&eng.checkpoint()).expect("checkpoint serializes");
+            let ck: StreamCheckpoint = serde_json::from_str(&json).expect("checkpoint parses");
+            resident_at_cut = ck.resident();
+            eng = IncrementalComparison::resume(ck);
+        }
+        let obs = if side == Side::A { oa } else { ob };
+        eng.push_burst(side, &obs[lo..hi]);
+    }
+    if cut == schedule.len() {
+        let json = serde_json::to_string(&eng.checkpoint()).expect("checkpoint serializes");
+        let ck: StreamCheckpoint = serde_json::from_str(&json).expect("checkpoint parses");
+        resident_at_cut = ck.resident();
+        eng = IncrementalComparison::resume(ck);
+    }
+    (eng.finalize("stream"), resident_at_cut)
 }
 
 /// Bit-level equality of everything both paths compute, excluding labels
@@ -182,4 +236,118 @@ proptest! {
             window
         );
     }
+
+    #[test]
+    fn checkpoint_resume_at_any_cut_is_bit_identical(
+        a in arb_trial(40),
+        b in arb_trial(40),
+        cut_sel in 0usize..10_000,
+        window in 2usize..12,
+        snapshot_every in 0u64..20,
+    ) {
+        // The recovery contract (DESIGN.md §13): feed 0..k, checkpoint
+        // through the JSON wire format, resume, feed k..n — every
+        // downstream bit must equal the uninterrupted run's, at every
+        // cut point, in both lookahead modes. The small bounded window
+        // routinely places the cut inside a resident reorder window, the
+        // regime where a lossy checkpoint would show first.
+        for lookahead in [None, Some(window)] {
+            let cfg = StreamConfig {
+                lookahead,
+                snapshot_every,
+                kappa: KappaConfig::paper(),
+            };
+            let whole = a.len().max(b.len()).max(1);
+            for chunk in [1usize, 7, whole] {
+                let straight = stream_pair(&a, &b, cfg, chunk);
+                let (resumed, _resident) = stream_pair_cut(&a, &b, cfg, chunk, cut_sel);
+                assert_bit_identical(&resumed.comparison, &straight.comparison);
+                prop_assert_eq!(resumed.peak_resident, straight.peak_resident);
+                prop_assert_eq!(resumed.evicted, straight.evicted);
+                prop_assert_eq!(resumed.bounded, straight.bounded);
+                prop_assert_eq!(resumed.snapshots.len(), straight.snapshots.len());
+                for (x, y) in resumed.snapshots.iter().zip(straight.snapshots.iter()) {
+                    prop_assert_eq!(
+                        (x.seen_a, x.seen_b, x.common, x.resident, x.evicted),
+                        (y.seen_a, y.seen_b, y.common, y.resident, y.evicted)
+                    );
+                    prop_assert_eq!(x.running.kappa.to_bits(), y.running.kappa.to_bits());
+                    prop_assert_eq!(x.window.metrics.kappa.to_bits(), y.window.metrics.kappa.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn salvage_reads_exactly_the_records_preceding_a_truncation(
+        recs in proptest::collection::vec(
+            (0u64..10_000_000_000, proptest::collection::vec(any::<u8>(), 1..120)),
+            1..24,
+        ),
+        cut_sel in any::<usize>(),
+        chunk in 1usize..48,
+    ) {
+        // A valid nanosecond pcap cut at an arbitrary byte offset past
+        // the global header: salvage-mode chunked reading must recover
+        // exactly the records a batch parse of the intact capture puts
+        // before the cut — no record lost, none invented, none mangled.
+        let bytes = ns_pcap(&recs);
+        let full = parse_pcap(&bytes).expect("intact capture parses");
+        prop_assert_eq!(full.len(), recs.len());
+        let cut = 25 + cut_sel % (bytes.len() - 25);
+
+        // Expected salvage: whole records lying entirely before the cut,
+        // counted from the known record sizes (never from a parser).
+        let mut expected = 0usize;
+        let mut off = 24usize;
+        for (_, data) in &recs {
+            off += 16 + data.len();
+            if off > cut {
+                break;
+            }
+            expected += 1;
+        }
+
+        let mut salvaged: Vec<PcapRecord> = Vec::new();
+        let mut reader = PcapChunkReader::new(&bytes[..cut], chunk).expect("header intact");
+        loop {
+            match reader.next_chunk() {
+                Ok(Some(batch)) => salvaged.extend(batch),
+                Ok(None) => break,
+                Err(e) => {
+                    salvaged.extend(e.salvaged);
+                    break;
+                }
+            }
+        }
+        prop_assert_eq!(
+            salvaged.len(), expected,
+            "cut at byte {} of {}", cut, bytes.len()
+        );
+        prop_assert_eq!(&salvaged[..], &full[..expected]);
+    }
+}
+
+/// Assemble a little-endian nanosecond-resolution pcap byte stream from
+/// `(ts_ns, frame bytes)` pairs — the layout `parse_pcap` and the chunk
+/// reader both consume.
+fn ns_pcap(recs: &[(u64, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + recs.iter().map(|(_, d)| 16 + d.len()).sum::<usize>());
+    let w32 = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
+    let w16 = |out: &mut Vec<u8>, v: u16| out.extend_from_slice(&v.to_le_bytes());
+    w32(&mut out, PCAP_NS_MAGIC);
+    w16(&mut out, 2);
+    w16(&mut out, 4);
+    w32(&mut out, 0); // thiszone
+    w32(&mut out, 0); // sigfigs
+    w32(&mut out, 65_535); // snaplen
+    w32(&mut out, 1); // LINKTYPE_ETHERNET
+    for (ts_ns, data) in recs {
+        w32(&mut out, (ts_ns / 1_000_000_000) as u32);
+        w32(&mut out, (ts_ns % 1_000_000_000) as u32);
+        w32(&mut out, data.len() as u32);
+        w32(&mut out, data.len() as u32);
+        out.extend_from_slice(data);
+    }
+    out
 }
