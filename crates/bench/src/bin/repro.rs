@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <target> [--scale F] [--seed N] [--runs N] [--json DIR] [--obs]
+//! repro <target> [--scale F] [--seed N] [--runs N] [--json DIR] [--obs] [--epsilon F]
 //!
 //! targets:
 //!   fig2 fig3          metric worst-case constructions (L and I reach 1)
@@ -21,7 +21,10 @@
 //!   stream             streaming incremental-κ engine: full-lookahead
 //!                      result gated bit-identical to the batch
 //!                      analysis, bounded-window residency gated at the
-//!                      configured window, throughput in pkts/s
+//!                      configured window, bounded κ gated within
+//!                      --epsilon of batch on drop-free pairs with its
+//!                      error interval containing batch κ, window-size
+//!                      convergence sweep, throughput in pkts/s
 //!                      (writes BENCH_stream.json)
 //!   recover            crash-tolerance sweep: kill-point density x
 //!                      checkpoint cadence over the supervised streaming
@@ -71,6 +74,7 @@ struct Opts {
     runs: Option<usize>,
     json_dir: Option<String>,
     obs: bool,
+    epsilon: f64,
 }
 
 fn parse_args() -> Opts {
@@ -83,10 +87,17 @@ fn parse_args() -> Opts {
         runs: None,
         json_dir: None,
         obs: false,
+        epsilon: 0.01,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--obs" => opts.obs = true,
+            "--epsilon" => {
+                opts.epsilon = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--epsilon needs a float")
+            }
             "--scale" => {
                 opts.scale = args
                     .next()
@@ -808,6 +819,9 @@ fn stream(opts: &Opts) {
     let chunk_sizes = [1usize, 64, per_trial.max(1)];
     let kcfg = KappaConfig::paper();
     let mut full_kappa = 1.0f64;
+    let mut full_common = 0usize;
+    // (i, j, label, batch κ, batch common, drop-free) for the ε-gate.
+    let mut batch_pairs: Vec<(usize, usize, String, f64, usize, bool)> = Vec::new();
     for i in 0..n {
         for j in (i + 1)..n {
             let label = format!("{}-{}", trial_label(i), trial_label(j));
@@ -840,7 +854,16 @@ fn stream(opts: &Opts) {
             }
             if i == 0 && j == 1 {
                 full_kappa = batch.metrics.kappa;
+                full_common = batch.common;
             }
+            batch_pairs.push((
+                i,
+                j,
+                label,
+                batch.metrics.kappa,
+                batch.common,
+                batch.missing == 0 && batch.extra == 0,
+            ));
         }
     }
     println!(
@@ -898,17 +921,166 @@ fn stream(opts: &Opts) {
         bounded.peak_resident
     );
     let bounded_pps = total_pushed as f64 / (bounded_ns.max(1) as f64 / 1e9);
+    // Even the worst-case feeding order must produce a *valid* (if
+    // wide) error interval, and the occurrence-debt accounting must
+    // reproduce the batch match count exactly.
+    assert!(
+        bounded.bounds.contains(full_kappa),
+        "bounded κ interval [{}, {}] must contain batch κ {full_kappa}",
+        bounded.bounds.lo,
+        bounded.bounds.hi
+    );
+    assert_eq!(
+        bounded.comparison.common + bounded.missed_matches,
+        full_common,
+        "missed-match accounting must be exact"
+    );
     println!(
-        "   bounded window {window}: peak resident {} (<= window), {} evicted, {:>10.0} pkts/s, kappa {:.4} (full {:.4})",
+        "   bounded window {window}: peak resident {} (<= window), {} evicted, {:>10.0} pkts/s, kappa {:.4} (full {:.4}), bounds [{:.4}, {:.4}]",
         bounded.peak_resident,
         bounded.evicted,
         bounded_pps,
         bounded.comparison.metrics.kappa,
         full_kappa,
+        bounded.bounds.lo,
+        bounded.bounds.hi,
     );
 
+    // -- gate 3 (ε): bounded κ vs batch κ on drop-free pairs ------------
+    // Fed in arrival order (lock-step, packet at a time) — the reading a
+    // live tap actually sees — the bounded engine's κ must land within ε
+    // of batch on every drop-free pair, and its error interval must
+    // contain batch κ on *every* pair. The old segment-local estimator
+    // failed this by up to 2× on O-heavy pairs.
+    let epsilon = opts.epsilon;
+    let mut dropfree_checked = 0usize;
+    for (i, j, label, batch_kappa, batch_common, dropfree) in &batch_pairs {
+        let live = stream_pair(&trials[*i], &trials[*j], bounded_cfg, 1);
+        assert!(
+            live.bounds.contains(*batch_kappa),
+            "pair {label}: interval [{}, {}] must contain batch κ {batch_kappa}",
+            live.bounds.lo,
+            live.bounds.hi
+        );
+        assert_eq!(
+            live.comparison.common + live.missed_matches,
+            *batch_common,
+            "pair {label}: missed-match accounting must be exact"
+        );
+        if *dropfree {
+            dropfree_checked += 1;
+            let err = (live.comparison.metrics.kappa - batch_kappa).abs();
+            assert!(
+                err <= epsilon,
+                "pair {label}: bounded κ {} vs batch {batch_kappa} — error {err:.6} > ε {epsilon}",
+                live.comparison.metrics.kappa
+            );
+        }
+    }
+    // A synthetic drop-free pair with genuine reordering keeps the ε
+    // gate meaningful even if every experiment pair had drops: run A's
+    // packets with adjacent arrivals swapped every 7th position.
+    let synth_b: Trial = {
+        let mut obs = trials[0].observations().to_vec();
+        let mut k = 0;
+        while k + 1 < obs.len() {
+            obs.swap(k, k + 1);
+            k += 7;
+        }
+        obs.iter().map(|o| (o.id, o.t_ps)).collect()
+    };
+    let synth_batch = PairAnalyzer::new(&trials[0], &synth_b).metrics();
+    let synth_live = stream_pair(&trials[0], &synth_b, bounded_cfg, 1);
+    assert!(synth_live.bounds.contains(synth_batch.kappa));
+    let synth_err = (synth_live.comparison.metrics.kappa - synth_batch.kappa).abs();
+    assert!(
+        synth_err <= epsilon,
+        "synthetic drop-free pair: bounded κ error {synth_err:.6} > ε {epsilon}"
+    );
+    dropfree_checked += 1;
+    println!(
+        "   ε-gate: {dropfree_checked} drop-free pairs within ε = {epsilon} of batch κ \
+         (+ interval containment on all {} pairs)",
+        batch_pairs.len()
+    );
+
+    // -- window-size convergence sweep ----------------------------------
+    // Worst-case (A then B) feeding of pair A-B at growing windows: the
+    // interval must contain batch κ at every size and collapse to an
+    // exact, bit-identical result once the window covers the trial.
+    #[derive(serde::Serialize)]
+    struct SweepEntry {
+        window: usize,
+        kappa: f64,
+        kappa_lo: f64,
+        kappa_hi: f64,
+        width: f64,
+        evicted: usize,
+        missed_matches: usize,
+        seals: usize,
+        forced_seals: usize,
+    }
+    let mut sweep_windows = vec![
+        (window / 8).max(4),
+        (window / 4).max(4),
+        (window / 2).max(4),
+        window,
+        2 * window,
+        4 * window,
+        per_trial,
+    ];
+    sweep_windows.sort_unstable();
+    sweep_windows.dedup();
+    let mut window_sweep: Vec<SweepEntry> = Vec::new();
+    for &w in &sweep_windows {
+        let cfg = StreamConfig {
+            lookahead: Some(w),
+            snapshot_every: 0,
+            kappa: KappaConfig::paper(),
+        };
+        let mut eng = IncrementalComparison::new(cfg);
+        eng.push_burst(Side::A, trials[0].observations());
+        eng.push_burst(Side::B, trials[1].observations());
+        let live = eng.finalize("stream-sweep");
+        assert!(
+            live.bounds.contains(full_kappa),
+            "window {w}: interval [{}, {}] must contain batch κ {full_kappa}",
+            live.bounds.lo,
+            live.bounds.hi
+        );
+        if w >= per_trial {
+            assert_eq!(
+                live.comparison.metrics.kappa.to_bits(),
+                full_kappa.to_bits(),
+                "full-trial window must finalize bit-identically to batch"
+            );
+            assert_eq!(live.bounds.width(), 0.0);
+        }
+        window_sweep.push(SweepEntry {
+            window: w,
+            kappa: live.comparison.metrics.kappa,
+            kappa_lo: live.bounds.lo,
+            kappa_hi: live.bounds.hi,
+            width: live.bounds.width(),
+            evicted: live.evicted,
+            missed_matches: live.missed_matches,
+            seals: live.seals,
+            forced_seals: live.forced_seals,
+        });
+    }
+    println!("   window sweep (A-then-B worst case, batch κ {full_kappa:.4}):");
+    for e in &window_sweep {
+        println!(
+            "     w {:>6}: κ {:.4} ∈ [{:.4}, {:.4}] width {:.4}, evicted {}, missed {}, seals {}+{}f",
+            e.window, e.kappa, e.kappa_lo, e.kappa_hi, e.width, e.evicted, e.missed_matches,
+            e.seals, e.forced_seals
+        );
+    }
+
     // -- observability pass (--obs): the instrumented engine must stay
-    // bit-identical, and the stream.* profile is rendered + exported.
+    // bit-identical, both per-mode counter namespaces must agree exactly
+    // with the measured outcomes (cadenced snapshots included), and the
+    // stream.* profile is rendered + exported.
     let obs_snap = if opts.obs {
         use choir_core::obs;
         obs::configure(&obs::ObsConfig {
@@ -917,15 +1089,59 @@ fn stream(opts: &Opts) {
         });
         obs::reset();
         obs::set_enabled(true);
-        let live = stream_pair(&trials[0], &trials[1], full_cfg, 256);
+        let snap_cfg = StreamConfig {
+            snapshot_every: 256,
+            ..full_cfg
+        };
+        let live = stream_pair(&trials[0], &trials[1], snap_cfg, 256);
         assert_eq!(
             live.comparison.metrics.kappa.to_bits(),
             full_kappa.to_bits(),
             "obs-enabled streaming pass must stay bit-identical"
         );
+        let bounded_snap_cfg = StreamConfig {
+            snapshot_every: 256,
+            ..bounded_cfg
+        };
+        let mut eng = IncrementalComparison::new(bounded_snap_cfg);
+        eng.push_burst(Side::A, trials[0].observations());
+        eng.push_burst(Side::B, trials[1].observations());
+        let blive = eng.finalize("stream-bounded-obs");
         let snap = obs::snapshot();
         obs::set_enabled(false);
-        println!("   obs-enabled streaming pass bit-identical to plain");
+        // Per-mode namespaces: one bounded and one unbounded finalize
+        // ran under this scope, so every counter must equal its
+        // outcome's number exactly — no cross-mode bleed.
+        for (name, want) in [
+            ("stream.full.packets_in", total_pushed),
+            ("stream.full.matched", live.comparison.common as u64),
+            ("stream.full.snapshots", live.snapshots.len() as u64),
+            ("stream.full.peak_resident", live.peak_resident as u64),
+            ("stream.bounded.packets_in", total_pushed),
+            ("stream.bounded.matched", blive.comparison.common as u64),
+            ("stream.bounded.evicted", blive.evicted as u64),
+            ("stream.bounded.snapshots", blive.snapshots.len() as u64),
+            ("stream.bounded.missed_matches", blive.missed_matches as u64),
+            ("stream.bounded.seals", blive.seals as u64),
+            ("stream.bounded.forced_seals", blive.forced_seals as u64),
+            ("stream.bounded.peak_resident", blive.peak_resident as u64),
+        ] {
+            assert_eq!(
+                snap.counter(name),
+                Some(want),
+                "obs counter {name} must match the measured outcome"
+            );
+        }
+        assert!(
+            live.snapshots.len() as u64 > 0,
+            "cadenced obs pass must record snapshots"
+        );
+        println!(
+            "   obs-enabled passes bit-identical; {} full + {} bounded snapshots, \
+             per-mode counters agree with outcomes",
+            live.snapshots.len(),
+            blive.snapshots.len()
+        );
         print!("{}", fmt::render_obs(&snap));
         Some(snap)
     } else {
@@ -949,7 +1165,15 @@ fn stream(opts: &Opts) {
         bounded_ns: u64,
         bounded_pps: f64,
         bounded_kappa: f64,
+        bounded_kappa_lo: f64,
+        bounded_kappa_hi: f64,
+        bounded_missed_matches: usize,
+        bounded_seals: usize,
+        bounded_forced_seals: usize,
         batch_kappa: f64,
+        epsilon: f64,
+        dropfree_pairs_checked: usize,
+        window_sweep: Vec<SweepEntry>,
         obs: Option<choir_core::ObsSnapshot>,
     }
     let bench = StreamBench {
@@ -968,7 +1192,15 @@ fn stream(opts: &Opts) {
         bounded_ns,
         bounded_pps,
         bounded_kappa: bounded.comparison.metrics.kappa,
+        bounded_kappa_lo: bounded.bounds.lo,
+        bounded_kappa_hi: bounded.bounds.hi,
+        bounded_missed_matches: bounded.missed_matches,
+        bounded_seals: bounded.seals,
+        bounded_forced_seals: bounded.forced_seals,
         batch_kappa: full_kappa,
+        epsilon,
+        dropfree_pairs_checked: dropfree_checked,
+        window_sweep,
         obs: obs_snap,
     };
     let body = serde_json::to_string_pretty(&bench).expect("serialize bench record");

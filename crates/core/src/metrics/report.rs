@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use super::allpairs::MatrixSummary;
 use super::histogram::DeltaHistogram;
-use super::kappa::{ConsistencyMetrics, KappaConfig};
+use super::kappa::{ConsistencyMetrics, KappaBounds, KappaConfig};
 use super::ordering::EditScriptStats;
 use super::pair::PairAnalyzer;
 use super::stream::KappaSnapshot;
@@ -257,6 +257,14 @@ pub struct StreamRunTrail {
     /// Packets evicted unmatched by the bounded window (0 = the window
     /// covered the whole run and the final κ is exact).
     pub evicted: usize,
+    /// Rigorous interval containing the batch κ on the same streams
+    /// (collapses to `final_kappa` for exact runs). `None` on reports
+    /// written before the bound existed.
+    #[serde(default)]
+    pub bounds: Option<KappaBounds>,
+    /// Batch matches the bounded window missed (0 for exact runs).
+    #[serde(default)]
+    pub missed_matches: usize,
     /// Periodic snapshots taken while the run streamed in.
     pub snapshots: Vec<KappaSnapshot>,
 }
@@ -631,6 +639,8 @@ mod tests {
                 final_kappa: 0.875,
                 peak_resident: 12,
                 evicted: 0,
+                bounds: Some(KappaBounds::exact(0.875)),
+                missed_matches: 0,
                 snapshots: Vec::new(),
             }],
         });
@@ -641,6 +651,16 @@ mod tests {
         assert_eq!(s.runs.len(), 1);
         assert_eq!(s.runs[0].label, "B");
         assert_eq!(s.runs[0].final_kappa, 0.875);
+        assert_eq!(s.runs[0].bounds.unwrap().lo, 0.875);
+
+        // A trail serialized before the bounds existed still loads.
+        let stripped = json
+            .replace(",\"bounds\":{\"lo\":0.875,\"hi\":0.875}", "")
+            .replace(",\"missed_matches\":0", "");
+        let back: RunReport = serde_json::from_str(&stripped).unwrap();
+        let s = back.stream.expect("stream trail present");
+        assert!(s.runs[0].bounds.is_none());
+        assert_eq!(s.runs[0].missed_matches, 0);
     }
 
     #[test]

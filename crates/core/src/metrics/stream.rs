@@ -37,16 +37,31 @@
 //! An evicted packet can never match, so a pair whose true match distance
 //! exceeds the window is scored as a drop on both sides (U rises — the
 //! honest reading: within the window's horizon the packet never showed
-//! up). O is accumulated over sealed `w`-sized segments of matched pairs,
-//! a lower bound of the global move distance; percentiles are
-//! approximated from the histogram buckets. L/I stay exact over the
-//! matches that happened. DESIGN.md §12 spells out the semantics.
+//! up). Ordering is scored by the windowed edit-script estimator
+//! (`WindowedMerge`): matched pairs buffer until a **direct-sum
+//! breakpoint** is found — a cut at which every buffered pair below it
+//! precedes every pair above it (and every pending or future
+//! observation) in *both* streams. A block sealed at a breakpoint is a
+//! direct summand of the global permutation, so its locally-computed
+//! edit script is *exactly* the global one; sealing adds zero error. If
+//! the buffer overflows without a breakpoint (adversarial global
+//! interleavings) a **forced seal** commits half the buffer and counts
+//! the crossing elements, which price a rigorous error term. Together
+//! with an exact count of the matches the window missed (tracked by
+//! per-identity occurrence debt), every snapshot carries a
+//! [`KappaBounds`] interval guaranteed to contain the κ the batch
+//! pipeline would report on the same prefix — collapsing to a point
+//! (and a `f64::to_bits`-identical finalize) at full lookahead.
+//! Percentiles are approximated from histogram buckets once a seal has
+//! occurred. DESIGN.md §12 spells out the semantics and the proof
+//! sketch.
 //!
 //! ## Checkpoint / resume
 //!
 //! [`IncrementalComparison::checkpoint`] serializes the engine's *entire*
 //! algorithmic state — FIFO matching cursors, 128-bit accumulators,
-//! bounded-mode resident window, unsealed segment, slice, and snapshot
+//! bounded-mode resident window, the estimator's partially-merged
+//! buffer and error ledger, occurrence-debt map, slice, and snapshot
 //! trail — into a [`StreamCheckpoint`], and
 //! [`IncrementalComparison::resume`] rebuilds a live engine from one.
 //! The hard contract (tested exhaustively, DESIGN.md §13): feeding
@@ -64,9 +79,12 @@ use crate::obs;
 use choir_packet::ident::PacketId;
 
 use super::histogram::DeltaHistogram;
-use super::kappa::{ConsistencyMetrics, KappaConfig};
+use super::kappa::{ConsistencyMetrics, KappaBounds, KappaConfig};
 use super::matching::{MatchedPair, Matching};
-use super::ordering::{ordering_core, EditScriptStats};
+use super::ordering::{
+    block_move_distance, block_ordering, crossing_count, cut_horizons, direct_sum_cut,
+    ordering_core, EditScriptStats,
+};
 use super::report::{abs_percentiles_ns, StageTimings, TrialComparison};
 use super::trial::Observation;
 use super::uniqueness::uniqueness_core;
@@ -127,6 +145,13 @@ pub struct KappaSnapshot {
     pub running: ConsistencyMetrics,
     /// Score of just the slice since the previous snapshot.
     pub window: WindowScore,
+    /// Rigorous interval containing the κ the batch pipeline would
+    /// report on the prefix streamed so far. Collapses to the running κ
+    /// in unbounded mode; in bounded mode it widens by the estimator's
+    /// accounted error and tightens as the window grows. `None` on
+    /// snapshots serialized before the bound existed.
+    #[serde(default)]
+    pub bounds: Option<KappaBounds>,
 }
 
 /// Everything `finalize` hands back.
@@ -144,6 +169,18 @@ pub struct StreamOutcome {
     /// True when a bounded lookahead was configured (the comparison is
     /// then the documented approximation, not the exact batch result).
     pub bounded: bool,
+    /// Rigorous interval containing the batch κ on the same streams.
+    /// Exact finalizes (unbounded, or bounded without a seal or an
+    /// eviction) collapse it to the final κ.
+    pub bounds: KappaBounds,
+    /// Batch-on-prefix matches the bounded window missed because one
+    /// counterpart was evicted (0 in unbounded mode). The batch matched
+    /// count is exactly `comparison.common + missed_matches`.
+    pub missed_matches: usize,
+    /// Direct-sum (zero-error) seals the ordering estimator committed.
+    pub seals: usize,
+    /// Forced (error-priced) seals the estimator was driven to.
+    pub forced_seals: usize,
 }
 
 // ---------------------------------------------------------------------
@@ -233,6 +270,21 @@ struct SliceCk {
     iat_num: (u64, u64),
     a_lo: u32,
     a_hi: u32,
+    batch_matched: u64,
+    mis: u64,
+}
+
+/// One identity's occurrence-debt entry (`PacketId(u128)` split into
+/// halves): `debt` = A observations minus B observations seen so far,
+/// `skew` = A evictions minus B evictions. Entries at (0, 0) are pruned
+/// — the increments only ever depend on the running difference, so
+/// pruning preserves the batch-match count exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct OccCk {
+    id_hi: u64,
+    id_lo: u64,
+    debt: i64,
+    skew: i64,
 }
 
 /// A complete, serializable snapshot of an [`IncrementalComparison`]'s
@@ -259,13 +311,19 @@ pub struct StreamCheckpoint {
     iat_hist: DeltaHistogram,
     lat_hist: DeltaHistogram,
     all_pairs: Vec<PairCk>,
-    seg: Vec<PairCk>,
+    buf: Vec<PairCk>,
     o_num: (u64, u64),
     moved: u64,
     disp_signed: MomentCk,
     disp_abs: MomentCk,
     disp_min: i64,
     disp_max: i64,
+    seals: u64,
+    forced_seals: u64,
+    cross: u64,
+    mis: u64,
+    batch_matched: u64,
+    occ: Vec<OccCk>,
     slice: SliceCk,
     last_snapshot_tick: u64,
     snapshots: Vec<KappaSnapshot>,
@@ -483,6 +541,12 @@ struct SliceState {
     iat_num: u128,
     a_lo: u32,
     a_hi: u32,
+    /// Batch-on-prefix matches the occurrence-debt counter attributed to
+    /// this slice (bounded mode; == `pairs.len()` when nothing was
+    /// missed).
+    batch_matched: usize,
+    /// Slice matches made at nonzero eviction skew (bounded mode).
+    mis: usize,
 }
 
 impl SliceState {
@@ -495,39 +559,219 @@ impl SliceState {
             iat_num: 0,
             a_lo: u32::MAX,
             a_hi: 0,
+            batch_matched: 0,
+            mis: 0,
         }
     }
 }
 
-/// Sort a run of matched pairs into B arrival order and dress it as a
-/// [`Matching`] for the exact LIS kernel (which reads only the pairs'
-/// relative positions and count).
-fn segment_matching(pairs: &[PairRec]) -> Matching {
-    let mut sorted: Vec<PairRec> = pairs.to_vec();
-    sorted.sort_unstable_by_key(|p| p.b_pos);
-    Matching {
-        pairs: sorted
-            .iter()
-            .map(|p| MatchedPair {
-                a_idx: p.a_pos as usize,
-                b_idx: p.b_pos as usize,
-            })
-            .collect(),
-        a_len: sorted.len(),
-        b_len: sorted.len(),
-    }
+/// Project a run of matched pairs onto their `(a_pos, b_pos)`
+/// coordinates for the shared block kernel (`super::ordering`).
+fn pair_positions(pairs: &[PairRec]) -> Vec<(u32, u32)> {
+    pairs.iter().map(|p| (p.a_pos, p.b_pos)).collect()
 }
 
 /// Total edit-script move distance of a run of matched pairs.
 fn segment_move_distance(pairs: &[PairRec]) -> u128 {
-    if pairs.len() <= 1 {
-        return 0;
+    block_move_distance(&pair_positions(pairs))
+}
+
+/// Per-identity occurrence bookkeeping for the bounded window (the live
+/// mirror of [`OccCk`]). `debt` counts A-minus-B occurrences seen so
+/// far; an arrival on the deficit side is exactly a match the batch
+/// pipeline makes on this prefix, whether or not the window still holds
+/// the counterpart. `skew` counts A-minus-B *evictions*; a stream match
+/// made at nonzero skew pairs occurrence ranks the batch pairing would
+/// not, so its deltas are flagged as misaligned rather than exact.
+#[derive(Debug, Clone, Copy, Default)]
+struct OccState {
+    debt: i64,
+    skew: i64,
+}
+
+/// The bounded-mode windowed edit-script estimator (module docs, DESIGN
+/// §12). Matched pairs buffer until a seal commits a prefix block
+/// through the exact LIS kernel:
+///
+/// - a **breakpoint seal** cuts at a direct-sum boundary
+///   ([`direct_sum_cut`]) — the committed block's local displacements
+///   are provably the global ones, so the seal adds *zero* error;
+/// - a **forced seal** (buffer at the hard cap with no breakpoint) cuts
+///   at the midpoint and prices the damage by the exact number of
+///   crossing elements ([`crossing_count`]), accumulated in `cross`.
+///
+/// `o_num`/`moved`/`disp_*` accumulate the committed blocks' statistics;
+/// the κ error bound charges `2·cross·m` for the forced cuts.
+#[derive(Debug)]
+struct WindowedMerge {
+    /// Matched pairs not yet committed to a sealed block.
+    buf: Vec<PairRec>,
+    /// Move distance committed by sealed blocks.
+    o_num: u128,
+    /// Committed displaced-element count.
+    moved: usize,
+    disp_signed: MomentAcc,
+    disp_abs: MomentAcc,
+    disp_min: i64,
+    disp_max: i64,
+    /// Zero-error breakpoint seals committed.
+    seals: usize,
+    /// Error-priced forced seals committed.
+    forced_seals: usize,
+    /// Exact crossing-element count over all forced cuts (error ledger).
+    cross: u64,
+}
+
+impl WindowedMerge {
+    fn new() -> Self {
+        WindowedMerge {
+            buf: Vec::new(),
+            o_num: 0,
+            moved: 0,
+            disp_signed: MomentAcc::default(),
+            disp_abs: MomentAcc::default(),
+            disp_min: i64::MAX,
+            disp_max: i64::MIN,
+            seals: 0,
+            forced_seals: 0,
+            cross: 0,
+        }
     }
-    ordering_core(&segment_matching(pairs))
-        .displacements
-        .iter()
-        .map(|d| d.unsigned_abs() as u128)
-        .sum()
+
+    /// Buffer length at which breakpoint attempts begin. Deliberately
+    /// larger than the lookahead window: pairs are cheap (16 bytes)
+    /// next to pending observations, and a longer buffer finds more
+    /// breakpoints.
+    fn seal_cap(w: usize) -> usize {
+        (2 * w).max(32)
+    }
+
+    /// Re-attempt stride past the cap (attempts are a pure function of
+    /// the buffer length, so checkpoint/resume replays them exactly).
+    fn seal_stride(w: usize) -> usize {
+        (w / 2).max(16)
+    }
+
+    /// Buffer length that forces an error-priced seal.
+    fn hard_cap(w: usize) -> usize {
+        4 * Self::seal_cap(w)
+    }
+
+    /// Run the exact kernel over one committed block and fold its
+    /// displacements into the sealed accumulators.
+    fn commit_block(&mut self, block: &[PairRec]) {
+        if block.len() <= 1 {
+            return;
+        }
+        let ord = block_ordering(&pair_positions(block));
+        for &d in &ord.displacements {
+            self.o_num += d.unsigned_abs() as u128;
+            self.disp_signed.push(d as f64);
+            self.disp_abs.push(d.abs() as f64);
+            self.disp_min = self.disp_min.min(d);
+            self.disp_max = self.disp_max.max(d);
+        }
+        self.moved += ord.displacements.len();
+    }
+
+    /// Commit every buffered pair at or below the `cut_b` horizon as one
+    /// block; retain the rest.
+    fn commit_below(&mut self, cut_b: u32) {
+        let (block, rest): (Vec<PairRec>, Vec<PairRec>) =
+            self.buf.drain(..).partition(|p| p.b_pos <= cut_b);
+        self.buf = rest;
+        self.commit_block(&block);
+    }
+
+    /// Move distance of the uncommitted tail as if sealed now (the
+    /// running-O contribution of the buffer).
+    fn tail_distance(&self) -> u128 {
+        block_move_distance(&pair_positions(&self.buf))
+    }
+}
+
+/// Inputs to [`bounds_from`]: one scope's exact accumulators plus its
+/// error ledger. The whole stream and a snapshot slice both reduce to
+/// this shape (a slice has `cross == 0` — its pairs are all retained).
+struct BoundsInput {
+    /// Stream matches in scope.
+    mc: usize,
+    /// Batch-on-prefix matches the window missed (occurrence debt).
+    p: usize,
+    /// Stream matches made at nonzero eviction skew.
+    mis: usize,
+    /// Crossing elements over forced seals.
+    cross: u64,
+    /// Estimated move distance (committed + tail).
+    d_hat: u128,
+    lat_num: u128,
+    iat_num: u128,
+    /// Observations pushed in scope.
+    total: usize,
+    span_a: u64,
+    span_b: u64,
+}
+
+/// Rigorous κ interval for one scope (DESIGN §12). With `m* = mc + p`
+/// batch matches on the prefix:
+///
+/// - U is *exact*: `1 − 2m*/total` is the batch formula verbatim.
+/// - O: the estimate `d_hat` deviates from the batch move distance by at
+///   most `2·(cross + p + 2·mis)·m*` — removing a crossing or misaligned
+///   element, or inserting a missed one, changes the optimal edit script
+///   by at most `2m*` (its own move plus a rank shift of every other
+///   element).
+/// - L/I: every unknown pair's |Δ| is capped by `span_a + span_b`, so
+///   the numerators shift by at most that per missed/misaligned pair.
+///
+/// κ is monotone non-increasing in each component
+/// ([`KappaConfig::combine`]), so the interval endpoints come from
+/// combining the components' opposite extremes. With an empty error
+/// ledger every expression reduces to the running formula f64-for-f64,
+/// so the interval collapses to the running κ bit-exactly.
+fn bounds_from(cfg: &KappaConfig, x: &BoundsInput) -> KappaBounds {
+    let m_star = x.mc + x.p;
+    let u = if x.total == 0 {
+        0.0
+    } else {
+        (1.0 - (2.0 * m_star as f64) / x.total as f64).max(0.0)
+    };
+    let denom_o = (m_star as u128 * (m_star as u128 + 1)) / 2;
+    let (o_lo, o_hi) = if m_star <= 1 {
+        (0.0, 0.0)
+    } else {
+        let slack = 2 * (x.cross as u128 + x.p as u128 + 2 * x.mis as u128) * m_star as u128;
+        (
+            (x.d_hat.saturating_sub(slack) as f64 / denom_o as f64).min(1.0),
+            ((x.d_hat + slack) as f64 / denom_o as f64).min(1.0),
+        )
+    };
+    let span_a = x.span_a as u128;
+    let span_b = x.span_b as u128;
+    let reach = span_a.max(span_b);
+    let cap = span_a + span_b;
+    let denom_l = m_star as u128 * reach;
+    let (l_lo, l_hi) = if m_star <= 1 || denom_l == 0 {
+        (0.0, 0.0)
+    } else {
+        (
+            (x.lat_num.saturating_sub(x.mis as u128 * cap) as f64 / denom_l as f64).min(1.0),
+            ((x.lat_num + (x.p + x.mis) as u128 * cap) as f64 / denom_l as f64).min(1.0),
+        )
+    };
+    let denom_i = cap;
+    let (i_lo, i_hi) = if m_star <= 1 || denom_i == 0 {
+        (0.0, 0.0)
+    } else {
+        (
+            (x.iat_num.saturating_sub(x.mis as u128 * denom_i) as f64 / denom_i as f64).min(1.0),
+            ((x.iat_num + (x.p + x.mis) as u128 * denom_i) as f64 / denom_i as f64).min(1.0),
+        )
+    };
+    KappaBounds {
+        lo: cfg.combine(u, o_hi, l_hi, i_hi).kappa,
+        hi: cfg.combine(u, o_lo, l_lo, i_lo).kappa,
+    }
 }
 
 /// Nearest-rank (p50, p90, p99) of |Δ| approximated from histogram
@@ -622,15 +866,16 @@ pub struct IncrementalComparison {
     lat_hist: DeltaHistogram,
     /// Unbounded mode: every matched pair, for the exact finalize.
     all_pairs: Vec<PairRec>,
-    /// Bounded mode: the unsealed segment of matched pairs…
-    seg: Vec<PairRec>,
-    /// …and the accumulators over sealed segments.
-    o_num: u128,
-    moved: usize,
-    disp_signed: MomentAcc,
-    disp_abs: MomentAcc,
-    disp_min: i64,
-    disp_max: i64,
+    /// Bounded mode: the windowed edit-script estimator.
+    est: WindowedMerge,
+    /// Bounded mode: per-identity occurrence debt and eviction skew.
+    occ: HashMap<PacketId, OccState>,
+    /// Matches the batch pipeline would have made on the prefix pushed
+    /// so far (bounded mode; always `== matched` when unbounded).
+    batch_matched: usize,
+    /// Stream matches made at nonzero eviction skew — pairs whose
+    /// occurrence alignment diverged from the batch pairing.
+    mis: usize,
     slice: SliceState,
     last_snapshot_tick: u64,
     snapshots: Vec<KappaSnapshot>,
@@ -654,13 +899,10 @@ impl IncrementalComparison {
             iat_hist: DeltaHistogram::new(),
             lat_hist: DeltaHistogram::new(),
             all_pairs: Vec::new(),
-            seg: Vec::new(),
-            o_num: 0,
-            moved: 0,
-            disp_signed: MomentAcc::default(),
-            disp_abs: MomentAcc::default(),
-            disp_min: i64::MAX,
-            disp_max: i64::MIN,
+            est: WindowedMerge::new(),
+            occ: HashMap::new(),
+            batch_matched: 0,
+            mis: 0,
             slice: SliceState::new(),
             last_snapshot_tick: 0,
             snapshots: Vec::new(),
@@ -724,6 +966,20 @@ impl IncrementalComparison {
             })
             .collect();
         pending.sort_unstable_by_key(|p| (p.id_hi, p.id_lo));
+        let mut occ: Vec<OccCk> = self
+            .occ
+            .iter()
+            .map(|(id, e)| {
+                let (id_hi, id_lo) = split_u128(id.0);
+                OccCk {
+                    id_hi,
+                    id_lo,
+                    debt: e.debt,
+                    skew: e.skew,
+                }
+            })
+            .collect();
+        occ.sort_unstable_by_key(|e| (e.id_hi, e.id_lo));
         if obs::is_enabled() {
             obs::counter_inc("recover.checkpoints");
         }
@@ -743,13 +999,19 @@ impl IncrementalComparison {
             iat_hist: self.iat_hist.clone(),
             lat_hist: self.lat_hist.clone(),
             all_pairs: self.all_pairs.iter().map(PairCk::of).collect(),
-            seg: self.seg.iter().map(PairCk::of).collect(),
-            o_num: split_u128(self.o_num),
-            moved: self.moved as u64,
-            disp_signed: MomentCk::of(&self.disp_signed),
-            disp_abs: MomentCk::of(&self.disp_abs),
-            disp_min: self.disp_min,
-            disp_max: self.disp_max,
+            buf: self.est.buf.iter().map(PairCk::of).collect(),
+            o_num: split_u128(self.est.o_num),
+            moved: self.est.moved as u64,
+            disp_signed: MomentCk::of(&self.est.disp_signed),
+            disp_abs: MomentCk::of(&self.est.disp_abs),
+            disp_min: self.est.disp_min,
+            disp_max: self.est.disp_max,
+            seals: self.est.seals as u64,
+            forced_seals: self.est.forced_seals as u64,
+            cross: self.est.cross,
+            mis: self.mis as u64,
+            batch_matched: self.batch_matched as u64,
+            occ,
             slice: SliceCk {
                 a_pushed: self.slice.a_pushed as u64,
                 b_pushed: self.slice.b_pushed as u64,
@@ -758,6 +1020,8 @@ impl IncrementalComparison {
                 iat_num: split_u128(self.slice.iat_num),
                 a_lo: self.slice.a_lo,
                 a_hi: self.slice.a_hi,
+                batch_matched: self.slice.batch_matched as u64,
+                mis: self.slice.mis as u64,
             },
             last_snapshot_tick: self.last_snapshot_tick,
             snapshots: self.snapshots.clone(),
@@ -814,13 +1078,33 @@ impl IncrementalComparison {
             iat_hist: ck.iat_hist,
             lat_hist: ck.lat_hist,
             all_pairs: ck.all_pairs.iter().map(PairCk::restore).collect(),
-            seg: ck.seg.iter().map(PairCk::restore).collect(),
-            o_num: join_u128(ck.o_num.0, ck.o_num.1),
-            moved: ck.moved as usize,
-            disp_signed: ck.disp_signed.restore(),
-            disp_abs: ck.disp_abs.restore(),
-            disp_min: ck.disp_min,
-            disp_max: ck.disp_max,
+            est: WindowedMerge {
+                buf: ck.buf.iter().map(PairCk::restore).collect(),
+                o_num: join_u128(ck.o_num.0, ck.o_num.1),
+                moved: ck.moved as usize,
+                disp_signed: ck.disp_signed.restore(),
+                disp_abs: ck.disp_abs.restore(),
+                disp_min: ck.disp_min,
+                disp_max: ck.disp_max,
+                seals: ck.seals as usize,
+                forced_seals: ck.forced_seals as usize,
+                cross: ck.cross,
+            },
+            occ: ck
+                .occ
+                .iter()
+                .map(|e| {
+                    (
+                        PacketId(join_u128(e.id_hi, e.id_lo)),
+                        OccState {
+                            debt: e.debt,
+                            skew: e.skew,
+                        },
+                    )
+                })
+                .collect(),
+            batch_matched: ck.batch_matched as usize,
+            mis: ck.mis as usize,
             slice: SliceState {
                 a_pushed: ck.slice.a_pushed as usize,
                 b_pushed: ck.slice.b_pushed as usize,
@@ -829,6 +1113,8 @@ impl IncrementalComparison {
                 iat_num: join_u128(ck.slice.iat_num.0, ck.slice.iat_num.1),
                 a_lo: ck.slice.a_lo,
                 a_hi: ck.slice.a_hi,
+                batch_matched: ck.slice.batch_matched as usize,
+                mis: ck.slice.mis as usize,
             },
             last_snapshot_tick: ck.last_snapshot_tick,
             snapshots: ck.snapshots,
@@ -861,6 +1147,32 @@ impl IncrementalComparison {
             Side::B => self.slice.b_pushed += 1,
         }
 
+        if self.cfg.lookahead.is_some() {
+            // Occurrence-debt bookkeeping: would the batch pipeline have
+            // paired this arrival with an earlier one on the other side?
+            // `debt` is the running A-minus-B occurrence difference for
+            // this identity; an arrival on the deficit side closes one
+            // batch pair. The rule ignores eviction entirely, so it
+            // counts exactly the matches an unbounded window would have
+            // made on this prefix — the `p` term of the κ error bound.
+            let e = self.occ.entry(id).or_default();
+            let hit = match side {
+                Side::A => e.debt < 0,
+                Side::B => e.debt > 0,
+            };
+            if hit {
+                self.batch_matched += 1;
+                self.slice.batch_matched += 1;
+            }
+            e.debt += match side {
+                Side::A => 1,
+                Side::B => -1,
+            };
+            if e.debt == 0 && e.skew == 0 {
+                self.occ.remove(&id);
+            }
+        }
+
         let me = PendingObs {
             pos,
             t_ps,
@@ -882,6 +1194,13 @@ impl IncrementalComparison {
                 }
                 self.pending_by_age.remove(&other.tick);
                 self.resident -= 1;
+                // A match made at nonzero eviction skew pairs occurrence
+                // ranks the batch pairing would not — flag it so the
+                // error bound can discount its deltas.
+                if self.occ.get(&id).is_some_and(|e| e.skew != 0) {
+                    self.mis += 1;
+                    self.slice.mis += 1;
+                }
                 let (ap, bp) = match side {
                     Side::A => (me, other),
                     Side::B => (other, me),
@@ -954,11 +1273,70 @@ impl IncrementalComparison {
         match self.cfg.lookahead {
             None => self.all_pairs.push(rec),
             Some(w) => {
-                self.seg.push(rec);
-                if self.seg.len() >= w.max(2) {
-                    self.seal_segment();
+                let w = w.max(1);
+                self.est.buf.push(rec);
+                // Seal scheduling is a pure function of the buffer
+                // length (checkpoint/resume replays it bit-exactly):
+                // attempt a breakpoint every `stride` pairs past `cap`,
+                // force an error-priced cut at the hard ceiling.
+                let len = self.est.buf.len();
+                let cap = WindowedMerge::seal_cap(w);
+                let force = len >= WindowedMerge::hard_cap(w);
+                if force || (len >= cap && (len - cap).is_multiple_of(WindowedMerge::seal_stride(w))) {
+                    self.try_seal(force);
                 }
             }
+        }
+    }
+
+    /// Smallest pending (unmatched) position on each side, `u32::MAX`
+    /// for an empty side. The front of each identity's FIFO queue is
+    /// that identity's minimum, so scanning queue fronts suffices.
+    fn pending_min_pos(&self) -> (u32, u32) {
+        let mut min_a = u32::MAX;
+        let mut min_b = u32::MAX;
+        for q in self.pending.values() {
+            if let Some(o) = q.a.front() {
+                min_a = min_a.min(o.pos);
+            }
+            if let Some(o) = q.b.front() {
+                min_b = min_b.min(o.pos);
+            }
+        }
+        (min_a, min_b)
+    }
+
+    /// Pending observations that could still land inside a sealed
+    /// prefix: A-side entries strictly below `a_max`, B-side strictly
+    /// below `b_max`.
+    fn pending_below(&self, a_max: u32, b_max: u32) -> (u64, u64) {
+        let mut na = 0u64;
+        let mut nb = 0u64;
+        for q in self.pending.values() {
+            na += q.a.iter().filter(|o| o.pos < a_max).count() as u64;
+            nb += q.b.iter().filter(|o| o.pos < b_max).count() as u64;
+        }
+        (na, nb)
+    }
+
+    /// Attempt to seal the estimator's buffer at a direct-sum
+    /// breakpoint; when `force`, fall back to an error-priced cut at the
+    /// buffer midpoint.
+    fn try_seal(&mut self, force: bool) {
+        let mut sorted = pair_positions(&self.est.buf);
+        sorted.sort_unstable_by_key(|p| p.1);
+        let (min_pend_a, min_pend_b) = self.pending_min_pos();
+        if let Some(c) = direct_sum_cut(&sorted, min_pend_a, min_pend_b) {
+            let (_, cut_b) = cut_horizons(&sorted, c);
+            self.est.commit_below(cut_b);
+            self.est.seals += 1;
+        } else if force {
+            let c = sorted.len() / 2;
+            let (prefix_max_a, cut_b) = cut_horizons(&sorted, c);
+            let (pa, pb) = self.pending_below(prefix_max_a, cut_b);
+            self.est.cross += crossing_count(&sorted, c, min_pend_a, pa, pb);
+            self.est.commit_below(cut_b);
+            self.est.forced_seals += 1;
         }
     }
 
@@ -976,23 +1354,17 @@ impl IncrementalComparison {
         }
         self.resident -= 1;
         self.sides[side.index()].evicted += 1;
-    }
-
-    /// Run the exact LIS kernel over the current bounded segment and fold
-    /// its displacements into the sealed accumulators.
-    fn seal_segment(&mut self) {
-        if self.seg.len() > 1 {
-            let ord = ordering_core(&segment_matching(&self.seg));
-            for &d in &ord.displacements {
-                self.o_num += d.unsigned_abs() as u128;
-                self.disp_signed.push(d as f64);
-                self.disp_abs.push(d.abs() as f64);
-                self.disp_min = self.disp_min.min(d);
-                self.disp_max = self.disp_max.max(d);
-            }
-            self.moved += ord.displacements.len();
+        // Record the eviction skew: from here on, stream matches of this
+        // identity pair occurrence ranks offset from the batch pairing
+        // until the other side loses as many.
+        let e = self.occ.entry(id).or_default();
+        match side {
+            Side::A => e.skew += 1,
+            Side::B => e.skew -= 1,
         }
-        self.seg.clear();
+        if e.debt == 0 && e.skew == 0 {
+            self.occ.remove(&id);
+        }
     }
 
     fn running_li(&self) -> (f64, f64) {
@@ -1022,7 +1394,7 @@ impl IncrementalComparison {
         }
         let dist = match self.cfg.lookahead {
             None => segment_move_distance(&self.all_pairs),
-            Some(_) => self.o_num + segment_move_distance(&self.seg),
+            Some(_) => self.est.o_num + self.est.tail_distance(),
         };
         let denom = (mc as u128 * (mc as u128 + 1)) / 2;
         dist as f64 / denom as f64
@@ -1042,6 +1414,33 @@ impl IncrementalComparison {
         self.cfg.kappa.combine(u, o, l, i)
     }
 
+    /// Rigorous interval containing the κ the batch pipeline would
+    /// report on the prefix streamed so far. Unbounded mode is exact by
+    /// construction; bounded mode widens the point by the error ledger
+    /// (missed matches, misaligned matches, forced-seal crossers) and
+    /// collapses back to a point whenever the ledger is empty.
+    pub fn kappa_bounds(&self) -> KappaBounds {
+        let total = self.sides[0].len + self.sides[1].len;
+        if self.cfg.lookahead.is_none() || total == 0 {
+            return KappaBounds::exact(self.running_metrics().kappa);
+        }
+        bounds_from(
+            &self.cfg.kappa,
+            &BoundsInput {
+                mc: self.matched,
+                p: self.batch_matched.saturating_sub(self.matched),
+                mis: self.mis,
+                cross: self.est.cross,
+                d_hat: self.est.o_num + self.est.tail_distance(),
+                lat_num: self.lat_num,
+                iat_num: self.iat_num,
+                total,
+                span_a: self.sides[0].minmax_span_ps(),
+                span_b: self.sides[1].minmax_span_ps(),
+            },
+        )
+    }
+
     fn slice_window_score(&self) -> WindowScore {
         let s = &self.slice;
         let mc = s.pairs.len();
@@ -1054,11 +1453,11 @@ impl IncrementalComparison {
         } else {
             (1.0 - (2.0 * mc as f64) / total as f64).max(0.0)
         };
+        let dist = segment_move_distance(&s.pairs);
         let o = if mc <= 1 {
             0.0
         } else {
-            segment_move_distance(&s.pairs) as f64
-                / ((mc as u128 * (mc as u128 + 1)) / 2) as f64
+            dist as f64 / ((mc as u128 * (mc as u128 + 1)) / 2) as f64
         };
         // L/I numerators are slice-local but normalized by the running
         // whole-stream spans (a slice carries no self-contained origin):
@@ -1079,6 +1478,28 @@ impl IncrementalComparison {
         } else {
             (s.iat_num as f64 / denom_i as f64).min(1.0)
         };
+        // A slice's pairs are all retained (seals only move them to the
+        // committed accumulators, never out of the slice), so its error
+        // ledger is just the missed/misaligned counts; `batch_matched`
+        // can lag `mc` across slice boundaries in misaligned scenarios,
+        // hence the saturation — slice bounds are diagnostics, and the
+        // unbounded ledger is empty so the interval collapses to the
+        // slice κ bit-exactly.
+        let bounds = bounds_from(
+            &self.cfg.kappa,
+            &BoundsInput {
+                mc,
+                p: s.batch_matched.saturating_sub(mc),
+                mis: s.mis,
+                cross: 0,
+                d_hat: dist,
+                lat_num: s.lat_num,
+                iat_num: s.iat_num,
+                total,
+                span_a,
+                span_b,
+            },
+        );
         WindowScore {
             index: self.snapshots.len(),
             a_range: if s.a_lo == u32::MAX {
@@ -1088,6 +1509,7 @@ impl IncrementalComparison {
             },
             metrics: self.cfg.kappa.combine(u, o, l, i),
             common: mc,
+            bounds: Some(bounds),
         }
     }
 
@@ -1102,6 +1524,7 @@ impl IncrementalComparison {
             evicted: self.evicted(),
             running: self.running_metrics(),
             window: self.slice_window_score(),
+            bounds: Some(self.kappa_bounds()),
         };
         self.slice = SliceState::new();
         self.last_snapshot_tick = self.tick;
@@ -1115,17 +1538,50 @@ impl IncrementalComparison {
     pub fn finalize(mut self, label: impl Into<String>) -> StreamOutcome {
         let _span = obs::span("stream.finalize");
         let bounded = self.cfg.lookahead.is_some();
-        let comparison = if bounded {
-            self.finalize_bounded(label.into())
-        } else {
+        // A bounded run that never sealed and never evicted still holds
+        // every matched pair with nothing missed — delegate to the exact
+        // batch path, so "full lookahead spelled as a bound" converges
+        // `to_bits`-identically, percentiles included.
+        let pristine = !bounded
+            || (self.est.seals == 0 && self.est.forced_seals == 0 && self.evicted() == 0);
+        // `batch_matched` is only maintained in bounded mode (unbounded
+        // FIFO matching *is* the batch matching), so this is 0 there.
+        let missed = self.batch_matched.saturating_sub(self.matched);
+        let comparison = if pristine {
+            if bounded {
+                debug_assert_eq!(self.batch_matched, self.matched);
+                self.all_pairs = std::mem::take(&mut self.est.buf);
+            }
             self.finalize_exact(label.into())
+        } else {
+            self.finalize_bounded(label.into())
+        };
+        let bounds = if pristine {
+            KappaBounds::exact(comparison.metrics.kappa)
+        } else {
+            // Valid post-finalize: the tail was committed, so the
+            // estimator's o_num is the final D̂ and the ledger is final.
+            self.kappa_bounds()
         };
         if obs::is_enabled() {
-            obs::counter_add("stream.packets_in", self.tick);
-            obs::counter_add("stream.matched", self.matched as u64);
-            obs::counter_add("stream.evicted", self.evicted() as u64);
-            obs::counter_add("stream.snapshots", self.snapshots.len() as u64);
-            obs::gauge_max("stream.peak_resident", self.peak_resident as u64);
+            // Counters are namespaced per mode so interleaved bounded
+            // and full-lookahead runs under one obs scope stay
+            // attributable (the bench asserts them against outcomes).
+            if bounded {
+                obs::counter_add("stream.bounded.packets_in", self.tick);
+                obs::counter_add("stream.bounded.matched", self.matched as u64);
+                obs::counter_add("stream.bounded.evicted", self.evicted() as u64);
+                obs::counter_add("stream.bounded.snapshots", self.snapshots.len() as u64);
+                obs::counter_add("stream.bounded.missed_matches", missed as u64);
+                obs::counter_add("stream.bounded.seals", self.est.seals as u64);
+                obs::counter_add("stream.bounded.forced_seals", self.est.forced_seals as u64);
+                obs::gauge_max("stream.bounded.peak_resident", self.peak_resident as u64);
+            } else {
+                obs::counter_add("stream.full.packets_in", self.tick);
+                obs::counter_add("stream.full.matched", self.matched as u64);
+                obs::counter_add("stream.full.snapshots", self.snapshots.len() as u64);
+                obs::gauge_max("stream.full.peak_resident", self.peak_resident as u64);
+            }
         }
         StreamOutcome {
             comparison,
@@ -1133,6 +1589,10 @@ impl IncrementalComparison {
             evicted: self.evicted(),
             snapshots: self.snapshots,
             bounded,
+            bounds,
+            missed_matches: missed,
+            seals: self.est.seals,
+            forced_seals: self.est.forced_seals,
         }
     }
 
@@ -1218,7 +1678,12 @@ impl IncrementalComparison {
 
     fn finalize_bounded(&mut self, label: String) -> TrialComparison {
         let t0 = Instant::now();
-        self.seal_segment();
+        // Commit the uncommitted tail as the final block; its deviation
+        // from the global edit script is already priced by the same
+        // ledger (`cross`) as every other cut, so the final bounds stay
+        // valid.
+        let tail = std::mem::take(&mut self.est.buf);
+        self.est.commit_block(&tail);
         let t1 = Instant::now();
         let mc = self.matched;
         let a_len = self.sides[0].len;
@@ -1230,13 +1695,15 @@ impl IncrementalComparison {
         } else {
             1.0 - (2.0 * mc as f64) / total as f64
         };
-        // Segment-local move distance over the global normalizer — a
-        // lower bound of the batch O (a window can't see cross-segment
-        // moves).
+        // The windowed estimator's move distance over the global
+        // normalizer. Unlike the old segment-local estimate (which
+        // halved κ's O term on adversarial interleaves), every committed
+        // block is either a direct summand (exact) or a forced cut with
+        // its crossers counted into the κ error interval.
         let o = if mc <= 1 {
             0.0
         } else {
-            self.o_num as f64 / ((mc as u128 * (mc as u128 + 1)) / 2) as f64
+            self.est.o_num as f64 / ((mc as u128 * (mc as u128 + 1)) / 2) as f64
         };
         let t2 = Instant::now();
         let (l, i) = self.running_li();
@@ -1250,13 +1717,13 @@ impl IncrementalComparison {
         let iat_abs_percentiles_ns = hist_abs_percentiles(&self.iat_hist);
         let latency_abs_percentiles_ns = hist_abs_percentiles(&self.lat_hist);
         let edit_stats = EditScriptStats {
-            count: self.moved,
-            mean: self.disp_signed.mean(),
-            stddev: self.disp_signed.stddev(),
-            abs_mean: self.disp_abs.mean(),
-            abs_stddev: self.disp_abs.stddev(),
-            min: if self.moved == 0 { 0 } else { self.disp_min },
-            max: if self.moved == 0 { 0 } else { self.disp_max },
+            count: self.est.moved,
+            mean: self.est.disp_signed.mean(),
+            stddev: self.est.disp_signed.stddev(),
+            abs_mean: self.est.disp_abs.mean(),
+            abs_stddev: self.est.disp_abs.stddev(),
+            min: if self.est.moved == 0 { 0 } else { self.est.disp_min },
+            max: if self.est.moved == 0 { 0 } else { self.est.disp_max },
         };
         let t5 = Instant::now();
 
@@ -1268,7 +1735,7 @@ impl IncrementalComparison {
             common: mc,
             missing: a_len - mc,
             extra: b_len - mc,
-            moved: self.moved,
+            moved: self.est.moved,
             iat_within_10ns: within,
             iat_abs_percentiles_ns,
             latency_abs_percentiles_ns,
@@ -1422,6 +1889,94 @@ mod tests {
         let out = eng.finalize("B");
         assert_eq!(out.comparison.metrics.kappa.to_bits(), batch.kappa.to_bits());
         assert_eq!(out.comparison.moved, 0);
+        assert_eq!(out.missed_matches, 0);
+        assert!(out.bounds.contains(batch.kappa));
+    }
+
+    #[test]
+    fn bounded_breakpoint_seals_stay_bit_exact_on_local_swaps() {
+        // Adjacent swaps, fed lock-step: the estimator must seal many
+        // times (the buffer cap is far below the stream length), every
+        // seal lands on a direct-sum breakpoint, and the finalized κ —
+        // O included — is bit-identical to batch with a collapsed bound.
+        let mut a = Trial::new();
+        let mut b = Trial::new();
+        for i in 0..300u64 {
+            a.push_tagged(0, 0, i, i * 1000);
+            b.push_tagged(0, 0, i ^ 1, i * 1000 + 17);
+        }
+        let batch = PairAnalyzer::new(&a, &b).label("B").analyze();
+        let cfg = StreamConfig {
+            lookahead: Some(8),
+            ..StreamConfig::default()
+        };
+        let mut eng = IncrementalComparison::new(cfg);
+        for i in 0..300usize {
+            let oa = a.observations()[i];
+            let ob = b.observations()[i];
+            eng.push(Side::A, oa.id, oa.t_ps);
+            eng.push(Side::B, ob.id, ob.t_ps);
+        }
+        assert_eq!(eng.evicted(), 0);
+        let out = eng.finalize("B");
+        assert!(out.seals > 0, "buffer cap must have forced mid-stream seals");
+        assert_eq!(out.forced_seals, 0, "every cut must be a breakpoint");
+        assert_eq!(out.missed_matches, 0);
+        assert_eq!(
+            out.comparison.metrics.kappa.to_bits(),
+            batch.metrics.kappa.to_bits()
+        );
+        assert_eq!(out.comparison.metrics.o.to_bits(), batch.metrics.o.to_bits());
+        assert_eq!(out.comparison.edit_stats, batch.edit_stats);
+        assert_eq!(out.bounds.lo.to_bits(), out.bounds.hi.to_bits());
+        assert!(out.bounds.contains(batch.metrics.kappa));
+    }
+
+    #[test]
+    fn bounded_missed_matches_count_exactly() {
+        // A floods first, so the tiny window evicts most of it before B
+        // arrives; the occurrence-debt counter must still account every
+        // batch match, making `common + missed_matches` exact.
+        let (a, b) = jittered_pair(200);
+        let batch = PairAnalyzer::new(&a, &b).label("B").analyze();
+        let cfg = StreamConfig {
+            lookahead: Some(16),
+            ..StreamConfig::default()
+        };
+        let mut eng = IncrementalComparison::new(cfg);
+        eng.push_burst(Side::A, a.observations());
+        eng.push_burst(Side::B, b.observations());
+        let out = eng.finalize("B");
+        assert!(out.evicted > 0);
+        assert!(out.missed_matches > 0);
+        assert_eq!(out.comparison.common + out.missed_matches, batch.common);
+        assert!(out.bounds.lo <= out.bounds.hi);
+        assert!(
+            out.bounds.contains(batch.metrics.kappa),
+            "batch κ {} outside [{}, {}]",
+            batch.metrics.kappa,
+            out.bounds.lo,
+            out.bounds.hi
+        );
+    }
+
+    #[test]
+    fn snapshots_carry_bounds() {
+        let (a, b) = jittered_pair(300);
+        let cfg = StreamConfig {
+            lookahead: Some(32),
+            snapshot_every: 50,
+            ..StreamConfig::default()
+        };
+        let out = stream_in_chunks(&a, &b, 20, cfg);
+        assert!(!out.snapshots.is_empty());
+        for s in &out.snapshots {
+            let bd = s.bounds.expect("bounds on every snapshot");
+            assert!(bd.lo <= bd.hi);
+            assert!((0.0..=1.0).contains(&bd.lo) && bd.hi <= 1.0);
+            let wb = s.window.bounds.expect("bounds on every slice score");
+            assert!(wb.lo <= wb.hi);
+        }
     }
 
     #[test]
@@ -1567,6 +2122,9 @@ mod tests {
             assert_eq!(s.window.index, t.window.index);
             assert_eq!(s.window.a_range, t.window.a_range);
             assert_eq!(s.window.common, t.window.common);
+            let (sb, tb) = (s.bounds.expect("bounds"), t.bounds.expect("bounds"));
+            assert_eq!(sb.lo.to_bits(), tb.lo.to_bits(), "snapshot {k} bounds.lo diverged");
+            assert_eq!(sb.hi.to_bits(), tb.hi.to_bits(), "snapshot {k} bounds.hi diverged");
         }
     }
 
@@ -1593,6 +2151,14 @@ mod tests {
             assert_bit_identical(&got.comparison, &want.comparison);
             assert_eq!(got.peak_resident, want.peak_resident, "cut {k}");
             assert_eq!(got.evicted, want.evicted, "cut {k}");
+            assert_eq!(got.bounds.lo.to_bits(), want.bounds.lo.to_bits(), "cut {k}");
+            assert_eq!(got.bounds.hi.to_bits(), want.bounds.hi.to_bits(), "cut {k}");
+            assert_eq!(got.missed_matches, want.missed_matches, "cut {k}");
+            assert_eq!(
+                (got.seals, got.forced_seals),
+                (want.seals, want.forced_seals),
+                "cut {k}"
+            );
             assert_snapshots_identical(&got.snapshots, &want.snapshots);
         }
     }
@@ -1676,8 +2242,8 @@ mod tests {
         let json = serde_json::to_string(&eng.checkpoint()).unwrap();
         let ck: StreamCheckpoint = serde_json::from_str(&json).unwrap();
         let back = IncrementalComparison::resume(ck);
-        assert_eq!(back.disp_min, i64::MAX);
-        assert_eq!(back.disp_max, i64::MIN);
+        assert_eq!(back.est.disp_min, i64::MAX);
+        assert_eq!(back.est.disp_max, i64::MIN);
         let out = back.finalize("B");
         assert_eq!(out.comparison.edit_stats.min, 0);
     }

@@ -12,7 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use super::kappa::{ConsistencyMetrics, KappaConfig};
+use super::kappa::{ConsistencyMetrics, KappaBounds, KappaConfig};
 use super::matching::Matching;
 use super::pair::PairAnalyzer;
 use super::trial::Trial;
@@ -28,6 +28,12 @@ pub struct WindowScore {
     pub metrics: ConsistencyMetrics,
     /// Common packets in the window.
     pub common: usize,
+    /// Error bound on this window's κ. Batch analysis is exact
+    /// (`lo == hi == metrics.kappa`); a bounded-lookahead stream widens
+    /// the interval by its accounted estimation error. `None` on scores
+    /// serialized before the bound existed.
+    #[serde(default)]
+    pub bounds: Option<KappaBounds>,
 }
 
 /// κ per window of the baseline trial.
@@ -97,6 +103,7 @@ pub fn windowed_kappa_with(
             a_range: (lo, hi),
             metrics,
             common,
+            bounds: Some(KappaBounds::exact(metrics.kappa)),
         });
     }
     out

@@ -693,6 +693,8 @@ fn run_experiment_inner(
                 final_kappa: out.comparison.metrics.kappa,
                 peak_resident: out.peak_resident,
                 evicted: out.evicted,
+                bounds: Some(out.bounds),
+                missed_matches: out.missed_matches,
                 snapshots: out.snapshots,
             });
         }

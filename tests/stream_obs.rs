@@ -1,0 +1,96 @@
+//! Per-mode observability counters of the streaming κ engine.
+//!
+//! The bounded and unbounded engines publish into disjoint counter
+//! namespaces (`stream.bounded.*` / `stream.full.*`), so one process
+//! running both modes must end with each namespace equal to its own
+//! mode's measured outcome — no cross-mode bleed, and no zeroed
+//! `snapshots` counter when a cadence was configured. This lives in its
+//! own integration-test binary because the obs registry is a process
+//! global: any other test enabling obs in the same process would
+//! pollute the counts.
+
+use choir::core::obs;
+use choir::metrics::stream::{IncrementalComparison, Side, StreamConfig};
+use choir::metrics::{KappaConfig, Trial};
+
+fn jittered_pair(n: u64) -> (Trial, Trial) {
+    let mut a = Trial::new();
+    let mut b = Trial::new();
+    for i in 0..n {
+        a.push_tagged(0, 0, i, i * 1_000);
+        // B sees the same packets with neighbours swapped pairwise, so
+        // both engines do real reordering work.
+        b.push_tagged(0, 0, i ^ 1, i * 1_000 + 37);
+    }
+    (a, b)
+}
+
+#[test]
+fn stream_counters_are_namespaced_per_mode_and_match_outcomes() {
+    let (a, b) = jittered_pair(400);
+    obs::configure(&obs::ObsConfig {
+        enabled: true,
+        ring_capacity: 1024,
+    });
+    obs::reset();
+    obs::set_enabled(true);
+
+    let full_cfg = StreamConfig {
+        lookahead: None,
+        snapshot_every: 64,
+        kappa: KappaConfig::paper(),
+    };
+    let mut eng = IncrementalComparison::new(full_cfg);
+    eng.push_burst(Side::A, a.observations());
+    eng.push_burst(Side::B, b.observations());
+    let full = eng.finalize("obs-full");
+
+    let bounded_cfg = StreamConfig {
+        lookahead: Some(16),
+        snapshot_every: 64,
+        kappa: KappaConfig::paper(),
+    };
+    let mut eng = IncrementalComparison::new(bounded_cfg);
+    eng.push_burst(Side::A, a.observations());
+    eng.push_burst(Side::B, b.observations());
+    let bounded = eng.finalize("obs-bounded");
+
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+
+    // A cadence of 64 over 800 pushed observations must actually record
+    // snapshots in both modes — the regression this guards is the
+    // bounded finalize dropping its trail and reporting 0.
+    assert!(!full.snapshots.is_empty(), "unbounded trail must be recorded");
+    assert!(!bounded.snapshots.is_empty(), "bounded trail must be recorded");
+
+    let total = (a.len() + b.len()) as u64;
+    for (name, want) in [
+        ("stream.full.packets_in", total),
+        ("stream.full.matched", full.comparison.common as u64),
+        ("stream.full.snapshots", full.snapshots.len() as u64),
+        ("stream.full.peak_resident", full.peak_resident as u64),
+        ("stream.bounded.packets_in", total),
+        ("stream.bounded.matched", bounded.comparison.common as u64),
+        ("stream.bounded.evicted", bounded.evicted as u64),
+        ("stream.bounded.snapshots", bounded.snapshots.len() as u64),
+        (
+            "stream.bounded.missed_matches",
+            bounded.missed_matches as u64,
+        ),
+        ("stream.bounded.seals", bounded.seals as u64),
+        ("stream.bounded.forced_seals", bounded.forced_seals as u64),
+        ("stream.bounded.peak_resident", bounded.peak_resident as u64),
+    ] {
+        assert_eq!(
+            snap.counter(name),
+            Some(want),
+            "counter {name} must equal its mode's measured outcome"
+        );
+    }
+
+    // Nothing published under the other mode's legacy unprefixed names.
+    for stale in ["stream.packets_in", "stream.matched", "stream.snapshots"] {
+        assert_eq!(snap.counter(stale), None, "unprefixed {stale} must be gone");
+    }
+}

@@ -3,8 +3,10 @@
 //! to the batch analyzer on every randomized trial pair, at every
 //! chunking of the input (including packet-at-a-time and
 //! whole-trial-at-once), with any snapshot cadence; with a bounded
-//! window it must respect its residency cap and, on drop-free
-//! adjacent-swap pairs, never score below the batch κ.
+//! window it must respect its residency cap and report an error
+//! interval `[kappa_lo, kappa_hi]` that contains the batch κ on
+//! drop-free pairs, tightens as the window doubles, and collapses to a
+//! bit-identical batch result once the window covers the whole feed.
 
 use choir::capture::PcapChunkReader;
 use choir::metrics::pair::PairAnalyzer;
@@ -179,38 +181,29 @@ proptest! {
     }
 
     #[test]
-    fn bounded_window_never_undershoots_batch_on_dropfree_swapped_pairs(
+    fn batch_kappa_lies_inside_the_bounded_interval_on_dropfree_pairs(
         n in 4usize..60,
-        swaps in proptest::collection::vec(0usize..58, 0..12),
+        swaps in proptest::collection::vec((0usize..64, 0usize..64), 0..24),
         jitter in proptest::collection::vec(0u64..40, 0..60),
-        extra in 0usize..16,
+        window in 1usize..80,
+        chunk in 1usize..8,
     ) {
-        // Drop-free pair: B carries exactly A's packets, locally
-        // reordered by adjacent swaps, with bounded timestamp jitter.
-        // With lock-step feeding and a window exceeding twice the
-        // maximum displacement, every match lands before any eviction
-        // (nothing common is lost), so the only bounded-mode deviation
-        // left is the segment-local ordering count — a lower bound on
-        // the global one. The bounded κ must therefore never fall below
-        // the batch κ. (With a window *smaller* than the displacement,
-        // unmatched evictions legitimately push κ down; that regime is
-        // covered by the residency property above, not this one.)
+        // Drop-free pair: B carries exactly A's packets in arbitrarily
+        // permuted order with bounded timestamp jitter. At *every*
+        // window size — including ones far smaller than the
+        // displacement, where unmatched evictions are routine — the
+        // reported interval must be well-formed, contain the batch κ,
+        // and the occurrence-debt ledger must account for every missed
+        // match exactly (batch matches all n packets, so common +
+        // missed must equal n).
         let mut a = Trial::new();
         for i in 0..n as u64 {
             a.push_tagged(0, 0, i, i * 1_000);
         }
         let mut order: Vec<u64> = (0..n as u64).collect();
-        for &s in &swaps {
-            let s = s % (n - 1);
-            order.swap(s, s + 1);
+        for &(s, t) in &swaps {
+            order.swap(s % n, t % n);
         }
-        let max_disp = order
-            .iter()
-            .enumerate()
-            .map(|(i, &seq)| (i as i64 - seq as i64).unsigned_abs() as usize)
-            .max()
-            .unwrap_or(0);
-        let window = 2 * max_disp + 2 + extra;
         let mut b = Trial::new();
         for (i, &seq) in order.iter().enumerate() {
             let j = jitter.get(i).copied().unwrap_or(0);
@@ -222,18 +215,101 @@ proptest! {
             snapshot_every: 0,
             kappa: KappaConfig::paper(),
         };
-        let live = stream_pair(&a, &b, cfg, 1);
+        let live = stream_pair(&a, &b, cfg, chunk);
         prop_assert!(live.peak_resident <= window);
-        prop_assert_eq!(
-            live.comparison.common, n,
-            "window {} must cover displacement {}", window, max_disp
-        );
+        prop_assert!(live.bounds.lo <= live.bounds.hi);
+        prop_assert!(live.bounds.lo >= 0.0 && live.bounds.hi <= 1.0);
         prop_assert!(
-            live.comparison.metrics.kappa >= batch.kappa - 1e-12,
-            "bounded kappa {} undershoots batch {} (window {})",
-            live.comparison.metrics.kappa,
-            batch.kappa,
-            window
+            live.bounds.contains(batch.kappa),
+            "interval [{}, {}] misses batch kappa {} (window {}, chunk {})",
+            live.bounds.lo, live.bounds.hi, batch.kappa, window, chunk
+        );
+        prop_assert_eq!(
+            live.comparison.common + live.missed_matches, n,
+            "missed-match accounting must be exact (window {})", window
+        );
+    }
+
+    #[test]
+    fn bound_width_never_widens_as_the_window_doubles(
+        n in 8usize..60,
+        swaps in proptest::collection::vec((0usize..64, 0usize..64), 0..24),
+        base in 1usize..12,
+    ) {
+        // The error-bound ladder: doubling the lookahead window can only
+        // tighten (never widen) the reported interval, and a window
+        // covering the whole feed collapses it to zero width. Lock-step
+        // feeding so every window size sees the same arrival order.
+        let mut a = Trial::new();
+        for i in 0..n as u64 {
+            a.push_tagged(0, 0, i, i * 1_000);
+        }
+        let mut order: Vec<u64> = (0..n as u64).collect();
+        for &(s, t) in &swaps {
+            order.swap(s % n, t % n);
+        }
+        let mut b = Trial::new();
+        for (i, &seq) in order.iter().enumerate() {
+            b.push_tagged(0, 0, seq, i as u64 * 1_000);
+        }
+        let mut widths = Vec::new();
+        let mut w = base;
+        loop {
+            let cfg = StreamConfig {
+                lookahead: Some(w),
+                snapshot_every: 0,
+                kappa: KappaConfig::paper(),
+            };
+            let live = stream_pair(&a, &b, cfg, 1);
+            widths.push((w, live.bounds.width()));
+            if w >= 2 * n {
+                prop_assert_eq!(
+                    live.bounds.width(), 0.0,
+                    "a window covering the feed must collapse the interval"
+                );
+                break;
+            }
+            w *= 2;
+        }
+        for pair in widths.windows(2) {
+            let ((w0, wid0), (w1, wid1)) = (pair[0], pair[1]);
+            prop_assert!(
+                wid1 <= wid0 + 1e-12,
+                "width widened from {} (w {}) to {} (w {})",
+                wid0, w0, wid1, w1
+            );
+        }
+    }
+
+    #[test]
+    fn full_window_bounded_finalize_is_bit_identical_to_batch(
+        a in arb_trial(40),
+        b in arb_trial(40),
+        chunk in 1usize..16,
+    ) {
+        // A bounded engine whose window covers the entire feed never
+        // evicts or seals, so its finalize must delegate to the exact
+        // path: every bit — metrics, percentiles, histograms — equal to
+        // batch, with the interval collapsed onto the final κ.
+        let batch = PairAnalyzer::new(&a, &b).analyze();
+        let cfg = StreamConfig {
+            lookahead: Some(a.len() + b.len() + 1),
+            snapshot_every: 0,
+            kappa: KappaConfig::paper(),
+        };
+        let live = stream_pair(&a, &b, cfg, chunk);
+        prop_assert!(live.bounded);
+        prop_assert_eq!(live.evicted, 0);
+        prop_assert_eq!(live.missed_matches, 0);
+        assert_bit_identical(&live.comparison, &batch);
+        prop_assert_eq!(live.bounds.width(), 0.0);
+        prop_assert_eq!(
+            live.bounds.lo.to_bits(),
+            live.comparison.metrics.kappa.to_bits()
+        );
+        prop_assert_eq!(
+            live.bounds.hi.to_bits(),
+            live.comparison.metrics.kappa.to_bits()
         );
     }
 
@@ -265,6 +341,16 @@ proptest! {
                 prop_assert_eq!(resumed.peak_resident, straight.peak_resident);
                 prop_assert_eq!(resumed.evicted, straight.evicted);
                 prop_assert_eq!(resumed.bounded, straight.bounded);
+                // The error interval and its bookkeeping (occurrence
+                // debt, seal counters) must survive a cut landing inside
+                // a partially-merged window bit for bit.
+                prop_assert_eq!(resumed.bounds.lo.to_bits(), straight.bounds.lo.to_bits());
+                prop_assert_eq!(resumed.bounds.hi.to_bits(), straight.bounds.hi.to_bits());
+                prop_assert_eq!(resumed.missed_matches, straight.missed_matches);
+                prop_assert_eq!(
+                    (resumed.seals, resumed.forced_seals),
+                    (straight.seals, straight.forced_seals)
+                );
                 prop_assert_eq!(resumed.snapshots.len(), straight.snapshots.len());
                 for (x, y) in resumed.snapshots.iter().zip(straight.snapshots.iter()) {
                     prop_assert_eq!(
@@ -273,6 +359,10 @@ proptest! {
                     );
                     prop_assert_eq!(x.running.kappa.to_bits(), y.running.kappa.to_bits());
                     prop_assert_eq!(x.window.metrics.kappa.to_bits(), y.window.metrics.kappa.to_bits());
+                    prop_assert_eq!(
+                        x.bounds.map(|v| (v.lo.to_bits(), v.hi.to_bits())),
+                        y.bounds.map(|v| (v.lo.to_bits(), v.hi.to_bits()))
+                    );
                 }
             }
         }
