@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <target> [--scale F] [--seed N] [--runs N] [--json DIR] [--obs] [--epsilon F]
+//!               [--shards N]
 //!
 //! targets:
 //!   fig2 fig3          metric worst-case constructions (L and I reach 1)
@@ -16,7 +17,11 @@
 //!   matrix             all-pairs κ matrix + sharded-engine benchmark
 //!                      (writes BENCH_matrix.json; default 16 runs)
 //!   pipeline           end-to-end packets/sec, per-packet vs coalesced
-//!                      hot path, with bit-identity gates
+//!                      hot path, with bit-identity gates; with
+//!                      --shards N also runs the multi-domain fleet on
+//!                      the sharded engine at 1..N shards, hard-gating
+//!                      serial == sharded captures and κ bit-equality,
+//!                      and records the speedup curve
 //!                      (writes BENCH_pipeline.json)
 //!   stream             streaming incremental-κ engine: full-lookahead
 //!                      result gated bit-identical to the batch
@@ -75,6 +80,7 @@ struct Opts {
     json_dir: Option<String>,
     obs: bool,
     epsilon: f64,
+    shards: usize,
 }
 
 fn parse_args() -> Opts {
@@ -88,10 +94,17 @@ fn parse_args() -> Opts {
         json_dir: None,
         obs: false,
         epsilon: 0.01,
+        shards: 0,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--obs" => opts.obs = true,
+            "--shards" => {
+                opts.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards needs an integer")
+            }
             "--epsilon" => {
                 opts.epsilon = args
                     .next()
@@ -712,6 +725,139 @@ fn pipeline(opts: &Opts) {
         None
     };
 
+    // -- multicore pass (--shards N): the sharded discrete-event engine --
+    //
+    // Runs the multi-domain ring fleet (2N sites, so every shard owns at
+    // least two) on the serial engine and on 1..N shards. Hard gates —
+    // the CI smoke step fails ONLY on these, never on speedup:
+    //
+    // - every sharded layout's merged fleet trials are byte-identical to
+    //   the serial engine's, and every per-run κ matches bit for bit;
+    // - every layout repeats bit-identically at a fixed seed;
+    // - summing engine counters (events, remote packets) are exact
+    //   across the partition.
+    //
+    // Wall-clock speedup is recorded with `host_cores` so the curve is
+    // interpretable: on a single-core host the coordinated shards time-
+    // slice one CPU and speedup < 1 is the expected, honest result.
+    #[derive(serde::Serialize)]
+    struct MulticorePoint {
+        shards: usize,
+        capture_ns: u64,
+        speedup_vs_serial: f64,
+        sync_windows: u64,
+        cross_shard_packets: u64,
+    }
+    #[derive(serde::Serialize)]
+    struct MulticoreBench {
+        sites: usize,
+        runs: usize,
+        scale: f64,
+        packets_per_trial: usize,
+        host_cores: usize,
+        serial_capture_ns: u64,
+        deterministic: bool,
+        curve: Vec<MulticorePoint>,
+    }
+    let multicore = if opts.shards > 0 {
+        use choir_testbed::{run_multidomain, MultiDomainConfig, MultiDomainProfile};
+        let sites = 2 * opts.shards.max(1);
+        // The fleet multiplies the packet volume by `sites` and runs
+        // 2 + 2N full experiments, so it gets a fraction of --scale;
+        // every gate is scale-invariant.
+        let mc_scale = (opts.scale * 0.1).max(0.0005);
+        let mut profile = MultiDomainProfile::ring(sites);
+        profile.runs = 2;
+        let mc_runs = profile.runs;
+        let mc_cfg = MultiDomainConfig {
+            profile,
+            scale: mc_scale,
+            seed: opts.seed,
+        };
+        let host_cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        println!(
+            "   multicore: {} sites x {} runs at scale {} on {} host core(s)",
+            sites, mc_runs, mc_scale, host_cores
+        );
+        let md = |shards: usize| {
+            run_multidomain(
+                &mc_cfg,
+                SimTuning {
+                    shards,
+                    ..SimTuning::default()
+                },
+            )
+        };
+        // Two serial executions: repeat-determinism gate + min-of-2 time.
+        let serial = md(0);
+        let serial_rep = md(0);
+        assert_eq!(
+            serial.trials, serial_rep.trials,
+            "serial fleet must repeat byte-identically"
+        );
+        let serial_ns = serial.capture_wall_ns.min(serial_rep.capture_wall_ns);
+        let mut curve = Vec::new();
+        for shards in 1..=opts.shards {
+            let a = md(shards);
+            let b = md(shards);
+            assert_eq!(
+                a.trials, b.trials,
+                "{shards}-shard fleet must repeat byte-identically"
+            );
+            assert_eq!(
+                a.trials, serial.trials,
+                "{shards}-shard fleet must match the serial engine byte for byte"
+            );
+            for (s, p) in serial.report.runs.iter().zip(&a.report.runs) {
+                assert_eq!(
+                    s.metrics.kappa.to_bits(),
+                    p.metrics.kappa.to_bits(),
+                    "κ must match the serial engine bit for bit at {shards} shards"
+                );
+            }
+            assert_eq!(
+                a.sim_stats.events_processed, serial.sim_stats.events_processed,
+                "summed shard event counts must equal the serial engine's"
+            );
+            assert_eq!(
+                a.sim_stats.remote_packets, serial.sim_stats.remote_packets,
+                "summed cross-shard packet counts must equal the serial engine's"
+            );
+            let capture_ns = a.capture_wall_ns.min(b.capture_wall_ns);
+            let speedup = serial_ns as f64 / capture_ns.max(1) as f64;
+            println!(
+                "   multicore {shards} shard(s): {:>8.1} ms capture, speedup {speedup:.2}x, {} sync windows, {} cross-shard packets",
+                capture_ns as f64 / 1e6,
+                a.sync.windows,
+                a.sync.remote_packets,
+            );
+            curve.push(MulticorePoint {
+                shards,
+                capture_ns,
+                speedup_vs_serial: speedup,
+                sync_windows: a.sync.windows,
+                cross_shard_packets: a.sync.remote_packets,
+            });
+        }
+        println!(
+            "   multicore determinism: serial == sharded captures and κ bit-equal at every layout"
+        );
+        Some(MulticoreBench {
+            sites,
+            runs: mc_runs,
+            scale: mc_scale,
+            packets_per_trial: serial.trials[0].len(),
+            host_cores,
+            serial_capture_ns: serial_ns,
+            deterministic: true,
+            curve,
+        })
+    } else {
+        None
+    };
+
     #[derive(serde::Serialize)]
     struct PipelineBench {
         scale: f64,
@@ -727,6 +873,7 @@ fn pipeline(opts: &Opts) {
         bit_identical: bool,
         per_packet_sim: choir_core::metrics::SimStatsReport,
         coalesced_sim: choir_core::metrics::SimStatsReport,
+        multicore: Option<MulticoreBench>,
         obs: Option<choir_core::ObsSnapshot>,
     }
     let bench = PipelineBench {
@@ -743,6 +890,7 @@ fn pipeline(opts: &Opts) {
         bit_identical: true,
         per_packet_sim: sim_stats_report(&old.sim_stats),
         coalesced_sim: sim_stats_report(&new.sim_stats),
+        multicore,
         obs: obs_snap,
     };
     let body = serde_json::to_string_pretty(&bench).expect("serialize bench record");

@@ -33,6 +33,12 @@ pub enum Endpoint {
     SwitchPort(usize, usize),
     /// Nothing attached; packets are dropped.
     Unconnected,
+    /// The near end of an inter-domain link whose far end may live in
+    /// another [`Sim`] (another shard). The index points into the sim's
+    /// remote-link table; bursts emitted here are either admitted locally
+    /// (when this sim also hosts the acceptor — the serial build) or
+    /// parked in the outbox for the shard coordinator to route.
+    Remote(usize),
 }
 
 /// Global simulation parameters.
@@ -91,6 +97,11 @@ pub struct SimStats {
     /// eagerly at tx time (identical departure times, one event less
     /// per packet).
     pub wire_events_elided: u64,
+    /// Inter-domain bursts admitted through the remote-link band (one per
+    /// link message, counted at the destination).
+    pub remote_bursts: u64,
+    /// Packets carried inside remotely-admitted bursts.
+    pub remote_packets: u64,
 }
 
 impl SimStats {
@@ -101,6 +112,24 @@ impl SimStats {
         } else {
             self.coalesced_packets as f64 / self.coalesced_events as f64
         }
+    }
+
+    /// Fold another sim's counters into this one — the shard aggregator.
+    ///
+    /// Every summing counter is exact: each scheduled event dispatches in
+    /// exactly one shard, so per-shard sums equal what one serial engine
+    /// processing the union would count. `queue_depth_peak` is the one
+    /// exception — shards hold disjoint subsets of the global backlog, so
+    /// the honest aggregate is the max over shards (a lower bound on the
+    /// serial peak), not a sum.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.events_processed += other.events_processed;
+        self.queue_depth_peak = self.queue_depth_peak.max(other.queue_depth_peak);
+        self.coalesced_events += other.coalesced_events;
+        self.coalesced_packets += other.coalesced_packets;
+        self.wire_events_elided += other.wire_events_elided;
+        self.remote_bursts += other.remote_bursts;
+        self.remote_packets += other.remote_packets;
     }
 }
 
@@ -191,6 +220,40 @@ struct SwitchRuntime {
     eager: Vec<bool>,
 }
 
+/// The queue-key band reserved for remote admissions. Normal events use
+/// the monotonically-assigned `seq` counter, which stays far below this
+/// bit for any realistic run — so at equal times every locally-scheduled
+/// event sorts before every remote admission, in both the serial and the
+/// sharded build.
+const REMOTE_BAND: u64 = 1 << 62;
+
+/// The stable cross-shard tie-break: remote admissions at the same time
+/// order by `(link id, per-link message count)`. Both are layout
+/// invariants — the count increments in link-message order, which equals
+/// origin emission order — so captures cannot depend on shard count or
+/// thread scheduling.
+fn remote_key(link: u32, count: u64) -> u64 {
+    debug_assert!(link < (1 << 22), "remote link id overflows key band");
+    debug_assert!(count < (1 << 40), "remote link count overflows key band");
+    REMOTE_BAND | ((link as u64) << 40) | count
+}
+
+/// Acceptor side of an inter-domain link registered in this sim.
+struct RemoteIn {
+    dest: Endpoint,
+    /// Messages admitted on this link so far (the tie-break counter).
+    count: u64,
+}
+
+/// A burst crossing an inter-domain link: the link's global id and the
+/// packets with their (already propagated) wire-arrival times.
+pub struct RemoteBurst {
+    /// Global inter-domain link id (unique across the whole fleet).
+    pub link: u32,
+    /// Packets with last-bit arrival times at the far end.
+    pub pkts: Vec<(u64, Mbuf)>,
+}
+
 /// The simulator.
 pub struct Sim {
     cfg: SimConfig,
@@ -202,10 +265,20 @@ pub struct Sim {
     /// Shared physical-wire busy times for SR-IOV VF groups.
     phys_groups: Vec<u64>,
     pool: Mempool,
+    /// Global link ids of outbound inter-domain links, indexed by the
+    /// `Endpoint::Remote` payload.
+    remote_out: Vec<u32>,
+    /// Acceptors for inter-domain links terminating here, by link id.
+    remote_in: std::collections::BTreeMap<u32, RemoteIn>,
+    /// Bursts bound for links whose acceptor lives in another sim,
+    /// awaiting collection by the shard coordinator.
+    outbox: Vec<RemoteBurst>,
     events_processed: u64,
     coalesced_events: u64,
     coalesced_packets: u64,
     wire_events_elided: u64,
+    remote_bursts: u64,
+    remote_packets: u64,
 }
 
 impl Sim {
@@ -223,10 +296,15 @@ impl Sim {
             switches: Vec::new(),
             phys_groups: Vec::new(),
             pool,
+            remote_out: Vec::new(),
+            remote_in: std::collections::BTreeMap::new(),
+            outbox: Vec::new(),
             events_processed: 0,
             coalesced_events: 0,
             coalesced_packets: 0,
             wire_events_elided: 0,
+            remote_bursts: 0,
+            remote_packets: 0,
         }
     }
 
@@ -268,7 +346,15 @@ impl Sim {
             coalesced_events: self.coalesced_events,
             coalesced_packets: self.coalesced_packets,
             wire_events_elided: self.wire_events_elided,
+            remote_bursts: self.remote_bursts,
+            remote_packets: self.remote_packets,
         }
+    }
+
+    /// Time of the earliest pending event, or `None` when idle. The shard
+    /// coordinator probes this to compute the conservative horizon.
+    pub fn next_event_time(&mut self) -> Option<u64> {
+        self.queue.peek_time()
     }
 
     /// Add a node hosting `app`. `wake_jitter` models delivery lateness of
@@ -370,6 +456,99 @@ impl Sim {
         self.nodes[a].ports[ap].prop_ps = prop_ps;
         self.nodes[b].ports[bp].peer = Endpoint::NodePort(a, ap);
         self.nodes[b].ports[bp].prop_ps = prop_ps;
+    }
+
+    /// Point a node port's transmit side at the near end of an
+    /// inter-domain link. `link` is the link's globally-unique id across
+    /// the whole fleet; `prop_ps` is the full inter-domain propagation
+    /// delay (which becomes the shard lookahead). The far end is declared
+    /// with [`Sim::connect_remote_in`] — in this same sim for a serial
+    /// build, or in another shard's sim for a parallel one.
+    pub fn connect_remote_out(&mut self, node: NodeId, port: PortId, link: u32, prop_ps: u64) {
+        assert!(link < (1 << 22), "remote link id out of range");
+        let idx = self.remote_out.len();
+        self.remote_out.push(link);
+        self.nodes[node].ports[port].peer = Endpoint::Remote(idx);
+        self.nodes[node].ports[port].prop_ps = prop_ps;
+    }
+
+    /// Declare this sim the acceptor of inter-domain link `link`:
+    /// admitted bursts are delivered to `dest` (a local switch ingress or
+    /// node port). Each link has exactly one acceptor fleet-wide.
+    pub fn connect_remote_in(&mut self, link: u32, dest: Endpoint) {
+        assert!(link < (1 << 22), "remote link id out of range");
+        let prev = self.remote_in.insert(link, RemoteIn { dest, count: 0 });
+        assert!(prev.is_none(), "remote link {link} already has an acceptor");
+    }
+
+    /// Link ids this sim accepts (the coordinator builds its routing
+    /// table from these).
+    pub fn accepted_remote_links(&self) -> Vec<u32> {
+        self.remote_in.keys().copied().collect()
+    }
+
+    /// Drain bursts bound for other shards. Empty in a serial build,
+    /// where every link's acceptor is local and admission short-circuits.
+    pub fn take_outbox(&mut self) -> Vec<RemoteBurst> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Admit a burst arriving over inter-domain link `link` (called by
+    /// the shard coordinator with bursts collected from other shards).
+    ///
+    /// # Panics
+    /// Panics if this sim is not the link's registered acceptor.
+    pub fn inject_remote(&mut self, link: u32, pkts: Vec<(u64, Mbuf)>) {
+        assert!(
+            self.remote_in.contains_key(&link),
+            "remote link {link} has no acceptor here"
+        );
+        self.admit_remote(link, pkts);
+    }
+
+    /// Admit a link message: apply the same coalescing rules `emit_wire`
+    /// would, but key the queued event in the remote band —
+    /// `(time, link, per-link count)` — instead of consuming `seq`. The
+    /// band key is identical whether admission happens inline (serial
+    /// short-circuit) or at a shard barrier, which is what makes captures
+    /// independent of the shard layout.
+    fn admit_remote(&mut self, link: u32, mut pkts: Vec<(u64, Mbuf)>) {
+        if pkts.is_empty() {
+            return;
+        }
+        self.remote_bursts += 1;
+        self.remote_packets += pkts.len() as u64;
+        let dest = self.remote_in.get(&link).expect("acceptor checked").dest;
+        let coalescible = self.cfg.coalesce
+            && pkts.len() > 1
+            && match dest {
+                Endpoint::NodePort(n, p) => self.nodes[n].ports[p].impair.is_none(),
+                _ => true,
+            };
+        if coalescible {
+            let at = match dest {
+                Endpoint::SwitchPort(..) => pkts.first().expect("non-empty").0,
+                _ => pkts.last().expect("non-empty").0,
+            };
+            self.coalesced_events += 1;
+            self.coalesced_packets += pkts.len() as u64;
+            let key = self.next_remote_key(link);
+            debug_assert!(at >= self.now, "remote admission into the past");
+            self.queue.push(at.max(self.now), key, Ev::DeliverBurst(dest, pkts));
+        } else {
+            for (at, m) in pkts.drain(..) {
+                let key = self.next_remote_key(link);
+                debug_assert!(at >= self.now, "remote admission into the past");
+                self.queue.push(at.max(self.now), key, Ev::Deliver(dest, m, false));
+            }
+        }
+    }
+
+    fn next_remote_key(&mut self, link: u32) -> u64 {
+        let rin = self.remote_in.get_mut(&link).expect("acceptor checked");
+        let c = rin.count;
+        rin.count += 1;
+        remote_key(link, c)
     }
 
     /// Install a forwarding entry on a switch.
@@ -495,6 +674,8 @@ impl Sim {
             obs::gauge_set("sim.coalesced_packets", self.coalesced_packets);
             obs::gauge_set("sim.wire_events_elided", self.wire_events_elided);
             obs::gauge_set("sim.wheel_overflow_spills", self.queue.overflow_spills());
+            obs::gauge_set("sim.remote_bursts", self.remote_bursts);
+            obs::gauge_set("sim.remote_packets", self.remote_packets);
         }
         self.now
     }
@@ -594,11 +775,25 @@ impl Sim {
         if pkts.is_empty() {
             return;
         }
+        if let Endpoint::Remote(r) = ep {
+            // Inter-domain link: admit locally when this sim hosts the
+            // acceptor (the serial build), otherwise park the whole burst
+            // for the coordinator. Either way the burst stays intact, so
+            // the acceptor applies identical coalescing and RNG-draw
+            // structure in both builds.
+            let link = self.remote_out[r];
+            if self.remote_in.contains_key(&link) {
+                self.admit_remote(link, pkts);
+            } else {
+                self.outbox.push(RemoteBurst { link, pkts });
+            }
+            return;
+        }
         let coalescible = self.cfg.coalesce
             && pkts.len() > 1
             && match ep {
                 Endpoint::NodePort(n, p) => self.nodes[n].ports[p].impair.is_none(),
-                Endpoint::SwitchPort(..) | Endpoint::Unconnected => true,
+                _ => true,
             };
         if coalescible {
             let at = match ep {
@@ -729,6 +924,7 @@ impl Sim {
         obs::event("sim.burst_delivered", pkts.len() as u64, self.now);
         match ep {
             Endpoint::Unconnected => { /* black hole */ }
+            Endpoint::Remote(_) => unreachable!("remote endpoints resolve at admission"),
             Endpoint::SwitchPort(s, ingress) => {
                 // Hoist the port-program lookups; the per-packet pipeline
                 // latency draws and queue pushes stay in arrival order.
@@ -798,6 +994,7 @@ impl Sim {
     fn deliver_at(&mut self, ep: Endpoint, mbuf: Mbuf, impaired: bool, arrival: u64) {
         match ep {
             Endpoint::Unconnected => { /* black hole */ }
+            Endpoint::Remote(_) => unreachable!("remote endpoints resolve at admission"),
             Endpoint::SwitchPort(s, ingress) => {
                 // Mirror first: the span port gets a copy regardless of
                 // (and without perturbing) the forwarding decision.

@@ -7,10 +7,40 @@
 //! bookkeeping so an experiment can declare unidirectional paths
 //! (`a.port -> switch -> b.port`) without hand-allocating switch ports.
 
+use std::fmt;
+
 use choir_dpdk::PortId;
 
 use crate::engine::{NodeId, Sim};
 use crate::switchdev::{Switch, SwitchProfile};
+
+/// Topology construction failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The switch has no free ports for the requested path.
+    OutOfPorts {
+        /// Total ports on the switch (all in use).
+        capacity: usize,
+        /// Ports the rejected request needed.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::OutOfPorts {
+                capacity,
+                requested,
+            } => write!(
+                f,
+                "switch out of ports: {requested} requested, {capacity} total all in use"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
 
 /// Allocates switch ports and wires unidirectional paths.
 pub struct TopologyBuilder {
@@ -38,10 +68,9 @@ impl TopologyBuilder {
     /// Wire a unidirectional path `(a, ap) -> switch -> (b, bp)` using two
     /// fresh switch ports, with `prop_ps` propagation per hop.
     ///
-    /// Returns the (ingress, egress) switch ports used.
-    ///
-    /// # Panics
-    /// Panics if the switch has no free ports left.
+    /// Returns the (ingress, egress) switch ports used, or
+    /// [`TopologyError::OutOfPorts`] when the switch cannot supply both —
+    /// in which case nothing is wired and no port is consumed.
     pub fn path(
         &mut self,
         sim: &mut Sim,
@@ -50,24 +79,33 @@ impl TopologyBuilder {
         b: NodeId,
         bp: PortId,
         prop_ps: u64,
-    ) -> (usize, usize) {
-        let ingress = self.alloc();
-        let egress = self.alloc();
+    ) -> Result<(usize, usize), TopologyError> {
+        if self.next_port + 2 > self.capacity {
+            return Err(TopologyError::OutOfPorts {
+                capacity: self.capacity,
+                requested: 2,
+            });
+        }
+        let ingress = self.alloc().expect("checked capacity");
+        let egress = self.alloc().expect("checked capacity");
         sim.connect_node_switch(a, ap, self.sw, ingress, prop_ps);
         sim.connect_node_switch(b, bp, self.sw, egress, prop_ps);
         sim.switch_map(self.sw, ingress, egress);
-        (ingress, egress)
+        Ok((ingress, egress))
     }
 
-    fn alloc(&mut self) -> usize {
-        assert!(
-            self.next_port < self.capacity,
-            "switch out of ports ({} used)",
-            self.capacity
-        );
+    /// Claim one fresh switch port, or [`TopologyError::OutOfPorts`] when
+    /// none remain.
+    pub fn alloc(&mut self) -> Result<usize, TopologyError> {
+        if self.next_port >= self.capacity {
+            return Err(TopologyError::OutOfPorts {
+                capacity: self.capacity,
+                requested: 1,
+            });
+        }
         let p = self.next_port;
         self.next_port += 1;
-        p
+        Ok(p)
     }
 }
 
@@ -97,20 +135,37 @@ mod tests {
 
         let mut topo =
             TopologyBuilder::with_switch(&mut sim, SwitchProfile::tofino2(100_000_000_000), 8, "sw");
-        let (i1, e1) = topo.path(&mut sim, a, ap, b, bp, 5_000);
-        let (i2, e2) = topo.path(&mut sim, b, bp2, a, ap2, 5_000);
+        let (i1, e1) = topo.path(&mut sim, a, ap, b, bp, 5_000).expect("ports free");
+        let (i2, e2) = topo.path(&mut sim, b, bp2, a, ap2, 5_000).expect("ports free");
         assert_eq!((i1, e1), (0, 1));
         assert_eq!((i2, e2), (2, 3));
     }
 
     #[test]
-    #[should_panic(expected = "out of ports")]
-    fn exhausting_ports_panics() {
+    fn exhausting_ports_is_a_typed_error() {
         let mut sim = Sim::new(SimConfig::default());
         let a = sim.add_node("a", Idle, NodeClock::ideal(1_000_000_000), Jitter::None);
         let ap = sim.add_port(a, NicTxModel::ideal(1), NicRxModel::ideal());
         let mut topo =
             TopologyBuilder::with_switch(&mut sim, SwitchProfile::tofino2(1), 1, "sw");
-        topo.path(&mut sim, a, ap, a, ap, 0);
+        let err = topo.path(&mut sim, a, ap, a, ap, 0).expect_err("1 < 2 ports");
+        assert_eq!(
+            err,
+            TopologyError::OutOfPorts {
+                capacity: 1,
+                requested: 2
+            }
+        );
+        // A partial request must not consume the remaining port.
+        assert_eq!(topo.alloc(), Ok(0));
+        assert_eq!(
+            topo.alloc(),
+            Err(TopologyError::OutOfPorts {
+                capacity: 1,
+                requested: 1
+            })
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("out of ports"), "display: {msg}");
     }
 }

@@ -326,6 +326,15 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// The time of the next event, without removing it. Used by the
+    /// shard coordinator to compute the conservative horizon.
+    pub fn peek_time(&mut self) -> Option<u64> {
+        match &mut self.inner {
+            Inner::Wheel(w) => w.peek_key().map(|(t, _)| t),
+            Inner::Heap { heap, .. } => heap.peek().map(|e| e.0.t),
+        }
+    }
+
     /// Remove and return the next event if its time is `<= deadline`.
     pub fn pop_due(&mut self, deadline: u64) -> Option<(u64, T)> {
         match &mut self.inner {

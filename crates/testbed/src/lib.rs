@@ -15,9 +15,11 @@
 //!   re-sampling the between-run clock state (PTP resync, timestamp servo
 //!   slope) before each, and compare runs B–E against run A.
 
+pub mod multidomain;
 pub mod profiles;
 pub mod runner;
 
+pub use multidomain::{run_multidomain, MultiDomainConfig, MultiDomainOutput, MultiDomainProfile};
 pub use profiles::{EnvKind, EnvProfile};
 pub use runner::{
     run_experiment, run_experiment_streaming, run_experiment_streaming_supervised,

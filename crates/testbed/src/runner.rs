@@ -90,6 +90,13 @@ pub struct SimTuning {
     /// Stamp trailer tags by copying frame bytes (the pre-optimization
     /// stamping path) instead of writing the reserved tailroom in place.
     pub copy_stamp: bool,
+    /// Shard the engine across worker threads (multi-domain experiments
+    /// only; the classic single-switch runner is indivisible and ignores
+    /// this). `0` runs the serial engine in-process — the reference the
+    /// determinism gates compare against; `n >= 1` runs a
+    /// [`choir_netsim::ShardedSim`] with `n` workers, whose captures are
+    /// byte-identical to serial at every shard count.
+    pub shards: usize,
 }
 
 impl Default for SimTuning {
@@ -99,6 +106,7 @@ impl Default for SimTuning {
             queue: QueueKind::Wheel,
             guard_slot_alloc: false,
             copy_stamp: false,
+            shards: 0,
         }
     }
 }
@@ -115,6 +123,7 @@ impl SimTuning {
             queue: QueueKind::Heap,
             guard_slot_alloc: true,
             copy_stamp: true,
+            shards: 0,
         }
     }
 }
@@ -548,8 +557,12 @@ fn run_experiment_inner(
         "switch0",
     );
     for (r, &mb) in mbs.iter().enumerate() {
-        topo.path(&mut sim, gen, r, mb, 0, 5_000);
-        topo.path(&mut sim, mb, 1, rec, 0, 5_000);
+        // The switch is sized to 4 ports per replayer above, so
+        // exhaustion here is a wiring bug, not a runtime condition.
+        topo.path(&mut sim, gen, r, mb, 0, 5_000)
+            .expect("switch sized for all replayer paths");
+        topo.path(&mut sim, mb, 1, rec, 0, 5_000)
+            .expect("switch sized for all replayer paths");
     }
 
     // --- Phase 1: record the stream ----------------------------------
@@ -801,6 +814,8 @@ fn run_experiment_inner(
 }
 
 /// Mirror the simulator's counters into the report's serializable form.
+/// `shards` and `sync_windows` stay 0 here; the multi-domain runner
+/// overrides them for sharded fleets.
 pub fn sim_stats_report(s: &SimStats) -> choir_core::metrics::SimStatsReport {
     choir_core::metrics::SimStatsReport {
         events_processed: s.events_processed,
@@ -809,6 +824,10 @@ pub fn sim_stats_report(s: &SimStats) -> choir_core::metrics::SimStatsReport {
         coalesced_packets: s.coalesced_packets,
         wire_events_elided: s.wire_events_elided,
         packets_per_event: s.packets_per_event(),
+        remote_bursts: s.remote_bursts,
+        remote_packets: s.remote_packets,
+        shards: 0,
+        sync_windows: 0,
     }
 }
 
