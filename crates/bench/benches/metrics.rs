@@ -15,7 +15,7 @@ use choir_core::metrics::allpairs::{all_pairs_serial, all_pairs_sharded, TrialIn
 use choir_core::metrics::matching::Matching;
 use choir_core::metrics::ordering::ordering;
 use choir_core::metrics::report::analyze;
-use choir_core::metrics::{compare, Trial};
+use choir_core::metrics::{compare, PairAnalyzer, PairScratch, Trial};
 
 fn cbr_trial(n: u64, jitter_period: u64) -> Trial {
     let mut t = Trial::with_capacity(n as usize);
@@ -118,7 +118,7 @@ fn bench_all_pairs(c: &mut Criterion) {
             BenchmarkId::new("sharded_8_trials", shards),
             &shards,
             |bench, &shards| {
-                bench.iter(|| all_pairs_sharded(&trials, shards).summary());
+                bench.iter(|| all_pairs_sharded(&trials, shards).unwrap().summary());
             },
         );
     }
@@ -134,12 +134,39 @@ fn bench_trial_index(c: &mut Criterion) {
     let b = cbr_trial(n, 3);
     g.throughput(Throughput::Elements(n));
     g.bench_function("build_1m", |bench| {
-        bench.iter(|| TrialIndex::build(&a).len());
+        bench.iter(|| TrialIndex::build(&a).unwrap().len());
     });
-    let ia = TrialIndex::build(&a);
-    let ib = TrialIndex::build(&b);
+    let ia = TrialIndex::build(&a).unwrap();
+    let ib = TrialIndex::build(&b).unwrap();
     g.bench_function("matching_indexed_1m", |bench| {
         bench.iter(|| choir_core::metrics::allpairs::matching_indexed(&ia, &ib).common());
+    });
+    g.finish();
+}
+
+fn bench_arena_kernels(c: &mut Criterion) {
+    // Arena path vs the legacy per-pair path over one full analysis:
+    // same inputs, bit-identical outputs (enforced by the test suite),
+    // so the delta here is purely the flat-arena kernel rewrite.
+    let mut g = c.benchmark_group("metric_kernel_arena");
+    g.sample_size(20);
+    let n = 200_000u64;
+    let a = cbr_trial(n, 0);
+    let b = block_shuffled(n, 64);
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("legacy_pair", |bench| {
+        bench.iter(|| PairAnalyzer::new(&a, &b).analyze().metrics.kappa);
+    });
+    let ia = TrialIndex::build(&a).unwrap();
+    let ib = TrialIndex::build(&b).unwrap();
+    g.bench_function("arena_pair", |bench| {
+        let mut scratch = PairScratch::new();
+        bench.iter(|| {
+            PairAnalyzer::from_indexes(&ia, &ib)
+                .analyze_with_scratch(&mut scratch)
+                .metrics
+                .kappa
+        });
     });
     g.finish();
 }
@@ -151,6 +178,7 @@ criterion_group!(
     bench_matching,
     bench_full_analysis,
     bench_all_pairs,
-    bench_trial_index
+    bench_trial_index,
+    bench_arena_kernels
 );
 criterion_main!(benches);

@@ -348,7 +348,7 @@ fn table2(opts: &Opts) {
 /// tracked across PRs.
 fn matrix(opts: &Opts) {
     use choir_core::metrics::allpairs::{
-        all_pairs_serial_with, all_pairs_sharded_with, pair_count,
+        all_pairs_blocked_with, all_pairs_serial_with, all_pairs_sharded_with, pair_count,
     };
     use choir_core::metrics::report::{analyze_with, trial_label, TrialComparison};
     use choir_core::metrics::KappaConfig;
@@ -407,7 +407,7 @@ fn matrix(opts: &Opts) {
 
     // The sharded engine: per-trial indexes built once, bounded pool.
     let t_sharded = Instant::now();
-    let (m, engine) = all_pairs_sharded_with(trials, cpus, &cfg);
+    let (m, engine) = all_pairs_sharded_with(trials, cpus, &cfg).expect("index bench trials");
     let sharded_ns = t_sharded.elapsed().as_nanos() as u64;
 
     // Uncached single-thread reference — the ground truth.
@@ -430,6 +430,25 @@ fn matrix(opts: &Opts) {
         );
     }
     println!("   bit-identical κ across sharded / naive / serial paths ({pairs} pairs)");
+
+    // Block-size sweep gate: the cache-blocked scheduler must be
+    // bit-identical to the serial reference at degenerate and typical
+    // block sizes, serial and parallel alike.
+    for &block in &[1usize, 2, n.max(1)] {
+        for &shards in &[1usize, cpus] {
+            let (mb, _) = all_pairs_blocked_with(trials, shards, block, &cfg)
+                .expect("index bench trials");
+            for (k, cell) in mb.cells.iter().enumerate() {
+                assert_eq!(
+                    cell.metrics.kappa.to_bits(),
+                    serial.cells[k].metrics.kappa.to_bits(),
+                    "blocked(block={block}, shards={shards}) vs serial mismatch at {}",
+                    cell.label
+                );
+            }
+        }
+    }
+    println!("   bit-identical κ across blocked schedules (blocks 1/2/{n}, shards 1/{cpus})");
 
     print!("{}", fmt::kappa_matrix(&m));
     let summary = m.summary().expect("two or more trials");
@@ -469,7 +488,7 @@ fn matrix(opts: &Opts) {
         });
         obs::reset();
         obs::set_enabled(true);
-        let (m_obs, _) = all_pairs_sharded_with(trials, cpus, &cfg);
+        let (m_obs, _) = all_pairs_sharded_with(trials, cpus, &cfg).expect("index bench trials");
         for (k, cell) in m_obs.cells.iter().enumerate() {
             assert_eq!(
                 cell.metrics.kappa.to_bits(),
@@ -495,6 +514,7 @@ fn matrix(opts: &Opts) {
         cpus: usize,
         shards_used: usize,
         peak_workers: usize,
+        block_size: usize,
         index_build_ns: u64,
         naive_thread_per_pair_ns: u64,
         sharded_ns: u64,
@@ -513,6 +533,7 @@ fn matrix(opts: &Opts) {
         cpus,
         shards_used: engine.shards_used,
         peak_workers: engine.peak_workers,
+        block_size: engine.block_size,
         index_build_ns: engine.index_build_ns,
         naive_thread_per_pair_ns: naive_ns,
         sharded_ns,
@@ -963,7 +984,11 @@ fn stream(opts: &Opts) {
     };
 
     // -- gate 1: full lookahead == batch, bit for bit, on every pair ----
-    let indexes: Vec<TrialIndex<'_>> = trials.iter().map(TrialIndex::build).collect();
+    let indexes: Vec<TrialIndex<'_>> = trials
+        .iter()
+        .map(TrialIndex::build)
+        .collect::<Result<_, _>>()
+        .expect("index bench trials");
     let chunk_sizes = [1usize, 64, per_trial.max(1)];
     let kcfg = KappaConfig::paper();
     let mut full_kappa = 1.0f64;

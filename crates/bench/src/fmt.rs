@@ -263,7 +263,7 @@ mod tests {
                 t
             })
             .collect();
-        let m = all_pairs_sharded(&trials, 2);
+        let m = all_pairs_sharded(&trials, 2).unwrap();
         let s = kappa_matrix(&m);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4); // header + 3 rows

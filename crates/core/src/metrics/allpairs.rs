@@ -1,4 +1,4 @@
-//! The sharded all-pairs consistency engine.
+//! The sharded, cache-blocked all-pairs consistency engine.
 //!
 //! The paper reports κ per environment by comparing every run against
 //! baseline A (Tables 1–2), but its §7 run lists show κ varying 0.65–0.82
@@ -8,31 +8,40 @@
 //! which re-hashes both trials and re-derives their gap/span statistics
 //! from scratch.
 //!
-//! This module scales that computation two ways:
+//! This module scales that computation three ways:
 //!
-//! - **[`TrialIndex`]** — a per-trial precomputation cache (packet-identity
-//!   hash table with per-occurrence position lists, occurrence ranks,
-//!   inter-arrival gaps, first-arrival offset, min/max timestamp span)
-//!   built **once per trial** and shared immutably across every pair that
-//!   trial participates in. The indexed matching/latency/IAT paths are
+//! - **[`TrialIndex`]** — a flat per-trial arena built **once per trial**
+//!   and shared immutably across every pair that trial participates in.
+//!   One contiguous `u32` allocation holds the occurrence positions
+//!   (grouped by identity), per-position occurrence ranks, group extents,
+//!   and an open-addressed identity table; dense sidecar arrays hold the
+//!   gap series, the timestamp series, and the identity keys. No
+//!   `HashMap`, no per-identity `Vec`s, no pointer chasing on the pair
+//!   hot path (see DESIGN.md §15 for the layout).
+//! - **Arena kernels** — the matching/latency/IAT/ordering/histogram
+//!   stages stream the arena with autovectorization-friendly inner loops
+//!   (split-lane `u64` accumulation instead of `u128` adds, branchless
+//!   histogram binning, bit-pattern percentile sorts). Every kernel is
 //!   bit-identical to the uncached reference implementations — same
-//!   arithmetic on the same operands in the same order.
-//! - **A bounded worker pool** — at most `shards` worker threads, never a
-//!   thread per pair. Workers steal pair indices from a shared atomic
-//!   cursor, so an expensive pair (heavy reordering → long LIS stage)
-//!   doesn't stall the pool behind a static partition.
+//!   arithmetic values in the same order.
+//! - **A cache-blocked bounded worker pool** — at most `shards` worker
+//!   threads steal *block-pairs* `(bi, bj)` of trials from a shared
+//!   atomic cursor and sweep every cell inside the block, so each block
+//!   of indexes is streamed once per block rather than once per pair,
+//!   and an expensive pair (heavy reordering → long LIS stage) doesn't
+//!   stall the pool behind a static partition.
 //!
 //! Invariants (enforced by unit tests here and the property tests in
-//! `tests/allpairs_properties.rs`):
+//! `tests/allpairs_properties.rs` / `tests/arena_properties.rs`):
 //!
 //! 1. `all_pairs_sharded(trials, s)` is bit-identical to
 //!    [`all_pairs_serial`] — the unchanged, uncached serial reference —
-//!    for every shard count `s ≥ 1`.
+//!    for every shard count `s ≥ 1` and every block size.
 //! 2. No more than `shards` workers are ever alive at once
 //!    ([`EngineStats::peak_workers`] observes this).
 //! 3. A [`TrialIndex`] is immutable after construction; pairs only read.
 
-use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -45,147 +54,306 @@ use choir_packet::ident::PacketId;
 use super::iat::IatResult;
 use super::kappa::KappaConfig;
 use super::latency::LatencyResult;
-use super::matching::{MatchedPair, Matching};
-use super::pair::PairAnalyzer;
+use super::matching::Matching;
+use super::pair::{PairAnalyzer, PairScratch};
 use super::report::{analyze_with, trial_label, StageTimings, TrialComparison};
 use super::stats;
 use super::trial::Trial;
 
+/// Sentinel for an unoccupied identity-table slot. Safe because a group
+/// id is an index into `ids`, and `ids.len() ≤ n ≤ u32::MAX` means a real
+/// group id never equals `u32::MAX` (that trial would have failed
+/// [`TrialIndex::build`] with [`IndexError::TrialTooLarge`]).
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Typed failure from [`TrialIndex::build`] — the arena indexes positions
+/// with `u32`, so a trial beyond `u32::MAX` packets cannot be indexed.
+/// Propagated through the all-pairs engine instead of aborting a whole
+/// matrix run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexError {
+    /// The trial at `trial` (its position in the run set) holds `len`
+    /// packets, more than the `u32` position space can address.
+    TrialTooLarge {
+        /// Position of the offending trial in the run set (0 when indexed
+        /// standalone).
+        trial: usize,
+        /// Its packet count.
+        len: usize,
+    },
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::TrialTooLarge { trial, len } => write!(
+                f,
+                "trial {trial} holds {len} packets, beyond the u32 index limit ({})",
+                u32::MAX
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
 /// Per-trial precomputation cache: everything a pairwise comparison needs
-/// from one side that does not depend on the other side.
+/// from one side that does not depend on the other side, laid out as one
+/// flat arena.
 ///
 /// Built once per trial in O(n), then shared immutably (`&TrialIndex`)
 /// across all N−1 pairs the trial participates in, instead of being
 /// rebuilt inside every `Matching::build` / `iat` / `latency` call.
+///
+/// # Arena layout
+///
+/// The `u32` arena packs four regions back to back:
+///
+/// ```text
+/// [ positions(n) | occ(n) | group_start(≤ n+1) | table(cap) ]
+/// ```
+///
+/// - `positions` — observation indices grouped by identity, each group's
+///   occurrences in arrival order;
+/// - `occ` — the occurrence rank of each position within its identity;
+/// - `group_start` — prefix offsets into `positions` (group `g` owns
+///   `positions[group_start[g]..group_start[g+1]]`);
+/// - `table` — an open-addressed (linear-probe, power-of-two, ≤ 0.5 load)
+///   map from identity hash to group id.
+///
+/// Dense sidecars carry the identity keys (`ids`, indexed by group id),
+/// the gap series, and the timestamp series, so the metric kernels
+/// stream plain slices instead of chasing `HashMap` buckets.
 #[derive(Debug)]
 pub struct TrialIndex<'t> {
     trial: &'t Trial,
-    /// Identity → positions of its occurrences, in arrival order.
-    by_id: HashMap<PacketId, Vec<u32>>,
-    /// Occurrence rank of each position within its identity (0 for the
-    /// first copy of an identity, 1 for the second, …).
-    occ: Vec<u32>,
+    arena: Box<[u32]>,
+    /// Identity key per group id (probe confirmation).
+    ids: Box<[PacketId]>,
     /// `gap_ps(i)` for every position (0 for the first packet).
-    gaps_ps: Vec<i64>,
+    gaps_ps: Box<[i64]>,
+    /// `time(i)` for every position (dense copy — `Observation` has u128
+    /// alignment, so streaming times through it wastes half the cache
+    /// line).
+    times_ps: Box<[u64]>,
+    n: usize,
+    groups: usize,
+    table_mask: usize,
     /// First-arrival offset `t_X0` (0 for an empty trial).
     start_ps: u64,
     /// Min/max timestamp span (the IAT/latency denominators).
     minmax_span_ps: u64,
+    /// Largest raw timestamp — gates the latency kernel's i64 fast path.
+    max_time_ps: u64,
+}
+
+/// SplitMix64-style finalizer over the folded 128-bit identity. The table
+/// only needs good low-bit diffusion for its power-of-two mask.
+#[inline]
+fn hash_id(id: PacketId) -> u64 {
+    let mut z = (id.0 as u64) ^ ((id.0 >> 64) as u64);
+    z = z.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z ^= z >> 29;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 32;
+    z
 }
 
 impl<'t> TrialIndex<'t> {
-    /// Index a trial. O(n) time, O(n) memory.
-    pub fn build(trial: &'t Trial) -> Self {
+    /// Index a trial. O(n) time, O(n) memory, one arena allocation plus
+    /// three dense sidecars.
+    pub fn build(trial: &'t Trial) -> Result<Self, IndexError> {
+        Self::build_at(trial, 0)
+    }
+
+    /// [`TrialIndex::build`] carrying the trial's position in its run set
+    /// so [`IndexError`] can name the offending trial.
+    pub(crate) fn build_at(trial: &'t Trial, at: usize) -> Result<Self, IndexError> {
         let n = trial.len();
-        assert!(n <= u32::MAX as usize, "trial too large to index");
-        let mut by_id: HashMap<PacketId, Vec<u32>> = HashMap::with_capacity(n);
-        let mut occ = Vec::with_capacity(n);
-        for (i, o) in trial.observations().iter().enumerate() {
-            let positions = by_id.entry(o.id).or_default();
-            occ.push(positions.len() as u32);
-            positions.push(i as u32);
+        if n > u32::MAX as usize {
+            return Err(IndexError::TrialTooLarge { trial: at, len: n });
         }
+        let cap = (n * 2).max(4).next_power_of_two();
+        let table_mask = cap - 1;
+        let table_off = 3 * n + 1;
+        let mut arena = vec![0u32; table_off + cap].into_boxed_slice();
+        arena[table_off..].fill(EMPTY_SLOT);
+
+        // Pass 1: assign group ids through the open-addressed table,
+        // record each position's occurrence rank and group.
+        let mut ids: Vec<PacketId> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        let mut group_of: Vec<u32> = Vec::with_capacity(n);
+        for (i, o) in trial.observations().iter().enumerate() {
+            let mut slot = hash_id(o.id) as usize & table_mask;
+            let g = loop {
+                let v = arena[table_off + slot];
+                if v == EMPTY_SLOT {
+                    let g = ids.len() as u32;
+                    arena[table_off + slot] = g;
+                    ids.push(o.id);
+                    counts.push(0);
+                    break g;
+                }
+                if ids[v as usize] == o.id {
+                    break v;
+                }
+                slot = (slot + 1) & table_mask;
+            };
+            arena[n + i] = counts[g as usize];
+            counts[g as usize] += 1;
+            group_of.push(g);
+        }
+        let groups = ids.len();
+
+        // Pass 2: prefix-sum the group counts into group_start, reusing
+        // `counts` as the scatter cursors.
+        let mut acc = 0u32;
+        for (g, c) in counts.iter_mut().enumerate() {
+            arena[2 * n + g] = acc;
+            let start = acc;
+            acc += *c;
+            *c = start;
+        }
+        arena[2 * n + groups] = acc;
+
+        // Pass 3: scatter positions into their group extents.
+        for (i, &g) in group_of.iter().enumerate() {
+            let cur = counts[g as usize];
+            arena[cur as usize] = i as u32;
+            counts[g as usize] = cur + 1;
+        }
+
         let mut gaps_ps = Vec::with_capacity(n);
+        let mut times_ps = Vec::with_capacity(n);
+        let mut max_time_ps = 0u64;
         for i in 0..n {
             gaps_ps.push(trial.gap_ps(i));
+            let t = trial.time(i);
+            max_time_ps = max_time_ps.max(t);
+            times_ps.push(t);
         }
-        TrialIndex {
+
+        Ok(TrialIndex {
             trial,
-            by_id,
-            occ,
-            gaps_ps,
+            arena,
+            ids: ids.into_boxed_slice(),
+            gaps_ps: gaps_ps.into_boxed_slice(),
+            times_ps: times_ps.into_boxed_slice(),
+            n,
+            groups,
+            table_mask,
             start_ps: trial.start_ps(),
             minmax_span_ps: trial.minmax_span_ps(),
-        }
+            max_time_ps,
+        })
     }
 
     /// Number of packets in the indexed trial.
     pub fn len(&self) -> usize {
-        self.occ.len()
+        self.n
     }
 
     /// True when the indexed trial holds no packets.
     pub fn is_empty(&self) -> bool {
-        self.occ.is_empty()
+        self.n == 0
     }
 
     /// The indexed trial.
     pub fn trial(&self) -> &'t Trial {
         self.trial
     }
+
+    /// Number of distinct identities.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Observation indices grouped by identity (see the layout doc).
+    #[inline]
+    pub(crate) fn positions(&self) -> &[u32] {
+        &self.arena[..self.n]
+    }
+
+    /// Occurrence rank of each position within its identity.
+    #[inline]
+    pub(crate) fn occ(&self) -> &[u32] {
+        &self.arena[self.n..2 * self.n]
+    }
+
+    /// Prefix offsets into [`TrialIndex::positions`], one per group plus
+    /// the terminating total.
+    #[inline]
+    pub(crate) fn group_start(&self) -> &[u32] {
+        &self.arena[2 * self.n..2 * self.n + self.groups + 1]
+    }
+
+    /// Group id of `id`, or `None` when the trial never saw it.
+    #[inline]
+    pub(crate) fn find(&self, id: PacketId) -> Option<u32> {
+        let table = &self.arena[3 * self.n + 1..];
+        let mut slot = hash_id(id) as usize & self.table_mask;
+        loop {
+            let v = table[slot];
+            if v == EMPTY_SLOT {
+                return None;
+            }
+            if self.ids[v as usize] == id {
+                return Some(v);
+            }
+            slot = (slot + 1) & self.table_mask;
+        }
+    }
+
+    /// The dense gap series.
+    #[inline]
+    pub(crate) fn gaps(&self) -> &[i64] {
+        &self.gaps_ps
+    }
+
+    /// The dense timestamp series.
+    #[inline]
+    pub(crate) fn times(&self) -> &[u64] {
+        &self.times_ps
+    }
+
+    /// First-arrival offset `t_X0`.
+    #[inline]
+    pub(crate) fn start_ps(&self) -> u64 {
+        self.start_ps
+    }
+
+    /// Min/max timestamp span.
+    #[inline]
+    pub(crate) fn minmax_span_ps(&self) -> u64 {
+        self.minmax_span_ps
+    }
+
+    /// Largest raw timestamp.
+    #[inline]
+    pub(crate) fn max_time_ps(&self) -> u64 {
+        self.max_time_ps
+    }
 }
 
 /// Occurrence-wise matching from two prebuilt indexes — bit-identical to
 /// [`Matching::build`] on the underlying trials, but with no per-pair
 /// hash-table construction: only B's arrival scan remains, each packet
-/// resolved with one lookup into A's (shared, immutable) identity table.
+/// resolved with one probe into A's (shared, immutable) identity table.
 #[deprecated(note = "use metrics::PairAnalyzer::from_indexes (see DESIGN.md §12)")]
 pub fn matching_indexed(a: &TrialIndex<'_>, b: &TrialIndex<'_>) -> Matching {
-    matching_indexed_core(a, b)
+    super::matching::matching_arena(a, b)
 }
 
-/// Shared kernel behind [`matching_indexed`] and
-/// [`super::pair::PairAnalyzer`].
-pub(crate) fn matching_indexed_core(a: &TrialIndex<'_>, b: &TrialIndex<'_>) -> Matching {
-    let mut pairs = Vec::with_capacity(a.len().min(b.len()));
-    for (j, o) in b.trial.observations().iter().enumerate() {
-        if let Some(positions) = a.by_id.get(&o.id) {
-            // The k-th occurrence in B pairs with the k-th in A, exactly
-            // as the reference's consumed-queue formulation.
-            if let Some(&ai) = positions.get(b.occ[j] as usize) {
-                pairs.push(MatchedPair {
-                    a_idx: ai as usize,
-                    b_idx: j,
-                });
-            }
-        }
-    }
-    Matching {
-        pairs,
-        a_len: a.len(),
-        b_len: b.len(),
-    }
-}
-
-/// [`super::iat::iat_full`] on cached gaps and spans — bit-identical.
+/// [`super::iat::iat_full`] on the arena's gap series — bit-identical.
 #[deprecated(note = "use metrics::PairAnalyzer::from_indexes (see DESIGN.md §12)")]
 pub fn iat_full_indexed(a: &TrialIndex<'_>, b: &TrialIndex<'_>, m: &Matching) -> IatResult {
-    iat_full_indexed_core(a, b, m)
-}
-
-/// Shared kernel behind [`iat_full_indexed`] and
-/// [`super::pair::PairAnalyzer`].
-pub(crate) fn iat_full_indexed_core(
-    a: &TrialIndex<'_>,
-    b: &TrialIndex<'_>,
-    m: &Matching,
-) -> IatResult {
-    let mc = m.common();
-    if mc == 0 {
-        return IatResult {
-            i: 0.0,
-            deltas_ns: Vec::new(),
-        };
-    }
-    let mut num: u128 = 0;
-    let mut deltas_ns = Vec::with_capacity(mc);
-    for p in &m.pairs {
-        let d = a.gaps_ps[p.a_idx] - b.gaps_ps[p.b_idx];
-        num += d.unsigned_abs() as u128;
-        deltas_ns.push(d as f64 / 1000.0);
-    }
-    let denom = a.minmax_span_ps as u128 + b.minmax_span_ps as u128;
-    // Degenerate-denominator semantics (see iat.rs): exactly 0.0 for ≤1
-    // common packet or a zero joint span — never NaN.
-    let i = if mc <= 1 || denom == 0 {
-        0.0
-    } else {
-        (num as f64 / denom as f64).min(1.0)
-    };
+    let mut deltas_ns = Vec::new();
+    let i = super::iat::iat_arena(a, b, m, &mut deltas_ns);
     IatResult { i, deltas_ns }
 }
 
-/// [`super::latency::latency_full`] on cached offsets and spans —
+/// [`super::latency::latency_full`] on the arena's timestamp series —
 /// bit-identical.
 #[deprecated(note = "use metrics::PairAnalyzer::from_indexes (see DESIGN.md §12)")]
 pub fn latency_full_indexed(
@@ -193,41 +361,8 @@ pub fn latency_full_indexed(
     b: &TrialIndex<'_>,
     m: &Matching,
 ) -> LatencyResult {
-    latency_full_indexed_core(a, b, m)
-}
-
-/// Shared kernel behind [`latency_full_indexed`] and
-/// [`super::pair::PairAnalyzer`].
-pub(crate) fn latency_full_indexed_core(
-    a: &TrialIndex<'_>,
-    b: &TrialIndex<'_>,
-    m: &Matching,
-) -> LatencyResult {
-    let mc = m.common();
-    if mc == 0 {
-        return LatencyResult {
-            l: 0.0,
-            deltas_ns: Vec::new(),
-        };
-    }
-    let ta0 = a.start_ps as i128;
-    let tb0 = b.start_ps as i128;
-    let mut num: u128 = 0;
-    let mut deltas_ns = Vec::with_capacity(mc);
-    for p in &m.pairs {
-        let la = a.trial.time(p.a_idx) as i128 - ta0;
-        let lb = b.trial.time(p.b_idx) as i128 - tb0;
-        let d = la - lb;
-        num += d.unsigned_abs();
-        deltas_ns.push(d as f64 / 1000.0);
-    }
-    let reach = (a.minmax_span_ps as i128).max(b.minmax_span_ps as i128);
-    let denom = mc as i128 * reach;
-    let l = if mc <= 1 || denom <= 0 {
-        0.0
-    } else {
-        (num as f64 / denom as f64).min(1.0)
-    };
+    let mut deltas_ns = Vec::new();
+    let l = super::latency::latency_arena(a, b, m, &mut deltas_ns);
     LatencyResult { l, deltas_ns }
 }
 
@@ -331,7 +466,10 @@ impl KappaMatrix {
             return None;
         }
         let mut kappas: Vec<f64> = self.cells.iter().map(|c| c.metrics.kappa).collect();
-        kappas.sort_by(|a, b| a.partial_cmp(b).expect("kappa not NaN"));
+        // κ = 1 − x can never be −0.0 and the engine never emits NaN, so
+        // total_cmp orders exactly like partial_cmp here — without the
+        // panic path a hand-deserialized NaN cell used to hit.
+        kappas.sort_by(f64::total_cmp);
         Some(MatrixSummary {
             trials: self.trials(),
             pairs: self.pairs(),
@@ -362,6 +500,8 @@ pub struct EngineStats {
     pub index_build_ns: u64,
     /// Wall-clock of the pair computation (pool start to last join), ns.
     pub pair_wall_ns: u64,
+    /// Trials per cache block actually used (after clamping).
+    pub block_size: usize,
 }
 
 /// Serial reference: the full matrix via the original uncached
@@ -384,87 +524,157 @@ pub fn all_pairs_serial_with(trials: &[Trial], cfg: &KappaConfig) -> KappaMatrix
     KappaMatrix { labels, cells }
 }
 
-/// Sharded all-pairs analysis with the paper's κ configuration.
-pub fn all_pairs_sharded(trials: &[Trial], shards: usize) -> KappaMatrix {
-    all_pairs_sharded_with(trials, shards, &KappaConfig::paper()).0
+/// Sharded all-pairs analysis with the paper's κ configuration and the
+/// default cache-block size.
+pub fn all_pairs_sharded(trials: &[Trial], shards: usize) -> Result<KappaMatrix, IndexError> {
+    Ok(all_pairs_sharded_with(trials, shards, &KappaConfig::paper())?.0)
 }
 
 /// Sharded all-pairs analysis: build every [`TrialIndex`] once, then let a
-/// bounded pool of at most `shards` workers steal pair indices from a
-/// shared cursor. Bit-identical to [`all_pairs_serial_with`] for any
-/// `shards ≥ 1`.
+/// bounded pool of at most `shards` workers steal cache blocks of pairs
+/// from a shared cursor. Bit-identical to [`all_pairs_serial_with`] for
+/// any `shards ≥ 1`.
 pub fn all_pairs_sharded_with(
     trials: &[Trial],
     shards: usize,
     cfg: &KappaConfig,
-) -> (KappaMatrix, EngineStats) {
+) -> Result<(KappaMatrix, EngineStats), IndexError> {
+    all_pairs_blocked_with(trials, shards, default_block_size(trials), cfg)
+}
+
+/// Cache-block size heuristic: fit two blocks' worth of index data
+/// (~48 B/packet: positions + occ + group extents + gaps + times + ids)
+/// in a ~2 MiB hot-set budget, clamped to `[2, 32]` trials per block.
+pub fn default_block_size(trials: &[Trial]) -> usize {
+    let per = trials.iter().map(Trial::len).max().unwrap_or(0);
+    const BUDGET: usize = 2 << 20;
+    (BUDGET / (per * 48).max(1)).clamp(2, 32)
+}
+
+/// The engine proper, with an explicit cache-block size (trials per
+/// block): the upper triangle is covered by block-pairs `(bi, bj)`,
+/// `bi ≤ bj`, each swept cell-by-cell by one worker so the two blocks'
+/// indexes stay hot while every cross-pair between them is scored.
+///
+/// Block size only changes the traversal schedule, never the values:
+/// cells land at their row-major offsets and each cell's arithmetic is
+/// independent, so the output is bit-identical to [`all_pairs_serial_with`]
+/// at every `block ≥ 1`.
+pub fn all_pairs_blocked_with(
+    trials: &[Trial],
+    shards: usize,
+    block: usize,
+    cfg: &KappaConfig,
+) -> Result<(KappaMatrix, EngineStats), IndexError> {
     let n = trials.len();
     let labels: Vec<String> = (0..n).map(trial_label).collect();
-    let pairs: Vec<(u32, u32)> = (0..n as u32)
-        .flat_map(|i| (i + 1..n as u32).map(move |j| (i, j)))
-        .collect();
+    let total_pairs = pair_count(n);
 
     let _span = obs::span("allpairs");
     let t_index = Instant::now();
     let indexes: Vec<TrialIndex<'_>> = {
         let _s = obs::span("index_build");
-        trials.iter().map(TrialIndex::build).collect()
+        trials
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TrialIndex::build_at(t, i))
+            .collect::<Result<_, _>>()?
     };
     let index_build_ns = t_index.elapsed().as_nanos() as u64;
 
-    let workers = shards.max(1).min(pairs.len().max(1));
-    let analyze_pair = |&(i, j): &(u32, u32)| {
-        let (i, j) = (i as usize, j as usize);
-        let label = format!("{}-{}", labels[i], labels[j]);
+    let workers = shards.max(1).min(total_pairs.max(1));
+    // Keep at least ~workers block-pairs so blocking never serializes the
+    // pool: nb blocks yield nb(nb+1)/2 block-pairs ≥ workers when
+    // nb ≥ ceil(sqrt(2·workers)).
+    let target_nb = ((2 * workers) as f64).sqrt().ceil() as usize;
+    let block = block.max(1).min(n.div_ceil(target_nb.max(1)).max(1));
+    let nb = n.div_ceil(block);
+    let block_pairs: Vec<(u32, u32)> = (0..nb as u32)
+        .flat_map(|bi| (bi..nb as u32).map(move |bj| (bi, bj)))
+        .collect();
+
+    let cell_offset = |i: usize, j: usize| i * n - i * (i + 1) / 2 + (j - i - 1);
+    let block_range = |b: usize| (b * block, ((b + 1) * block).min(n));
+    let analyze_cell = |i: usize, j: usize, scratch: &mut PairScratch| {
         PairAnalyzer::from_indexes(&indexes[i], &indexes[j])
-            .label(label)
+            .label(format!("{}-{}", labels[i], labels[j]))
             .config(*cfg)
-            .analyze()
+            .analyze_with_scratch(scratch)
     };
 
     let t_pairs = Instant::now();
     let mut stats = EngineStats {
         shards_used: workers,
-        peak_workers: usize::from(!pairs.is_empty()),
+        peak_workers: usize::from(total_pairs > 0),
         index_build_ns,
         pair_wall_ns: 0,
+        block_size: block,
     };
     let cells: Vec<TrialComparison> = if workers <= 1 {
         let _s = obs::span("pairs");
-        let cells: Vec<TrialComparison> = pairs.iter().map(analyze_pair).collect();
-        obs::counter_add("allpairs.pairs_analyzed", pairs.len() as u64);
-        cells
+        let mut scratch = PairScratch::new();
+        let mut slots: Vec<Option<TrialComparison>> = Vec::new();
+        slots.resize_with(total_pairs, || None);
+        for &(bi, bj) in &block_pairs {
+            let (i_lo, i_hi) = block_range(bi as usize);
+            let (j_lo, j_hi) = block_range(bj as usize);
+            for i in i_lo..i_hi {
+                for j in j_lo.max(i + 1)..j_hi {
+                    slots[cell_offset(i, j)] = Some(analyze_cell(i, j, &mut scratch));
+                }
+            }
+        }
+        obs::counter_add("allpairs.pairs_analyzed", total_pairs as u64);
+        slots
+            .into_iter()
+            .map(|c| c.expect("every pair computed"))
+            .collect()
     } else {
         let _s = obs::span("pairs");
         let cursor = AtomicUsize::new(0);
         let live = AtomicUsize::new(0);
         let peak = AtomicUsize::new(0);
         let mut slots: Vec<Option<TrialComparison>> = Vec::new();
-        slots.resize_with(pairs.len(), || None);
+        slots.resize_with(total_pairs, || None);
         let slots = Mutex::new(slots);
         std::thread::scope(|s| {
             for widx in 0..workers {
                 let (cursor, live, peak, slots) = (&cursor, &live, &peak, &slots);
-                let (pairs, analyze_pair) = (&pairs, &analyze_pair);
+                let (block_pairs, analyze_cell) = (&block_pairs, &analyze_cell);
+                let (block_range, cell_offset) = (&block_range, &cell_offset);
                 s.spawn(move || {
                     let alive = live.fetch_add(1, AtomicOrdering::SeqCst) + 1;
                     peak.fetch_max(alive, AtomicOrdering::SeqCst);
-                    // Steals are tallied locally and published once per
-                    // worker so the disabled path costs one register.
-                    let mut stolen = 0u64;
+                    let mut scratch = PairScratch::new();
+                    // Cells are staged per block and published under one
+                    // lock acquisition, so contention scales with blocks
+                    // stolen, not cells computed.
+                    let mut batch: Vec<(usize, TrialComparison)> = Vec::new();
+                    let mut stolen_cells = 0u64;
                     loop {
                         let k = cursor.fetch_add(1, AtomicOrdering::Relaxed);
-                        if k >= pairs.len() {
+                        if k >= block_pairs.len() {
                             break;
                         }
-                        stolen += 1;
                         obs::event("allpairs.steal", widx as u64, k as u64);
-                        let cell = analyze_pair(&pairs[k]);
-                        slots.lock().expect("cell slots")[k] = Some(cell);
+                        let (bi, bj) = block_pairs[k];
+                        let (i_lo, i_hi) = block_range(bi as usize);
+                        let (j_lo, j_hi) = block_range(bj as usize);
+                        batch.clear();
+                        for i in i_lo..i_hi {
+                            for j in j_lo.max(i + 1)..j_hi {
+                                batch.push((cell_offset(i, j), analyze_cell(i, j, &mut scratch)));
+                            }
+                        }
+                        stolen_cells += batch.len() as u64;
+                        let mut guard = slots.lock().expect("cell slots");
+                        for (off, cell) in batch.drain(..) {
+                            guard[off] = Some(cell);
+                        }
                     }
-                    if stolen > 0 {
-                        obs::counter_add("allpairs.pairs_analyzed", stolen);
-                        obs::gauge_max("allpairs.worker_pairs_peak", stolen);
+                    if stolen_cells > 0 {
+                        obs::counter_add("allpairs.pairs_analyzed", stolen_cells);
+                        obs::gauge_max("allpairs.worker_pairs_peak", stolen_cells);
                     }
                     live.fetch_sub(1, AtomicOrdering::SeqCst);
                 });
@@ -495,12 +705,12 @@ pub fn all_pairs_sharded_with(
         obs::counter_add("allpairs.stage.iat_ns", t.iat_ns);
         obs::counter_add("allpairs.stage.histogram_ns", t.histogram_ns);
     }
-    (matrix, stats)
+    Ok((matrix, stats))
 }
 
-/// Number of off-diagonal pairs for `n` trials.
+/// Number of off-diagonal pairs for `n` trials (0 for an empty set).
 pub fn pair_count(n: usize) -> usize {
-    n * (n - 1) / 2
+    n * n.saturating_sub(1) / 2
 }
 
 #[cfg(test)]
@@ -556,8 +766,8 @@ mod tests {
         for (s, t) in [(6u64, 0u64), (5, 100), (9, 150), (5, 200)] {
             b.push_tagged(0, 0, s, t);
         }
-        let ia = TrialIndex::build(&a);
-        let ib = TrialIndex::build(&b);
+        let ia = TrialIndex::build(&a).unwrap();
+        let ib = TrialIndex::build(&b).unwrap();
         let m = matching_indexed(&ia, &ib);
         let reference = Matching::build(&a, &b);
         assert_eq!(m.pairs, reference.pairs);
@@ -570,7 +780,10 @@ mod tests {
         for i in 0..trials.len() {
             for j in 0..trials.len() {
                 let (a, b) = (&trials[i], &trials[j]);
-                let (ia, ib) = (TrialIndex::build(a), TrialIndex::build(b));
+                let (ia, ib) = (
+                    TrialIndex::build(a).unwrap(),
+                    TrialIndex::build(b).unwrap(),
+                );
                 let m = Matching::build(a, b);
                 let mi = matching_indexed(&ia, &ib);
                 assert_eq!(m.pairs, mi.pairs);
@@ -587,12 +800,50 @@ mod tests {
     }
 
     #[test]
+    fn arena_groups_and_extents_are_consistent() {
+        let mut a = Trial::new();
+        for s in [3u64, 1, 3, 2, 3, 1] {
+            a.push_tagged(0, 0, s, 0);
+        }
+        let ia = TrialIndex::build(&a).unwrap();
+        assert_eq!(ia.len(), 6);
+        assert_eq!(ia.groups(), 3);
+        let starts = ia.group_start();
+        assert_eq!(starts.first(), Some(&0));
+        assert_eq!(*starts.last().unwrap() as usize, ia.len());
+        // Every position appears exactly once across the group extents,
+        // each group's occurrences in arrival order with matching ranks.
+        let mut seen = vec![false; ia.len()];
+        for g in 0..ia.groups() {
+            let (s, e) = (starts[g] as usize, starts[g + 1] as usize);
+            let ext = &ia.positions()[s..e];
+            assert!(ext.windows(2).all(|w| w[0] < w[1]));
+            for (k, &p) in ext.iter().enumerate() {
+                assert!(!std::mem::replace(&mut seen[p as usize], true));
+                assert_eq!(ia.occ()[p as usize] as usize, k);
+                assert_eq!(ia.find(a.id(p as usize)), Some(g as u32));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn index_error_names_the_trial() {
+        let e = IndexError::TrialTooLarge { trial: 7, len: 5_000_000_000 };
+        let msg = e.to_string();
+        assert!(msg.contains("trial 7"), "{msg}");
+        assert!(msg.contains("5000000000"), "{msg}");
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(boxed.downcast_ref::<IndexError>().is_some());
+    }
+
+    #[test]
     fn sharded_matrix_bit_identical_to_serial_reference() {
         let trials = jittered_set(5, 400);
         let serial = all_pairs_serial(&trials);
         for shards in [1usize, 2, 8] {
             let (sharded, stats) =
-                all_pairs_sharded_with(&trials, shards, &KappaConfig::paper());
+                all_pairs_sharded_with(&trials, shards, &KappaConfig::paper()).unwrap();
             assert_eq!(sharded.labels, serial.labels);
             assert_eq!(sharded.cells.len(), serial.cells.len());
             for (x, y) in sharded.cells.iter().zip(&serial.cells) {
@@ -603,10 +854,30 @@ mod tests {
     }
 
     #[test]
+    fn blocked_matrix_bit_identical_at_every_block_size() {
+        let trials = jittered_set(7, 150);
+        let serial = all_pairs_serial(&trials);
+        for block in [1usize, 2, 3, 5, 7, 64] {
+            for shards in [1usize, 3] {
+                let (m, stats) =
+                    all_pairs_blocked_with(&trials, shards, block, &KappaConfig::paper())
+                        .unwrap();
+                assert_eq!(m.labels, serial.labels);
+                assert_eq!(m.cells.len(), serial.cells.len());
+                for (x, y) in m.cells.iter().zip(&serial.cells) {
+                    assert_cells_equal(x, y);
+                }
+                assert!(stats.block_size >= 1);
+            }
+        }
+    }
+
+    #[test]
     fn bounded_pool_never_exceeds_shards() {
         let trials = jittered_set(6, 50); // 15 pairs
         for shards in [1usize, 2, 3, 4] {
-            let (_, stats) = all_pairs_sharded_with(&trials, shards, &KappaConfig::paper());
+            let (_, stats) =
+                all_pairs_sharded_with(&trials, shards, &KappaConfig::paper()).unwrap();
             assert!(
                 stats.peak_workers <= shards,
                 "shards {shards}: peak {}",
@@ -619,7 +890,7 @@ mod tests {
     #[test]
     fn matrix_indexing_and_summary() {
         let trials = jittered_set(4, 200);
-        let m = all_pairs_sharded(&trials, 2);
+        let m = all_pairs_sharded(&trials, 2).unwrap();
         assert_eq!(m.trials(), 4);
         assert_eq!(m.pairs(), 6);
         assert_eq!(m.labels, ["A", "B", "C", "D"]);
@@ -641,7 +912,7 @@ mod tests {
     #[test]
     fn baseline_row_matches_legacy_analysis() {
         let trials = jittered_set(4, 300);
-        let m = all_pairs_sharded(&trials, 3);
+        let m = all_pairs_sharded(&trials, 3).unwrap();
         let row = m.baseline_row();
         assert_eq!(row.len(), 3);
         for (j, c) in row.iter().enumerate() {
@@ -655,14 +926,14 @@ mod tests {
     #[test]
     fn degenerate_matrices() {
         // Zero or one trial: no pairs, no summary, no panic.
-        let none = all_pairs_sharded(&[], 4);
+        let none = all_pairs_sharded(&[], 4).unwrap();
         assert_eq!(none.pairs(), 0);
         assert!(none.summary().is_none());
-        let one = all_pairs_sharded(&[Trial::new()], 4);
+        let one = all_pairs_sharded(&[Trial::new()], 4).unwrap();
         assert_eq!(one.pairs(), 0);
         assert!(one.summary().is_none());
         // Empty trials still compare (κ = 1: two empty captures agree).
-        let two = all_pairs_sharded(&[Trial::new(), Trial::new()], 4);
+        let two = all_pairs_sharded(&[Trial::new(), Trial::new()], 4).unwrap();
         assert_eq!(two.pairs(), 1);
         assert_eq!(two.kappa(0, 1), 1.0);
     }
@@ -670,7 +941,7 @@ mod tests {
     #[test]
     fn stage_timings_populated_and_summable() {
         let trials = jittered_set(3, 2_000);
-        let m = all_pairs_sharded(&trials, 2);
+        let m = all_pairs_sharded(&trials, 2).unwrap();
         let t = m.total_timings();
         // Wall-clock is noisy, but the match stage walks 2000 packets per
         // pair — it cannot be literally zero across all three pairs.
@@ -684,7 +955,7 @@ mod tests {
     #[test]
     fn matrix_serializes() {
         let trials = jittered_set(3, 50);
-        let m = all_pairs_sharded(&trials, 2);
+        let m = all_pairs_sharded(&trials, 2).unwrap();
         let json = serde_json::to_string(&m).unwrap();
         let back: KappaMatrix = serde_json::from_str(&json).unwrap();
         assert_eq!(back.labels, m.labels);

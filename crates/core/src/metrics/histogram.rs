@@ -7,6 +7,8 @@
 //! that: a zero bucket for |Δ| < 1 ns, then logarithmic buckets (a fixed
 //! number per decade) out to ±10⁹ ns, mirrored for negative deltas.
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 /// Sub-buckets per decade.
@@ -15,6 +17,60 @@ const SUBS: usize = 5;
 const DECADES: usize = 9;
 /// Buckets per sign: decades × subs.
 const PER_SIGN: usize = SUBS * DECADES;
+
+/// Bucket-edge bit patterns plus a per-binade index for O(1) binning.
+///
+/// `edges[k]` (for `k ≤ PER_SIGN`) is the smallest positive-f64 bit
+/// pattern whose [`DeltaHistogram::add`] position is `≥ k` — computed by
+/// bisecting the bit space against the *same* `log10`-based expression
+/// the scalar path uses, so the table-driven binning in
+/// [`DeltaHistogram::record_slice`] reproduces the scalar bucket for
+/// every finite input (for positive finite doubles the bit pattern
+/// orders exactly like the value). `base[e]` is the bucket count at the
+/// smallest pattern of biased exponent `e`; one binade spans
+/// `log10(2) * SUBS ≈ 1.5` positions, so at most two edges fall inside
+/// it and the per-sample refinement is exactly two integer compares. The
+/// two `u64::MAX` pads past `edges[PER_SIGN]` keep those probes in
+/// bounds without a branch.
+struct EdgeTable {
+    edges: [u64; PER_SIGN + 3],
+    base: [u8; 2048],
+}
+
+fn edge_table() -> &'static EdgeTable {
+    static TABLE: OnceLock<EdgeTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let raw_pos = |mag: f64| (mag.log10() * SUBS as f64).floor() as isize;
+        let mut edges = [u64::MAX; PER_SIGN + 3];
+        for (k, e) in edges.iter_mut().enumerate().take(PER_SIGN + 1) {
+            let (mut lo, mut hi) = (1.0f64.to_bits(), f64::MAX.to_bits());
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if raw_pos(f64::from_bits(mid)) >= k as isize {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            // The scalar path must agree at both sides of the boundary.
+            assert!(raw_pos(f64::from_bits(lo)) >= k as isize);
+            assert!(k == 0 || raw_pos(f64::from_bits(lo - 1)) < k as isize);
+            *e = lo;
+        }
+        let count_le =
+            |mb: u64| edges[1..=PER_SIGN].iter().filter(|&&e| e <= mb).count();
+        let mut base = [0u8; 2048];
+        for (e, b) in base.iter_mut().enumerate() {
+            let min = (e as u64) << 52;
+            let max = min | ((1u64 << 52) - 1);
+            let at_min = count_le(min);
+            // The two-probe refinement in `record_slice` relies on this.
+            assert!(count_le(max) - at_min <= 2, "binade {e} crosses > 2 edges");
+            *b = at_min as u8;
+        }
+        EdgeTable { edges, base }
+    })
+}
 
 /// A symmetric signed log histogram of deltas in nanoseconds.
 ///
@@ -77,6 +133,41 @@ impl DeltaHistogram {
         let idx = self.signed_index(delta_ns);
         self.counts[idx] += 1;
         self.total += 1;
+    }
+
+    /// Record a whole delta series — bucket-identical to calling
+    /// [`DeltaHistogram::add`] per element for every *finite* input (the
+    /// metric kernels only ever produce finite deltas).
+    ///
+    /// The scalar path takes a `log10` per sample; here the f64 exponent
+    /// indexes a per-binade bucket base and two branch-free integer
+    /// compares refine within the binade (see [`EdgeTable`]) — no libm
+    /// calls and no per-sample search.
+    pub fn record_slice(&mut self, deltas_ns: &[f64]) {
+        let t = edge_table();
+        for &d in deltas_ns {
+            let mag = d.abs();
+            let idx = if mag < 1.0 {
+                PER_SIGN // zero bucket
+            } else {
+                let mb = mag.to_bits();
+                let b = t.base[(mb >> 52) as usize] as usize;
+                let mut pos = b
+                    + usize::from(t.edges[b + 1] <= mb)
+                    + usize::from(t.edges[b + 2] <= mb);
+                if pos >= PER_SIGN {
+                    pos = PER_SIGN - 1;
+                    self.clamped += 1;
+                }
+                if d > 0.0 {
+                    PER_SIGN + 1 + pos
+                } else {
+                    PER_SIGN - 1 - pos
+                }
+            };
+            self.counts[idx] += 1;
+        }
+        self.total += deltas_ns.len() as u64;
     }
 
     /// Total samples recorded.
@@ -154,11 +245,15 @@ impl DeltaHistogram {
     }
 
     /// CSV rows `lo_ns,hi_ns,count,percent` (no header), skipping empty
-    /// leading/trailing buckets.
+    /// leading/trailing buckets. An all-zero histogram yields an explicit
+    /// comment marker instead of a spurious bucket-0 row.
     pub fn to_csv(&self) -> String {
+        if self.total == 0 {
+            return "# no samples\n".to_string();
+        }
         let b = self.buckets();
-        let first = b.iter().position(|&(_, _, c, _)| c > 0).unwrap_or(0);
-        let last = b.iter().rposition(|&(_, _, c, _)| c > 0).unwrap_or(0);
+        let first = b.iter().position(|&(_, _, c, _)| c > 0).expect("non-zero total");
+        let last = b.iter().rposition(|&(_, _, c, _)| c > 0).expect("non-zero total");
         let mut s = String::new();
         for &(lo, hi, c, pct) in &b[first..=last] {
             s.push_str(&format!("{lo:.3},{hi:.3},{c},{pct:.4}\n"));
@@ -167,11 +262,16 @@ impl DeltaHistogram {
     }
 
     /// A terminal rendering in the style of the paper's figures: one bar
-    /// per non-empty bucket, percent-scaled to `width` characters.
+    /// per non-empty bucket, percent-scaled to `width` characters. An
+    /// all-zero histogram renders an explicit empty marker instead of
+    /// presenting bucket 0 as populated.
     pub fn render_ascii(&self, width: usize) -> String {
+        if self.total == 0 {
+            return "(no samples)\n".to_string();
+        }
         let b = self.buckets();
-        let first = b.iter().position(|&(_, _, c, _)| c > 0).unwrap_or(0);
-        let last = b.iter().rposition(|&(_, _, c, _)| c > 0).unwrap_or(0);
+        let first = b.iter().position(|&(_, _, c, _)| c > 0).expect("non-zero total");
+        let last = b.iter().rposition(|&(_, _, c, _)| c > 0).expect("non-zero total");
         let maxpct = b
             .iter()
             .map(|&(_, _, _, p)| p)
@@ -276,6 +376,66 @@ mod tests {
         assert_eq!(h.fraction_within(10.0), 0.0);
         let _ = h.render_ascii(40);
         let _ = h.to_csv();
+    }
+
+    #[test]
+    fn empty_histogram_renders_explicit_marker() {
+        // The old render picked bucket 0 via unwrap_or(0) and printed it
+        // as if populated; an all-zero histogram must say so instead.
+        let h = DeltaHistogram::new();
+        assert_eq!(h.render_ascii(40), "(no samples)\n");
+        assert_eq!(h.to_csv(), "# no samples\n");
+        assert!(!h.render_ascii(40).contains(".."), "no bucket rows");
+        // One sample and the rows come back.
+        let h = DeltaHistogram::of([5.0]);
+        assert!(h.render_ascii(40).contains(".."));
+        assert!(h.to_csv().contains(','));
+    }
+
+    #[test]
+    fn record_slice_matches_scalar_add() {
+        // Sweep magnitudes across every decade, both signs, sub-ns and
+        // clamped extremes.
+        let mut deltas = vec![0.0, 0.25, -0.999, 1e12, -2e15];
+        let mut x = 1.0f64;
+        while x < 5e9 {
+            deltas.push(x);
+            deltas.push(-x);
+            deltas.push(x * 1.37);
+            x *= 1.9;
+        }
+        let mut scalar = DeltaHistogram::new();
+        for &d in &deltas {
+            scalar.add(d);
+        }
+        let mut bulk = DeltaHistogram::new();
+        bulk.record_slice(&deltas);
+        assert_eq!(scalar.counts, bulk.counts);
+        assert_eq!(scalar.total, bulk.total);
+        assert_eq!(scalar.clamped, bulk.clamped);
+    }
+
+    #[test]
+    fn record_slice_agrees_at_every_edge_neighborhood() {
+        // The exact bucket boundaries are where a table rebuilt from a
+        // different expression would drift: check both sides of all 46
+        // edges, positive and negative.
+        let mut deltas = Vec::new();
+        for &e in &edge_table().edges[..PER_SIGN + 1] {
+            for bits in [e - 1, e, e + 1] {
+                let v = f64::from_bits(bits);
+                deltas.push(v);
+                deltas.push(-v);
+            }
+        }
+        let mut scalar = DeltaHistogram::new();
+        for &d in &deltas {
+            scalar.add(d);
+        }
+        let mut bulk = DeltaHistogram::new();
+        bulk.record_slice(&deltas);
+        assert_eq!(scalar.counts, bulk.counts);
+        assert_eq!(scalar.clamped, bulk.clamped);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! The numerator is GapReplay's "IAT deviation"; the denominator is this
 //! paper's normalization contribution.
 
+use super::allpairs::TrialIndex;
 use super::matching::Matching;
 use super::trial::Trial;
 
@@ -79,6 +80,49 @@ pub(crate) fn iat_full_core(a: &Trial, b: &Trial, m: &Matching) -> IatResult {
 #[deprecated(note = "use metrics::PairAnalyzer (see DESIGN.md §12)")]
 pub fn iat_of(a: &Trial, b: &Trial) -> IatResult {
     iat_full_core(a, b, &Matching::build(a, b))
+}
+
+/// Arena kernel behind [`super::pair::PairAnalyzer`]'s indexed path —
+/// bit-identical to [`iat_full_core`], streaming the prebuilt gap series
+/// into a caller-owned scratch vector.
+///
+/// The reference accumulates `Σ|d|` in a `u128`, which the compiler will
+/// not vectorize. Here each `|d| < 2^64` is split into its low and high
+/// 32-bit halves and both are summed in independent `u64` lanes — exact,
+/// because `mc ≤ u32::MAX` terms of at most `2^32 − 1` each cannot
+/// overflow a `u64` — and recombined into the identical `u128` total
+/// after the loop. Same values, same order, autovectorizable shape.
+pub(crate) fn iat_arena(
+    a: &TrialIndex<'_>,
+    b: &TrialIndex<'_>,
+    m: &Matching,
+    deltas_ns: &mut Vec<f64>,
+) -> f64 {
+    deltas_ns.clear();
+    let mc = m.common();
+    if mc == 0 {
+        return 0.0;
+    }
+    deltas_ns.reserve(mc);
+    let ga = a.gaps();
+    let gb = b.gaps();
+    let (mut lo, mut hi) = (0u64, 0u64);
+    for p in &m.pairs {
+        let d = ga[p.a_idx] - gb[p.b_idx];
+        let ad = d.unsigned_abs();
+        lo += ad & 0xFFFF_FFFF;
+        hi += ad >> 32;
+        deltas_ns.push(d as f64 / 1000.0);
+    }
+    let num = ((hi as u128) << 32) + lo as u128;
+    // Identical degenerate-denominator semantics to the reference: see
+    // the comment in `iat_full_core`.
+    let denom = a.minmax_span_ps() as u128 + b.minmax_span_ps() as u128;
+    if mc <= 1 || denom == 0 {
+        0.0
+    } else {
+        (num as f64 / denom as f64).min(1.0)
+    }
 }
 
 #[cfg(test)]

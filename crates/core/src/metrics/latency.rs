@@ -19,6 +19,7 @@
 //! spike far to one side or two spikes symmetrically across 0", §7). The
 //! tests pin that behaviour.
 
+use super::allpairs::TrialIndex;
 use super::matching::Matching;
 use super::trial::Trial;
 
@@ -94,6 +95,73 @@ pub(crate) fn latency_full_core(a: &Trial, b: &Trial, m: &Matching) -> LatencyRe
 #[deprecated(note = "use metrics::PairAnalyzer (see DESIGN.md §12)")]
 pub fn latency_of(a: &Trial, b: &Trial) -> LatencyResult {
     latency_full_core(a, b, &Matching::build(a, b))
+}
+
+/// Arena kernel behind [`super::pair::PairAnalyzer`]'s indexed path —
+/// bit-identical to [`latency_full_core`], streaming the prebuilt dense
+/// timestamp series into a caller-owned scratch vector.
+///
+/// The reference does every subtraction in `i128`. When both trials'
+/// timestamps sit below `2^62` (every realistic capture: that is ~53
+/// days in picoseconds) each latency `l = t − t0` fits `i64`, the
+/// difference of two such fits `i64`, and `d as f64` rounds identically
+/// from `i64` and `i128` — so the fast path runs the whole loop in
+/// native 64-bit lanes with the same split-lane `u64` accumulation as
+/// the IAT kernel. Trials beyond the gate fall back to the exact `i128`
+/// arithmetic of the reference.
+pub(crate) fn latency_arena(
+    a: &TrialIndex<'_>,
+    b: &TrialIndex<'_>,
+    m: &Matching,
+    deltas_ns: &mut Vec<f64>,
+) -> f64 {
+    deltas_ns.clear();
+    let mc = m.common();
+    if mc == 0 {
+        return 0.0;
+    }
+    deltas_ns.reserve(mc);
+    const FAST_MAX: u64 = 1 << 62;
+    let num: u128 = if a.max_time_ps() < FAST_MAX && b.max_time_ps() < FAST_MAX {
+        let ta = a.times();
+        let tb = b.times();
+        let ta0 = a.start_ps() as i64;
+        let tb0 = b.start_ps() as i64;
+        let (mut lo, mut hi) = (0u64, 0u64);
+        for p in &m.pairs {
+            let la = ta[p.a_idx] as i64 - ta0;
+            let lb = tb[p.b_idx] as i64 - tb0;
+            let d = la - lb;
+            let ad = d.unsigned_abs();
+            lo += ad & 0xFFFF_FFFF;
+            hi += ad >> 32;
+            deltas_ns.push(d as f64 / 1000.0);
+        }
+        ((hi as u128) << 32) + lo as u128
+    } else {
+        let ta = a.times();
+        let tb = b.times();
+        let ta0 = a.start_ps() as i128;
+        let tb0 = b.start_ps() as i128;
+        let mut num: u128 = 0;
+        for p in &m.pairs {
+            let la = ta[p.a_idx] as i128 - ta0;
+            let lb = tb[p.b_idx] as i128 - tb0;
+            let d = la - lb;
+            num += d.unsigned_abs();
+            deltas_ns.push(d as f64 / 1000.0);
+        }
+        num
+    };
+    // Identical normalizer and degenerate-case semantics to the
+    // reference: see the comment in `latency_full_core`.
+    let reach = (a.minmax_span_ps() as i128).max(b.minmax_span_ps() as i128);
+    let denom = mc as i128 * reach;
+    if mc <= 1 || denom <= 0 {
+        0.0
+    } else {
+        (num as f64 / denom as f64).min(1.0)
+    }
 }
 
 #[cfg(test)]

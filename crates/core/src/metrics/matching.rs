@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use choir_packet::ident::PacketId;
 
+use super::allpairs::TrialIndex;
 use super::trial::Trial;
 
 /// One common packet: its position in each trial.
@@ -74,6 +75,39 @@ impl Matching {
     /// Packets of B that have no partner in A (extra/corrupted in B).
     pub fn extra_in_b(&self) -> usize {
         self.b_len - self.common()
+    }
+}
+
+/// Occurrence-wise matching streamed from two prebuilt arenas —
+/// bit-identical to [`Matching::build`] on the underlying trials.
+///
+/// The reference consumes per-identity queues front to back; here the
+/// queue state is implicit: B's k-th occurrence of an identity (its
+/// precomputed `occ` rank) pairs with A's k-th occurrence (the k-th entry
+/// of A's group extent), so the whole scan is one table probe plus two
+/// flat-slice reads per B packet — no per-pair allocation at all.
+pub(crate) fn matching_arena(a: &TrialIndex<'_>, b: &TrialIndex<'_>) -> Matching {
+    let mut pairs = Vec::with_capacity(a.len().min(b.len()));
+    let a_pos = a.positions();
+    let a_start = a.group_start();
+    let b_occ = b.occ();
+    for (j, o) in b.trial().observations().iter().enumerate() {
+        if let Some(g) = a.find(o.id) {
+            let s = a_start[g as usize] as usize;
+            let e = a_start[g as usize + 1] as usize;
+            let k = b_occ[j] as usize;
+            if k < e - s {
+                pairs.push(MatchedPair {
+                    a_idx: a_pos[s + k] as usize,
+                    b_idx: j,
+                });
+            }
+        }
+    }
+    Matching {
+        pairs,
+        a_len: a.len(),
+        b_len: b.len(),
     }
 }
 

@@ -34,15 +34,16 @@ pub mod uniqueness;
 pub mod windowed;
 
 pub use allpairs::{
-    all_pairs_serial, all_pairs_serial_with, all_pairs_sharded, all_pairs_sharded_with,
-    EngineStats, KappaMatrix, MatrixSummary, TrialIndex,
+    all_pairs_blocked_with, all_pairs_serial, all_pairs_serial_with, all_pairs_sharded,
+    all_pairs_sharded_with, default_block_size, EngineStats, IndexError, KappaMatrix,
+    MatrixSummary, TrialIndex,
 };
 pub use gapreplay::{gapreplay_metrics, GapReplayMetrics};
 pub use histogram::DeltaHistogram;
 pub use kappa::{kappa_from_components, ConsistencyMetrics, KappaBounds, KappaConfig, Scaling};
 pub use matching::Matching;
 pub use ordering::EditScriptStats;
-pub use pair::PairAnalyzer;
+pub use pair::{PairAnalyzer, PairScratch};
 pub use report::{
     trial_label, RecoveryReport, ReportError, RunReport, SimStatsReport, StageTimings,
     StreamReport, StreamRunTrail, TrialComparison,

@@ -259,6 +259,115 @@ pub(crate) fn crossing_count(
     k_prefix + k_suffix + pend_a_below + pend_b_below
 }
 
+/// Reusable workspace for [`ordering_arena`]: the rank keys, the rank
+/// permutation, the Fenwick tree, the traceback parents, and the
+/// membership mask. Cleared and resized per pair, so a worker analyzing
+/// thousands of pairs allocates these once at steady state.
+#[derive(Debug, Default)]
+pub struct OrderScratch {
+    keys: Vec<u64>,
+    seq: Vec<u32>,
+    tree: Vec<(u32, u64, u32)>,
+    parent: Vec<u32>,
+    member: Vec<bool>,
+}
+
+/// Scratch-backed ordering kernel — bit-identical to [`ordering_core`].
+///
+/// Two mechanical changes, no arithmetic ones: (1) the A-rank sort runs
+/// over packed `(a_idx << 32) | b_rank` keys in one flat `u64` sort —
+/// `a_idx` is unique within a matching, so the composite order equals the
+/// reference's sort-by-`a_idx`; (2) the Fenwick tree, parents, and
+/// membership mask live in the caller's [`OrderScratch`] instead of fresh
+/// allocations, with the tuple index narrowed to `u32` (valid since
+/// `mc ≤ u32::MAX`; the index never participates in a comparison). The
+/// query/update/best tie-break rules are copied verbatim from
+/// `lis_membership`, so the selected subsequence — not just its length —
+/// is identical.
+pub(crate) fn ordering_arena(m: &Matching, s: &mut OrderScratch) -> OrderingResult {
+    let mc = m.common();
+    if mc <= 1 {
+        return OrderingResult {
+            o: 0.0,
+            lcs_len: mc,
+            displacements: Vec::new(),
+        };
+    }
+    let OrderScratch { keys, seq, tree, parent, member } = s;
+
+    keys.clear();
+    keys.reserve(mc);
+    for (k, p) in m.pairs.iter().enumerate() {
+        keys.push(((p.a_idx as u64) << 32) | k as u64);
+    }
+    keys.sort_unstable();
+    seq.clear();
+    seq.resize(mc, 0);
+    for (a_rank, &key) in keys.iter().enumerate() {
+        seq[(key & 0xFFFF_FFFF) as usize] = a_rank as u32;
+    }
+
+    const EMPTY: (u32, u64, u32) = (0, 0, u32::MAX);
+    tree.clear();
+    tree.resize(mc + 1, EMPTY);
+    parent.clear();
+    parent.resize(mc, u32::MAX);
+    member.clear();
+    member.resize(mc, false);
+
+    let mut best = EMPTY;
+    for (i, &v) in seq.iter().enumerate() {
+        let w = (v as i64 - i as i64).unsigned_abs();
+        let mut pred = EMPTY;
+        let mut t = v as usize;
+        while t > 0 {
+            if tree[t].0 > pred.0 || (tree[t].0 == pred.0 && tree[t].1 > pred.1) {
+                pred = tree[t];
+            }
+            t &= t - 1;
+        }
+        let len = pred.0 + 1;
+        let weight = pred.1 + w;
+        parent[i] = pred.2;
+        let val = (len, weight, i as u32);
+        let mut t = v as usize + 1;
+        while t <= mc {
+            if val.0 > tree[t].0 || (val.0 == tree[t].0 && val.1 > tree[t].1) {
+                tree[t] = val;
+            }
+            t += t & t.wrapping_neg();
+        }
+        if len > best.0 || (len == best.0 && weight > best.1) {
+            best = val;
+        }
+    }
+
+    let mut cur = best.2;
+    while cur != u32::MAX {
+        member[cur as usize] = true;
+        cur = parent[cur as usize];
+    }
+    let lcs_len = member.iter().filter(|&&b| b).count();
+    debug_assert_eq!(lcs_len as u32, best.0, "traceback length mismatch");
+
+    let mut displacements = Vec::with_capacity(mc - lcs_len);
+    let mut num: u128 = 0;
+    for (b_rank, (&a_rank, &kept)) in seq.iter().zip(member.iter()).enumerate() {
+        if !kept {
+            let d = a_rank as i64 - b_rank as i64;
+            displacements.push(d);
+            num += d.unsigned_abs() as u128;
+        }
+    }
+
+    let denom = (mc as u128 * (mc as u128 + 1)) / 2;
+    OrderingResult {
+        o: num as f64 / denom as f64,
+        lcs_len,
+        displacements,
+    }
+}
+
 /// Compute the ordering metric from a prebuilt matching.
 #[deprecated(note = "use metrics::PairAnalyzer (see DESIGN.md §12)")]
 pub fn ordering(m: &Matching) -> OrderingResult {

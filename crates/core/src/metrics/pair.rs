@@ -30,18 +30,35 @@
 
 use std::time::Instant;
 
-use super::allpairs::{
-    iat_full_indexed_core, latency_full_indexed_core, matching_indexed_core, TrialIndex,
-};
+use super::allpairs::TrialIndex;
 use super::histogram::DeltaHistogram;
-use super::iat::{iat_full_core, IatResult};
+use super::iat::{iat_arena, iat_full_core, IatResult};
 use super::kappa::{ConsistencyMetrics, KappaConfig};
-use super::latency::{latency_full_core, LatencyResult};
-use super::matching::Matching;
-use super::ordering::ordering_core;
-use super::report::{abs_percentiles_ns, StageTimings, TrialComparison};
+use super::latency::{latency_arena, latency_full_core, LatencyResult};
+use super::matching::{matching_arena, Matching};
+use super::ordering::{ordering_arena, ordering_core, OrderScratch};
+use super::report::{abs_percentiles_ns, abs_percentiles_ns_bits, StageTimings, TrialComparison};
 use super::trial::Trial;
 use super::uniqueness::uniqueness_core;
+
+/// Reusable per-worker workspace for the arena analysis path: the delta
+/// series, the percentile sort keys, and the ordering kernel's scratch.
+/// One `PairScratch` per worker thread means zero steady-state heap
+/// allocation per pair beyond the returned report itself.
+#[derive(Debug, Default)]
+pub struct PairScratch {
+    pub(crate) iat_deltas: Vec<f64>,
+    pub(crate) latency_deltas: Vec<f64>,
+    pub(crate) sort_bits: Vec<u64>,
+    pub(crate) order: OrderScratch,
+}
+
+impl PairScratch {
+    /// An empty workspace; buffers grow to the largest pair analyzed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Where a pair's observations come from: borrowed trials (the matching
 /// is built from scratch) or prebuilt [`TrialIndex`]es (the sharded
@@ -102,21 +119,29 @@ impl<'t> PairAnalyzer<'t> {
     fn build_matching(&self) -> Matching {
         match self.source {
             Source::Trials { a, b } => Matching::build(a, b),
-            Source::Indexed { a, b } => matching_indexed_core(a, b),
+            Source::Indexed { a, b } => matching_arena(a, b),
         }
     }
 
     fn latency(&self, m: &Matching) -> LatencyResult {
         match self.source {
             Source::Trials { a, b } => latency_full_core(a, b, m),
-            Source::Indexed { a, b } => latency_full_indexed_core(a, b, m),
+            Source::Indexed { a, b } => {
+                let mut deltas_ns = Vec::new();
+                let l = latency_arena(a, b, m, &mut deltas_ns);
+                LatencyResult { l, deltas_ns }
+            }
         }
     }
 
     fn iat(&self, m: &Matching) -> IatResult {
         match self.source {
             Source::Trials { a, b } => iat_full_core(a, b, m),
-            Source::Indexed { a, b } => iat_full_indexed_core(a, b, m),
+            Source::Indexed { a, b } => {
+                let mut deltas_ns = Vec::new();
+                let i = iat_arena(a, b, m, &mut deltas_ns);
+                IatResult { i, deltas_ns }
+            }
         }
     }
 
@@ -150,7 +175,30 @@ impl<'t> PairAnalyzer<'t> {
 
     /// The complete comparison: metrics, drop/extra/moved counts,
     /// histograms, percentiles, edit-script statistics, stage timings.
-    pub fn analyze(mut self) -> TrialComparison {
+    ///
+    /// Indexed sources run the arena kernels (through a one-shot
+    /// [`PairScratch`]); plain-trial sources run the unchanged uncached
+    /// reference pipeline. Both produce bit-identical metric output.
+    pub fn analyze(self) -> TrialComparison {
+        match self.source {
+            Source::Trials { .. } => self.analyze_uncached(),
+            Source::Indexed { .. } => self.analyze_arena(&mut PairScratch::new()),
+        }
+    }
+
+    /// [`PairAnalyzer::analyze`] reusing a caller-owned workspace — the
+    /// sharded engine's hot path, where each worker keeps one scratch for
+    /// its whole run.
+    pub fn analyze_with_scratch(self, scratch: &mut PairScratch) -> TrialComparison {
+        match self.source {
+            Source::Trials { .. } => self.analyze_uncached(),
+            Source::Indexed { .. } => self.analyze_arena(scratch),
+        }
+    }
+
+    /// The uncached reference pipeline — byte-for-byte the pre-arena
+    /// `analyze` body, kept intact as the bit-identity ground truth.
+    fn analyze_uncached(mut self) -> TrialComparison {
         // One span per pair comparison; inside the sharded engine each
         // worker thread roots its own "pair" spans, so the aggregate
         // count doubles as a pairs-analyzed tally in the span tree.
@@ -175,6 +223,66 @@ impl<'t> PairAnalyzer<'t> {
         let within = super::stats::fraction_within(ia.deltas_ns.iter().copied(), 10.0);
         let iat_abs_percentiles_ns = abs_percentiles_ns(&ia.deltas_ns);
         let latency_abs_percentiles_ns = abs_percentiles_ns(&lat.deltas_ns);
+        let t5 = Instant::now();
+
+        TrialComparison {
+            label: self.label,
+            metrics,
+            a_len: m.a_len,
+            b_len: m.b_len,
+            common: m.common(),
+            missing: m.missing_in_b(),
+            extra: m.extra_in_b(),
+            moved: ord.moved(),
+            iat_within_10ns: within,
+            iat_abs_percentiles_ns,
+            latency_abs_percentiles_ns,
+            edit_stats: ord.stats(),
+            iat_hist,
+            latency_hist,
+            timings: StageTimings {
+                match_ns: (t1 - t0).as_nanos() as u64,
+                order_ns: (t2 - t1).as_nanos() as u64,
+                latency_ns: (t3 - t2).as_nanos() as u64,
+                iat_ns: (t4 - t3).as_nanos() as u64,
+                histogram_ns: (t5 - t4).as_nanos() as u64,
+            },
+        }
+    }
+
+    /// The arena pipeline: same stages in the same order as
+    /// [`PairAnalyzer::analyze_uncached`], every kernel swapped for its
+    /// bit-identical arena/scratch counterpart — flat-slice matching,
+    /// scratch-backed LIS, split-lane latency/IAT accumulation, bulk
+    /// table-driven histograms, and bit-key percentile sorts.
+    fn analyze_arena(mut self, s: &mut PairScratch) -> TrialComparison {
+        let Source::Indexed { a, b } = self.source else {
+            unreachable!("arena path requires an indexed source")
+        };
+        let _span = crate::obs::span("pair");
+        let t0 = Instant::now();
+        let m = match self.matching.take() {
+            Some(m) => m,
+            None => matching_arena(a, b),
+        };
+        let t1 = Instant::now();
+        let u = uniqueness_core(&m);
+        let ord = ordering_arena(&m, &mut s.order);
+        let t2 = Instant::now();
+        let l = latency_arena(a, b, &m, &mut s.latency_deltas);
+        let t3 = Instant::now();
+        let i = iat_arena(a, b, &m, &mut s.iat_deltas);
+        let t4 = Instant::now();
+        let metrics = self.cfg.combine(u, ord.o, l, i);
+
+        let mut iat_hist = DeltaHistogram::new();
+        iat_hist.record_slice(&s.iat_deltas);
+        let mut latency_hist = DeltaHistogram::new();
+        latency_hist.record_slice(&s.latency_deltas);
+        let within = super::stats::fraction_within(s.iat_deltas.iter().copied(), 10.0);
+        let iat_abs_percentiles_ns = abs_percentiles_ns_bits(&s.iat_deltas, &mut s.sort_bits);
+        let latency_abs_percentiles_ns =
+            abs_percentiles_ns_bits(&s.latency_deltas, &mut s.sort_bits);
         let t5 = Instant::now();
 
         TrialComparison {
@@ -256,13 +364,40 @@ mod tests {
     #[test]
     fn indexed_source_matches_trial_source_bitwise() {
         let (a, b) = jittered_pair(250);
-        let (ia, ib) = (TrialIndex::build(&a), TrialIndex::build(&b));
+        let (ia, ib) = (
+            TrialIndex::build(&a).unwrap(),
+            TrialIndex::build(&b).unwrap(),
+        );
         let direct = PairAnalyzer::new(&a, &b).analyze();
         let indexed = PairAnalyzer::from_indexes(&ia, &ib).analyze();
         assert_eq!(direct.metrics.kappa.to_bits(), indexed.metrics.kappa.to_bits());
         assert_eq!(direct.metrics.o.to_bits(), indexed.metrics.o.to_bits());
         assert_eq!(direct.iat_within_10ns.to_bits(), indexed.iat_within_10ns.to_bits());
         assert_eq!(direct.edit_stats, indexed.edit_stats);
+    }
+
+    #[test]
+    fn scratch_reuse_across_pairs_stays_bit_identical() {
+        // A dirty scratch (sized by a big pair, then fed a small one, then
+        // an empty one) must never leak state between analyses.
+        let (a, b) = jittered_pair(300);
+        let (c, d) = jittered_pair(40);
+        let empty = Trial::new();
+        let idx: Vec<TrialIndex> = [&a, &b, &c, &d, &empty]
+            .into_iter()
+            .map(|t| TrialIndex::build(t).unwrap())
+            .collect();
+        let mut scratch = PairScratch::new();
+        for (x, y) in [(0, 1), (2, 3), (0, 4), (4, 4), (1, 2)] {
+            let fresh = PairAnalyzer::from_indexes(&idx[x], &idx[y]).analyze();
+            let reused =
+                PairAnalyzer::from_indexes(&idx[x], &idx[y]).analyze_with_scratch(&mut scratch);
+            assert_eq!(fresh.metrics.kappa.to_bits(), reused.metrics.kappa.to_bits());
+            assert_eq!(fresh.iat_abs_percentiles_ns, reused.iat_abs_percentiles_ns);
+            assert_eq!(fresh.latency_abs_percentiles_ns, reused.latency_abs_percentiles_ns);
+            assert_eq!(fresh.edit_stats, reused.edit_stats);
+            assert_eq!(fresh.iat_hist.total(), reused.iat_hist.total());
+        }
     }
 
     #[test]

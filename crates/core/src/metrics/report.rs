@@ -99,6 +99,31 @@ pub(crate) fn abs_percentiles_ns(deltas: &[f64]) -> (f64, f64, f64) {
     )
 }
 
+/// [`abs_percentiles_ns`] through a caller-owned bit-key scratch —
+/// bit-identical for finite deltas (the only kind the kernels emit).
+///
+/// `|d|` is non-negative, and for non-negative finite doubles the IEEE
+/// bit pattern orders exactly like the value (with `abs` collapsing
+/// `-0.0` onto `+0.0`), so sorting the `u64` bit patterns with the
+/// radix-friendly integer `sort_unstable` replaces the comparator-driven
+/// float sort. The nearest-rank pick replicates
+/// [`super::stats::percentile_sorted`]'s formula on the sorted keys.
+pub(crate) fn abs_percentiles_ns_bits(deltas: &[f64], keys: &mut Vec<u64>) -> (f64, f64, f64) {
+    if deltas.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    keys.clear();
+    keys.reserve(deltas.len());
+    keys.extend(deltas.iter().map(|d| d.abs().to_bits()));
+    keys.sort_unstable();
+    let sorted: &[u64] = keys;
+    let pick = |p: f64| {
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        f64::from_bits(sorted[rank.clamp(1, sorted.len()) - 1])
+    };
+    (pick(50.0), pick(90.0), pick(99.0))
+}
+
 /// Positional trial label in spreadsheet style: 0 → "A", 25 → "Z",
 /// 26 → "AA", 27 → "AB", … — unbounded, unlike the fixed table it
 /// replaces (which fell back to a duplicate `"?"` past its last entry).

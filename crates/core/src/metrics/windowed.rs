@@ -110,10 +110,16 @@ pub fn windowed_kappa_with(
 }
 
 /// The window with the worst κ, if any.
+///
+/// Uses [`f64::total_cmp`]: the engine never produces NaN, but
+/// `WindowScore` is fully public, so a hand-constructed or deserialized
+/// NaN cell must degrade deterministically (NaN orders above every real
+/// κ, so it is never picked while a real window exists) instead of
+/// panicking the whole report.
 pub fn worst_window(scores: &[WindowScore]) -> Option<&WindowScore> {
     scores
         .iter()
-        .min_by(|x, y| x.metrics.kappa.partial_cmp(&y.metrics.kappa).expect("kappa not NaN"))
+        .min_by(|x, y| x.metrics.kappa.total_cmp(&y.metrics.kappa))
 }
 
 #[cfg(test)]
@@ -137,6 +143,31 @@ mod tests {
             assert_eq!(s.metrics.kappa, 1.0, "window {}", s.index);
             assert_eq!(s.common, 100);
         }
+    }
+
+    #[test]
+    fn worst_window_tolerates_nan_scores() {
+        // WindowScore is fully public: a hand-built (or deserialized) NaN
+        // κ used to panic worst_window via partial_cmp. It must now pick
+        // the worst *real* window deterministically, and only surface a
+        // NaN when no finite window exists.
+        let score = |index: usize, kappa: f64| {
+            let mut metrics =
+                crate::metrics::kappa::KappaConfig::paper().combine(0.0, 0.0, 0.0, 0.0);
+            metrics.kappa = kappa;
+            WindowScore {
+                index,
+                a_range: (0, 0),
+                metrics,
+                common: 0,
+                bounds: None,
+            }
+        };
+        let scores = vec![score(0, 0.9), score(1, f64::NAN), score(2, 0.4)];
+        assert_eq!(worst_window(&scores).unwrap().index, 2);
+        let all_nan = vec![score(0, f64::NAN), score(1, f64::NAN)];
+        assert!(worst_window(&all_nan).unwrap().metrics.kappa.is_nan());
+        assert!(worst_window(&[]).is_none());
     }
 
     #[test]

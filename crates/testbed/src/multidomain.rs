@@ -528,7 +528,9 @@ pub fn run_multidomain(cfg: &MultiDomainConfig, tuning: SimTuning) -> MultiDomai
     let analysis_shards = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let (matrix, _engine) = all_pairs_sharded_with(&trials, analysis_shards, &KappaConfig::paper());
+    let (matrix, _engine) =
+        all_pairs_sharded_with(&trials, analysis_shards, &KappaConfig::paper())
+            .expect("fleet trials fit the u32 index limit");
     let comparisons: Vec<TrialComparison> = matrix.baseline_row();
 
     let mut degradation = choir_core::replay::DegradationReport::default();

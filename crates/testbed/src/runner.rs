@@ -734,7 +734,8 @@ fn run_experiment_inner(
     let shards = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let (matrix, _engine) = all_pairs_sharded_with(&trials, shards, &KappaConfig::paper());
+    let (matrix, _engine) = all_pairs_sharded_with(&trials, shards, &KappaConfig::paper())
+        .expect("captured trials fit the u32 index limit");
     // The paper's tables are the baseline row (runs B, C, … vs run A).
     let comparisons: Vec<TrialComparison> = matrix.baseline_row();
 

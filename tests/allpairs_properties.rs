@@ -9,9 +9,10 @@
 #![allow(deprecated)]
 
 use choir::metrics::allpairs::{
-    all_pairs_serial, all_pairs_sharded, iat_full_indexed, latency_full_indexed, matching_indexed,
-    TrialIndex,
+    all_pairs_blocked_with, all_pairs_serial, all_pairs_sharded, iat_full_indexed,
+    latency_full_indexed, matching_indexed, TrialIndex,
 };
+use choir::metrics::KappaConfig;
 use choir::metrics::iat::iat_full;
 use choir::metrics::latency::latency_full;
 use choir::metrics::matching::Matching;
@@ -71,7 +72,7 @@ proptest! {
     ) {
         let reference = all_pairs_serial(&trials);
         for &shards in &[1usize, 2, 8] {
-            let m = all_pairs_sharded(&trials, shards);
+            let m = all_pairs_sharded(&trials, shards).unwrap();
             prop_assert_eq!(&m.labels, &reference.labels);
             prop_assert_eq!(m.cells.len(), reference.cells.len());
             for (x, y) in m.cells.iter().zip(&reference.cells) {
@@ -87,9 +88,35 @@ proptest! {
     }
 
     #[test]
+    fn blocked_matrix_is_bit_identical_to_serial(
+        trials in arb_trials(7, 30),
+        block in 1usize..10,
+        shards in 1usize..5,
+    ) {
+        // The cache-blocked scheduler must agree with the serial
+        // reference at every block size and worker count, including
+        // blocks larger than the trial count.
+        let reference = all_pairs_serial(&trials);
+        let (m, engine) =
+            all_pairs_blocked_with(&trials, shards, block, &KappaConfig::paper()).unwrap();
+        prop_assert!(engine.block_size >= 1);
+        prop_assert_eq!(&m.labels, &reference.labels);
+        prop_assert_eq!(m.cells.len(), reference.cells.len());
+        for (x, y) in m.cells.iter().zip(&reference.cells) {
+            prop_assert!(
+                cells_bit_identical(x, y),
+                "block={} shards={} cell {:?} != serial",
+                block,
+                shards,
+                x.label
+            );
+        }
+    }
+
+    #[test]
     fn indexed_matching_equals_reference(a in arb_trial(40), b in arb_trial(40)) {
-        let ia = TrialIndex::build(&a);
-        let ib = TrialIndex::build(&b);
+        let ia = TrialIndex::build(&a).unwrap();
+        let ib = TrialIndex::build(&b).unwrap();
         let reference = Matching::build(&a, &b);
         let indexed = matching_indexed(&ia, &ib);
         prop_assert_eq!(indexed.a_len, reference.a_len);
@@ -99,8 +126,8 @@ proptest! {
 
     #[test]
     fn indexed_metrics_equal_uncached(a in arb_trial(40), b in arb_trial(40)) {
-        let ia = TrialIndex::build(&a);
-        let ib = TrialIndex::build(&b);
+        let ia = TrialIndex::build(&a).unwrap();
+        let ib = TrialIndex::build(&b).unwrap();
         let m = Matching::build(&a, &b);
 
         let iat_ref = iat_full(&a, &b, &m);
@@ -122,7 +149,7 @@ proptest! {
 
     #[test]
     fn matrix_summary_brackets_every_cell(trials in arb_trials(6, 30)) {
-        let m = all_pairs_sharded(&trials, 4);
+        let m = all_pairs_sharded(&trials, 4).unwrap();
         if let Some(s) = m.summary() {
             prop_assert_eq!(s.trials, trials.len());
             prop_assert_eq!(s.pairs, m.cells.len());
@@ -142,7 +169,7 @@ proptest! {
         prop_assert!(!m.i.is_nan() && !m.l.is_nan());
         prop_assert!(!m.kappa.is_nan());
         let pair = [a, b];
-        let matrix = all_pairs_sharded(&pair, 2);
+        let matrix = all_pairs_sharded(&pair, 2).unwrap();
         prop_assert!(!matrix.kappa(0, 1).is_nan());
     }
 }
