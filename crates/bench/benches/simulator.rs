@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use choir_testbed::{run_experiment, EnvKind, ExperimentConfig};
+use choir_testbed::{EnvKind, Experiment, ExperimentConfig};
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_pipeline");
@@ -23,7 +23,7 @@ fn bench_pipeline(c: &mut Criterion) {
             BenchmarkId::new("local_single", packets),
             &cfg,
             |bench, cfg| {
-                bench.iter(|| run_experiment(cfg).events);
+                bench.iter(|| Experiment::new(cfg.clone()).run().events);
             },
         );
     }
@@ -43,7 +43,7 @@ fn bench_noisy_environment(c: &mut Criterion) {
     };
     g.throughput(Throughput::Elements(cfg.packet_count() * 3));
     g.bench_function("shared40_noisy", |bench| {
-        bench.iter(|| run_experiment(&cfg).events);
+        bench.iter(|| Experiment::new(cfg.clone()).run().events);
     });
     g.finish();
 }

@@ -39,6 +39,15 @@
 //!                      the supervisor, and salvage reading back exactly
 //!                      the records preceding an injected truncation
 //!                      (writes BENCH_recover.json)
+//!   service            κ-as-a-service daemon: N tenants x M streams
+//!                      driven over real sockets, hard-killed and
+//!                      restarted mid-ingest, every served κ (live
+//!                      snapshots, finals, matrix cells) hard-gated
+//!                      bit-identical to post-hoc batch analysis, the
+//!                      trial-store residency gated under its budget
+//!                      while evictions churn, sustained-ingest curve
+//!                      recorded (writes BENCH_service.json; --runs N
+//!                      sets the tenant count)
 //!
 //! `--obs` (matrix / pipeline / stream / recover) additionally exercises the in-tree
 //! observability layer: an obs-enabled pass must stay bit-identical to
@@ -166,6 +175,7 @@ fn main() {
         "pipeline" => pipeline(&opts),
         "stream" => stream(&opts),
         "recover" => recover(&opts),
+        "service" => service(&opts),
         "throughput" => throughput(),
         "chaos" => chaos(&opts),
         "calibrate" => calibrate(&opts),
@@ -202,11 +212,12 @@ fn run(kind: EnvKind, opts: &Opts) -> ExperimentOutput {
     if let Some(r) = opts.runs {
         profile.runs = r;
     }
-    let out = choir_testbed::run_experiment(&choir_testbed::ExperimentConfig {
+    let out = choir_testbed::Experiment::new(choir_testbed::ExperimentConfig {
         profile,
         scale: opts.scale,
         seed: opts.seed,
-    });
+    })
+    .run();
     write_json(kind, &out, opts);
     out
 }
@@ -363,11 +374,12 @@ fn matrix(opts: &Opts) {
         opts.scale,
         opts.seed
     );
-    let out = choir_testbed::run_experiment(&choir_testbed::ExperimentConfig {
+    let out = choir_testbed::Experiment::new(choir_testbed::ExperimentConfig {
         profile,
         scale: opts.scale,
         seed: opts.seed,
-    });
+    })
+    .run();
     let trials = &out.trials;
     let n = trials.len();
     let pairs = pair_count(n);
@@ -569,7 +581,7 @@ fn pipeline(opts: &Opts) {
     use choir_core::metrics::report::analyze_with;
     use choir_core::metrics::KappaConfig;
     use choir_netsim::QueueKind;
-    use choir_testbed::{run_experiment_tuned, sim_stats_report, SimTuning};
+    use choir_testbed::{sim_stats_report, Experiment, SimTuning};
     use std::time::Instant;
 
     let mut profile = EnvKind::LocalSingle.profile();
@@ -589,7 +601,7 @@ fn pipeline(opts: &Opts) {
 
     let timed = |tuning: SimTuning| {
         let t = Instant::now();
-        let out = run_experiment_tuned(&cfg, tuning);
+        let out = Experiment::new(cfg.clone()).tuning(tuning).run();
         (t.elapsed().as_nanos() as u64, out)
     };
 
@@ -613,7 +625,7 @@ fn pipeline(opts: &Opts) {
         ..SimTuning::default()
     });
     // The benchmark proper is the capture pipeline; the all-pairs κ
-    // analysis appended by run_experiment is path-independent work that
+    // analysis appended by Experiment::run is path-independent work that
     // `repro matrix` benchmarks on its own.
     let old_ns = old_reruns
         .iter()
@@ -950,11 +962,12 @@ fn stream(opts: &Opts) {
         opts.scale,
         opts.seed
     );
-    let out = choir_testbed::run_experiment(&choir_testbed::ExperimentConfig {
+    let out = choir_testbed::Experiment::new(choir_testbed::ExperimentConfig {
         profile,
         scale: opts.scale,
         seed: opts.seed,
-    });
+    })
+    .run();
     let trials = &out.trials;
     let n = trials.len();
     let per_trial = trials[0].len();
@@ -1385,7 +1398,7 @@ fn stream(opts: &Opts) {
 ///
 /// For every (kill-point density × checkpoint cadence) cell the full
 /// record-then-replay pipeline runs under
-/// [`choir_testbed::run_experiment_streaming_supervised`], with tap
+/// a supervised streaming [`choir_testbed::Experiment`], with tap
 /// panics injected on a fixed cadence and the retained capture corrupted
 /// at a seeded offset afterwards. Three hard gates, all enforced with
 /// `assert!` so a violation exits non-zero:
@@ -1403,10 +1416,7 @@ fn stream(opts: &Opts) {
 fn recover(opts: &Opts) {
     use choir_capture::PcapChunkReader;
     use choir_packet::pcap::{parse_pcap, PcapRecord, PcapWriter};
-    use choir_testbed::{
-        run_experiment_streaming, run_experiment_streaming_supervised, SimTuning, StreamingMode,
-        SupervisorConfig,
-    };
+    use choir_testbed::{Experiment, StreamingMode, SupervisorConfig};
 
     // Injected tap panics are part of the experiment: silence their
     // default-hook backtrace spam but delegate anything unexpected.
@@ -1449,7 +1459,7 @@ fn recover(opts: &Opts) {
     );
 
     // The uninterrupted reference every swept cell must reproduce bitwise.
-    let reference = run_experiment_streaming(&cfg, SimTuning::default(), mode);
+    let reference = Experiment::new(cfg.clone()).streaming(mode).run();
     let ref_stream = reference.report.stream.as_ref().expect("reference trail");
     let per_trial = reference.trials[0].len();
     // Packets tapped per sweep cell: every admitted packet of runs B..,
@@ -1490,7 +1500,7 @@ fn recover(opts: &Opts) {
                 panic_every,
                 corrupt_capture_seed: Some(opts.seed ^ ((ci * 3 + ki) as u64 + 1)),
             };
-            let out = run_experiment_streaming_supervised(&cfg, SimTuning::default(), mode, sup);
+            let out = Experiment::new(cfg.clone()).streaming(mode).supervised(sup).run();
             let rec = out.report.recovery.expect("supervised run attaches recovery");
 
             // -- gate 2: every fault survived, none escaped ------------
@@ -1651,7 +1661,7 @@ fn recover(opts: &Opts) {
             panic_every,
             corrupt_capture_seed: Some(opts.seed),
         };
-        let out = run_experiment_streaming_supervised(&cfg, SimTuning::default(), mode, sup);
+        let out = Experiment::new(cfg.clone()).streaming(mode).supervised(sup).run();
         let s = out.report.stream.as_ref().expect("supervised trail");
         for (a, b) in s.runs.iter().zip(ref_stream.runs.iter()) {
             assert_eq!(
@@ -1699,6 +1709,361 @@ fn recover(opts: &Opts) {
     let body = serde_json::to_string_pretty(&bench).expect("serialize bench record");
     std::fs::write("BENCH_recover.json", body).expect("write BENCH_recover.json");
     println!("   [wrote BENCH_recover.json]\n");
+}
+
+/// κ-as-a-service gate: drive a real daemon over TCP with N tenants ×
+/// M streams, hard-kill it mid-ingest, restart, finish, and require
+/// every κ it ever served — live snapshots, final summaries, matrix
+/// cells — to be bit-identical (`f64::to_bits`) to a post-hoc batch
+/// analysis of the exact records sent. The trial store runs under a
+/// budget small enough to force evictions throughout, and residency is
+/// hard-gated under that budget. The sustained-ingest curve (records/s
+/// per round) goes to `BENCH_service.json`.
+fn service(opts: &Opts) {
+    use choir_core::metrics::{all_pairs_sharded_with, KappaConfig, Observation};
+    use choir_packet::ident::PacketId;
+    use choir_service::{Client, Daemon, DaemonConfig, Response};
+    use std::time::Instant;
+
+    let tenants = opts.runs.unwrap_or(3).max(1);
+    let streams: Vec<String> = ["base", "r1", "r2", "r3"].iter().map(|s| s.to_string()).collect();
+    let per_stream = ((4_000.0 * opts.scale) as u64).max(400);
+    println!(
+        "== service: {tenants} tenants x {} streams, ~{per_stream} records each ==",
+        streams.len()
+    );
+
+    fn lcg(s: &mut u64) -> u64 {
+        *s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *s >> 33
+    }
+    let synth = |tenant: u64, stream: u64| -> Vec<Observation> {
+        let mut seed = opts.seed ^ (tenant << 40) ^ (stream << 8) ^ 0x5EED;
+        let mut out = Vec::new();
+        let mut now = 1_000_000u64;
+        for seq in 0..per_stream {
+            now += 280_000 + lcg(&mut seed) % 40_000;
+            if stream > 0 && lcg(&mut seed).is_multiple_of(97) {
+                continue; // this run dropped the packet
+            }
+            let jitter = if stream == 0 { 0 } else { lcg(&mut seed) % 30_000 };
+            out.push(Observation {
+                id: PacketId::from_tag(&ChoirTag::new(tenant as u16, 0, seq)),
+                t_ps: now + jitter,
+            });
+        }
+        out
+    };
+    let trial_of = |obs: &[Observation]| {
+        let mut t = Trial::new();
+        for o in obs {
+            t.push(o.id, o.t_ps);
+        }
+        t
+    };
+    let data: Vec<Vec<Vec<Observation>>> = (0..tenants)
+        .map(|t| (0..streams.len()).map(|s| synth(t as u64, s as u64)).collect())
+        .collect();
+    let tenant_name = |t: usize| format!("tenant-{t}");
+
+    // Budget ~1.5 trials per tenant: four trials each, so the store is
+    // evicting for the entire run while the gate must still hold.
+    let budget = per_stream * 24 * 3 / 2;
+    let data_dir = std::env::temp_dir().join(format!("choir-repro-service-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let mut cfg = DaemonConfig::new(&data_dir);
+    cfg.default_budget_bytes = budget;
+    cfg.checkpoint_every_records = (per_stream * tenants as u64) / 2;
+    cfg.snapshot_every = 256;
+
+    #[derive(serde::Serialize)]
+    struct CurvePoint {
+        round: usize,
+        records_total: u64,
+        elapsed_ns: u64,
+        rate_pps: f64,
+    }
+    let mut curve: Vec<CurvePoint> = Vec::new();
+    let mut records_sent = 0u64;
+    let t0 = Instant::now();
+
+    // ---- phase 1: interleaved ingest of roughly the first half.
+    let handle = Daemon::spawn(cfg.clone(), "127.0.0.1:0").expect("daemon spawn");
+    let mut c = Client::connect(handle.addr()).expect("client connect");
+    for t in 0..tenants {
+        c.create_tenant(&tenant_name(t), 0).expect("create tenant");
+        for s in &streams {
+            c.open_stream(&tenant_name(t), s).expect("open stream");
+        }
+    }
+    let chunk = 256usize;
+    let mut sent = vec![vec![0usize; streams.len()]; tenants];
+    let rounds_phase1 = (per_stream as usize / 2).div_ceil(chunk).max(1);
+    for round in 0..rounds_phase1 {
+        for t in 0..tenants {
+            for (si, s) in streams.iter().enumerate() {
+                let all = &data[t][si];
+                let lo = sent[t][si];
+                let hi = (lo + chunk).min(all.len());
+                if lo < hi {
+                    c.ingest(&tenant_name(t), s, lo as u64, &all[lo..hi])
+                        .expect("ingest");
+                    records_sent += (hi - lo) as u64;
+                    sent[t][si] = hi;
+                }
+            }
+        }
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        curve.push(CurvePoint {
+            round,
+            records_total: records_sent,
+            elapsed_ns: elapsed,
+            rate_pps: records_sent as f64 / (elapsed as f64 / 1e9),
+        });
+    }
+
+    // Gate: a live mid-flight snapshot is already batch-identical.
+    let mut live_checked = 0usize;
+    for t in 0..tenants {
+        let Response::Snapshot { running, .. } = c
+            .snapshot(&tenant_name(t), &streams[1])
+            .expect("live snapshot")
+        else {
+            panic!("snapshot variant");
+        };
+        let a = trial_of(&data[t][0][..sent[t][0]]);
+        let b = trial_of(&data[t][1][..sent[t][1]]);
+        let batch = PairAnalyzer::new(&a, &b).analyze();
+        assert_eq!(
+            running.kappa_bits,
+            batch.metrics.kappa.to_bits(),
+            "live κ of {}/{} diverged from batch on the ingested prefix",
+            tenant_name(t),
+            streams[1]
+        );
+        live_checked += 1;
+    }
+    println!("   {live_checked} live mid-ingest snapshots bit-identical to batch");
+
+    // ---- hard kill (no checkpoint), restart, resume with overlap.
+    drop(c);
+    handle.kill();
+    let kill_at = t0.elapsed();
+    let handle = Daemon::spawn(cfg.clone(), "127.0.0.1:0").expect("daemon respawn");
+    let recovery = t0.elapsed() - kill_at;
+    let mut c = Client::connect(handle.addr()).expect("client reconnect");
+    for (t, sent_t) in sent.iter().enumerate() {
+        for (si, s) in streams.iter().enumerate() {
+            let (ingested, finished, _) = c.stream_status(&tenant_name(t), s).expect("status");
+            assert_eq!(
+                ingested as usize, sent_t[si],
+                "recovery lost records on {}/{s}",
+                tenant_name(t)
+            );
+            assert!(!finished);
+        }
+    }
+    println!(
+        "   hard kill at {:.1} ms; journal+checkpoint recovery in {:.1} ms, zero records lost",
+        kill_at.as_secs_f64() * 1e3,
+        recovery.as_secs_f64() * 1e3
+    );
+    let round_base = curve.len();
+    for t in 0..tenants {
+        for (si, s) in streams.iter().enumerate() {
+            let all = &data[t][si];
+            let lo = sent[t][si].saturating_sub(chunk / 4); // deliberate resend overlap
+            let total = c
+                .ingest(&tenant_name(t), s, lo as u64, &all[lo..])
+                .expect("resume ingest");
+            assert_eq!(total, all.len() as u64, "resumed stream must complete");
+            records_sent += (all.len() - sent[t][si]) as u64;
+            sent[t][si] = all.len();
+        }
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        curve.push(CurvePoint {
+            round: round_base + t,
+            records_total: records_sent,
+            elapsed_ns: elapsed,
+            rate_pps: records_sent as f64 / (elapsed as f64 / 1e9),
+        });
+    }
+
+    // ---- finish everything; gate finals + matrix bit-identity.
+    let mut finals_checked = 0usize;
+    for (t, data_t) in data.iter().enumerate() {
+        c.finish_stream(&tenant_name(t), &streams[0]).expect("finish baseline");
+        let a = trial_of(&data_t[0]);
+        for (si, s) in streams.iter().enumerate().skip(1) {
+            let f = c
+                .finish_stream(&tenant_name(t), s)
+                .expect("finish stream")
+                .expect("comparison summary");
+            let b = trial_of(&data_t[si]);
+            let batch = PairAnalyzer::new(&a, &b).analyze();
+            for (got, want, what) in [
+                (f.score.kappa_bits, batch.metrics.kappa.to_bits(), "kappa"),
+                (f.score.u.to_bits(), batch.metrics.u.to_bits(), "U"),
+                (f.score.o.to_bits(), batch.metrics.o.to_bits(), "O"),
+                (f.score.l.to_bits(), batch.metrics.l.to_bits(), "L"),
+                (f.score.i.to_bits(), batch.metrics.i.to_bits(), "I"),
+            ] {
+                assert_eq!(
+                    got, want,
+                    "served {what} of {}/{s} diverged from batch across kill/restart",
+                    tenant_name(t)
+                );
+            }
+            finals_checked += 1;
+        }
+    }
+    println!("   {finals_checked} final summaries bit-identical to batch across kill/restart");
+
+    let mut cells_checked = 0usize;
+    for (t, data_t) in data.iter().enumerate() {
+        let Response::Matrix { labels, cells } = c.matrix(&tenant_name(t)).expect("matrix")
+        else {
+            panic!("matrix variant");
+        };
+        let trials: Vec<Trial> = labels
+            .iter()
+            .map(|s| {
+                let si = streams.iter().position(|x| x == s).expect("known stream");
+                trial_of(&data_t[si])
+            })
+            .collect();
+        let (reference, _) =
+            all_pairs_sharded_with(&trials, 4, &KappaConfig::paper()).expect("all-pairs");
+        for cell in &cells {
+            let want = reference
+                .get(cell.i as usize, cell.j as usize)
+                .expect("reference cell");
+            assert_eq!(
+                cell.score.kappa_bits,
+                want.metrics.kappa.to_bits(),
+                "matrix cell ({}, {}) of {} diverged from the sharded engine",
+                cell.i,
+                cell.j,
+                tenant_name(t)
+            );
+            cells_checked += 1;
+        }
+    }
+    println!("   {cells_checked} matrix cells bit-identical to the sharded all-pairs engine");
+
+    // ---- store budget gate + RSS report.
+    let Response::Stats {
+        store_resident_bytes,
+        store_budget_bytes,
+        store_evictions,
+        store_reloads,
+        ..
+    } = c.stats().expect("stats")
+    else {
+        panic!("stats variant");
+    };
+    assert!(
+        store_evictions > 0,
+        "budget {budget} was sized to force evictions; none happened"
+    );
+    assert!(
+        store_resident_bytes <= store_budget_bytes,
+        "trial store over budget: {store_resident_bytes} > {store_budget_bytes}"
+    );
+    let peak_rss_kb = std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace().nth(1).and_then(|v| v.parse::<u64>().ok())
+            })
+        })
+        .unwrap_or(0);
+    println!(
+        "   store: {store_resident_bytes} / {store_budget_bytes} bytes resident, \
+         {store_evictions} evictions, {store_reloads} reloads; peak RSS {peak_rss_kb} kB"
+    );
+
+    // ---- graceful shutdown, third spawn: finals survive durably.
+    c.shutdown().expect("shutdown");
+    drop(c);
+    handle.wait();
+    let handle = Daemon::spawn(cfg, "127.0.0.1:0").expect("third spawn");
+    let mut c = Client::connect(handle.addr()).expect("third connect");
+    for (t, data_t) in data.iter().enumerate() {
+        let a = trial_of(&data_t[0]);
+        for (si, s) in streams.iter().enumerate().skip(1) {
+            let b = trial_of(&data_t[si]);
+            let batch = PairAnalyzer::new(&a, &b).analyze();
+            let Response::Snapshot { running, .. } =
+                c.snapshot(&tenant_name(t), s).expect("post-restart snapshot")
+            else {
+                panic!("snapshot variant");
+            };
+            assert_eq!(
+                running.kappa_bits,
+                batch.metrics.kappa.to_bits(),
+                "final of {}/{s} did not survive graceful restart",
+                tenant_name(t)
+            );
+        }
+    }
+    drop(c);
+    handle.kill();
+    println!("   finals served bit-identically after graceful shutdown + restart");
+
+    let final_rate = curve.last().map(|p| p.rate_pps).unwrap_or(0.0);
+    println!(
+        "   sustained ingest {} records in {:.2} s ({:.0}k records/s)",
+        records_sent,
+        t0.elapsed().as_secs_f64(),
+        final_rate / 1e3
+    );
+
+    #[derive(serde::Serialize)]
+    struct ServiceBench {
+        requested_scale: f64,
+        seed: u64,
+        tenants: usize,
+        streams_per_tenant: usize,
+        records_per_stream: u64,
+        records_sent: u64,
+        budget_bytes: u64,
+        store_resident_bytes: u64,
+        store_evictions: u64,
+        store_reloads: u64,
+        live_snapshots_bit_identical: usize,
+        finals_bit_identical: usize,
+        matrix_cells_bit_identical: usize,
+        kill_restart_exercised: bool,
+        recovery_ms: f64,
+        peak_rss_kb: u64,
+        ingest_curve: Vec<CurvePoint>,
+    }
+    let bench = ServiceBench {
+        requested_scale: opts.scale,
+        seed: opts.seed,
+        tenants,
+        streams_per_tenant: streams.len(),
+        records_per_stream: per_stream,
+        records_sent,
+        budget_bytes: budget,
+        store_resident_bytes,
+        store_evictions,
+        store_reloads,
+        live_snapshots_bit_identical: live_checked,
+        finals_bit_identical: finals_checked,
+        matrix_cells_bit_identical: cells_checked,
+        kill_restart_exercised: true,
+        recovery_ms: recovery.as_secs_f64() * 1e3,
+        peak_rss_kb,
+        ingest_curve: curve,
+    };
+    let body = serde_json::to_string_pretty(&bench).expect("serialize bench record");
+    std::fs::write("BENCH_service.json", body).expect("write BENCH_service.json");
+    println!("   [wrote BENCH_service.json]\n");
+    let _ = std::fs::remove_dir_all(&data_dir);
 }
 
 /// Chaos sweep: replay one recording through a fault-injecting dataplane
@@ -2004,11 +2369,12 @@ fn custom(opts: &Opts) {
         "== custom profile {path} (base {:?}, scale {}, seed {}) ==",
         profile.kind, opts.scale, opts.seed
     );
-    let out = choir_testbed::run_experiment(&choir_testbed::ExperimentConfig {
+    let out = choir_testbed::Experiment::new(choir_testbed::ExperimentConfig {
         profile,
         scale: opts.scale,
         seed: opts.seed,
-    });
+    })
+    .run();
     for r in &out.report.runs {
         println!(
             "  run {}: {:5.2}% IAT +-10ns, U {}, O {}, I {}, L {}, kappa {:.4}",
@@ -2104,11 +2470,12 @@ fn ablate(opts: &Opts) {
         let mut profile = base.clone();
         profile.runs = opts.runs.unwrap_or(3);
         mutate(&mut profile);
-        let out = choir_testbed::run_experiment(&choir_testbed::ExperimentConfig {
+        let out = choir_testbed::Experiment::new(choir_testbed::ExperimentConfig {
             profile,
             scale: opts.scale,
             seed: opts.seed,
-        });
+        })
+        .run();
         let w10 = out
             .report
             .runs

@@ -11,15 +11,16 @@
 pub mod fmt;
 pub mod paper;
 
-use choir_testbed::{run_experiment, EnvKind, ExperimentConfig, ExperimentOutput};
+use choir_testbed::{EnvKind, Experiment, ExperimentConfig, ExperimentOutput};
 
 /// Run one environment at the given scale/seed.
 pub fn run_env(kind: EnvKind, scale: f64, seed: u64) -> ExperimentOutput {
-    run_experiment(&ExperimentConfig {
+    Experiment::new(ExperimentConfig {
         profile: kind.profile(),
         scale,
         seed,
     })
+    .run()
 }
 
 /// Run several environments concurrently, bounded by the host's
@@ -45,11 +46,12 @@ pub fn run_envs_parallel_with(
         if let Some(r) = runs {
             profile.runs = r;
         }
-        run_experiment(&ExperimentConfig {
+        Experiment::new(ExperimentConfig {
             profile,
             scale,
             seed,
         })
+        .run()
     };
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())

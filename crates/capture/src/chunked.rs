@@ -338,6 +338,34 @@ impl<R: Read> PcapChunkReader<R> {
         }))
     }
 
+    /// Read a single record, journaled exactly like [`Self::next_chunk`]
+    /// (the cursor advances per record, so [`Self::cursor`] always names
+    /// the first unread record). `Ok(None)` at clean EOF; a parse
+    /// failure is terminal and carries no salvage list — at this
+    /// granularity there is never a buffered prefix to hand back.
+    pub fn next_record(&mut self) -> Result<Option<PcapRecord>, ChunkError> {
+        if self.done {
+            return Ok(None);
+        }
+        let rec_start = self.byte_offset;
+        match self.read_one_record() {
+            Ok(Some(rec)) => Ok(Some(rec)),
+            Ok(None) => {
+                self.done = true;
+                Ok(None)
+            }
+            Err(error) => {
+                self.done = true;
+                Err(ChunkError {
+                    byte_offset: rec_start,
+                    record_index: self.records_consumed,
+                    salvaged: Vec::new(),
+                    error,
+                })
+            }
+        }
+    }
+
     /// The next batch of up to `chunk_size` records, `None` at clean EOF.
     ///
     /// The final batch may be short. A parse failure returns a

@@ -8,6 +8,7 @@
 
 pub mod chunked;
 pub mod meter;
+pub mod source;
 
 use choir_core::metrics::Trial;
 use choir_core::obs;
@@ -16,8 +17,9 @@ use choir_dpdk::{App, Burst, ControlMsg, Dataplane, PortId};
 use choir_packet::pcap::PcapWriter;
 use choir_packet::Frame;
 
-pub use chunked::PcapChunkReader;
+pub use chunked::{IngestCursor, PcapChunkReader};
 pub use meter::RateMeter;
+pub use source::{drain_available, PcapSource, QueueHandle, QueueSource, Source, SourceError};
 
 /// Recorder configuration.
 #[derive(Debug, Clone, Copy)]

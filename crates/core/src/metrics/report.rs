@@ -295,7 +295,7 @@ pub struct StreamRunTrail {
 }
 
 /// What the streaming supervisor survived and what surviving cost —
-/// attached to a [`RunReport`] by `run_experiment_streaming_supervised`.
+/// attached to a [`RunReport`] by the supervised streaming `Experiment`.
 ///
 /// The headline invariant this report documents is *not* visible in its
 /// numbers: after every kill and every caught tap panic, the resumed

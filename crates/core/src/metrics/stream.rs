@@ -108,6 +108,51 @@ impl Side {
     }
 }
 
+/// A checkpoint refused by [`IncrementalComparison::resume_checked`]:
+/// the caller paired a checkpoint with the wrong engine or the wrong
+/// configuration. Before this error existed the engine would silently
+/// resume under whatever `KappaConfig` the checkpoint carried — which is
+/// exactly what a supervisor juggling many tenants' checkpoints gets
+/// wrong first (engine 7's checkpoint fed engine 12's journal scores a
+/// garbage κ with full confidence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeMismatch {
+    /// The checkpoint was taken by a different engine than the caller is
+    /// resuming.
+    EngineId {
+        /// Engine id the caller expected to resume.
+        expected: u64,
+        /// Engine id recorded in the checkpoint.
+        found: u64,
+    },
+    /// The checkpoint's configuration differs from the one the caller is
+    /// resuming under (hashes of lookahead, snapshot cadence, and every
+    /// κ weight/scaling).
+    Config {
+        /// [`StreamConfig::fingerprint`] of the caller's configuration.
+        expected: u64,
+        /// Fingerprint recorded in (or recomputed from) the checkpoint.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for ResumeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeMismatch::EngineId { expected, found } => write!(
+                f,
+                "checkpoint belongs to engine {found}, not engine {expected}"
+            ),
+            ResumeMismatch::Config { expected, found } => write!(
+                f,
+                "checkpoint was taken under config {found:#018x}, caller expects {expected:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResumeMismatch {}
+
 /// Configuration of one incremental comparison. The default is full
 /// lookahead, no automatic snapshots, and the paper's κ weights
 /// (`KappaConfig::default()` == `KappaConfig::paper()`).
@@ -123,6 +168,46 @@ pub struct StreamConfig {
     pub snapshot_every: u64,
     /// κ configuration applied to running and final scores.
     pub kappa: KappaConfig,
+}
+
+impl StreamConfig {
+    /// A 64-bit fingerprint of everything that shapes the measurement:
+    /// the lookahead mode, the snapshot cadence, and every κ weight and
+    /// scaling (by exact `f64` bit pattern — two configs that differ in
+    /// the last ulp are different measurements). Recorded in every
+    /// [`StreamCheckpoint`] and verified by
+    /// [`IncrementalComparison::resume_checked`].
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            // SplitMix64 step over the running hash xor the value.
+            let mut z = (h ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn mix_scaling(h: u64, s: &super::kappa::Scaling) -> u64 {
+            use super::kappa::Scaling;
+            match s {
+                Scaling::Linear => mix(h, 1),
+                Scaling::Sqrt => mix(h, 2),
+                Scaling::Power(p) => mix(mix(h, 3), p.to_bits()),
+                Scaling::Presence { floor } => mix(mix(h, 4), floor.to_bits()),
+            }
+        }
+        let mut h = match self.lookahead {
+            None => mix(0, u64::MAX),
+            Some(w) => mix(1, w as u64),
+        };
+        h = mix(h, self.snapshot_every);
+        let k = &self.kappa;
+        for w in [k.w_u, k.w_o, k.w_l, k.w_i] {
+            h = mix(h, w.to_bits());
+        }
+        for s in [&k.s_u, &k.s_o, &k.s_l, &k.s_i] {
+            h = mix_scaling(h, s);
+        }
+        h
+    }
 }
 
 /// A periodic progress report: running totals, the running κ, and a
@@ -296,6 +381,15 @@ struct OccCk {
 /// a resumed run re-measures its own stage timings.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StreamCheckpoint {
+    /// Caller-assigned identity of the engine that took this checkpoint
+    /// (0 when never set — checkpoints predating the field deserialize
+    /// to 0). Verified by [`IncrementalComparison::resume_checked`].
+    #[serde(default)]
+    engine_id: u64,
+    /// [`StreamConfig::fingerprint`] at checkpoint time (0 on legacy
+    /// checkpoints serialized before the field existed).
+    #[serde(default)]
+    config_hash: u64,
     lookahead: Option<u64>,
     snapshot_every: u64,
     kappa: KappaConfig,
@@ -335,6 +429,18 @@ impl StreamCheckpoint {
     /// where to re-feed from.
     pub fn tick(&self) -> u64 {
         self.tick
+    }
+
+    /// Caller-assigned engine identity recorded at checkpoint time (0
+    /// when the engine was never tagged).
+    pub fn engine_id(&self) -> u64 {
+        self.engine_id
+    }
+
+    /// Configuration fingerprint recorded at checkpoint time (0 on
+    /// checkpoints serialized before the field existed).
+    pub fn config_hash(&self) -> u64 {
+        self.config_hash
     }
 
     /// Observations pushed on side A at checkpoint time.
@@ -879,6 +985,10 @@ pub struct IncrementalComparison {
     slice: SliceState,
     last_snapshot_tick: u64,
     snapshots: Vec<KappaSnapshot>,
+    /// Caller-assigned identity recorded into every checkpoint so that
+    /// [`IncrementalComparison::resume_checked`] can refuse a checkpoint
+    /// that belongs to a different engine. `0` means "unassigned".
+    engine_id: u64,
 }
 
 impl IncrementalComparison {
@@ -906,7 +1016,21 @@ impl IncrementalComparison {
             slice: SliceState::new(),
             last_snapshot_tick: 0,
             snapshots: Vec::new(),
+            engine_id: 0,
         }
+    }
+
+    /// Tag this engine with a caller-assigned identity. The id is
+    /// recorded in every checkpoint; [`Self::resume_checked`] refuses a
+    /// checkpoint whose id differs from the one the caller expects.
+    pub fn with_engine_id(mut self, id: u64) -> Self {
+        self.engine_id = id;
+        self
+    }
+
+    /// The caller-assigned engine identity (`0` when unassigned).
+    pub fn engine_id(&self) -> u64 {
+        self.engine_id
     }
 
     /// Observations pushed on side A so far.
@@ -984,6 +1108,8 @@ impl IncrementalComparison {
             obs::counter_inc("recover.checkpoints");
         }
         StreamCheckpoint {
+            engine_id: self.engine_id,
+            config_hash: self.cfg.fingerprint(),
             lookahead: self.cfg.lookahead.map(|w| w as u64),
             snapshot_every: self.cfg.snapshot_every,
             kappa: self.cfg.kappa,
@@ -1117,8 +1243,46 @@ impl IncrementalComparison {
                 mis: ck.slice.mis as usize,
             },
             last_snapshot_tick: ck.last_snapshot_tick,
+            engine_id: ck.engine_id,
             snapshots: ck.snapshots,
         }
+    }
+
+    /// [`Self::resume`] with the pairing verified instead of trusted:
+    /// refuses a checkpoint that was taken by a different engine
+    /// (`engine_id` mismatch) or under a different [`StreamConfig`]
+    /// (fingerprint mismatch), instead of silently resuming with the
+    /// wrong `KappaConfig`. Checkpoints written before these fields
+    /// existed deserialize with both set to `0`; a zero `config_hash`
+    /// is validated against the config embedded in the checkpoint
+    /// itself, and a zero `engine_id` only pairs with engine id `0`.
+    pub fn resume_checked(
+        ck: StreamCheckpoint,
+        engine_id: u64,
+        cfg: &StreamConfig,
+    ) -> Result<Self, ResumeMismatch> {
+        if ck.engine_id != engine_id {
+            return Err(ResumeMismatch::EngineId {
+                expected: engine_id,
+                found: ck.engine_id,
+            });
+        }
+        let expected = cfg.fingerprint();
+        let found = if ck.config_hash != 0 {
+            ck.config_hash
+        } else {
+            // Legacy checkpoint: recompute from the config it embeds.
+            StreamConfig {
+                lookahead: ck.lookahead.map(|w| w as usize),
+                snapshot_every: ck.snapshot_every,
+                kappa: ck.kappa,
+            }
+            .fingerprint()
+        };
+        if found != expected {
+            return Err(ResumeMismatch::Config { expected, found });
+        }
+        Ok(Self::resume(ck))
     }
 
     /// Feed one observation.
@@ -2229,6 +2393,104 @@ mod tests {
             serde_json::to_string(&e.checkpoint()).unwrap()
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn resume_checked_refuses_foreign_engine_id() {
+        let (a, b) = jittered_pair(30);
+        let events = interleave(&a, &b, 3);
+        let cfg = StreamConfig::default();
+        let mut eng = IncrementalComparison::new(cfg).with_engine_id(7);
+        feed(&mut eng, &events[..15]);
+        let ck = eng.checkpoint();
+        assert_eq!(ck.engine_id(), 7);
+        match IncrementalComparison::resume_checked(ck, 9, &cfg) {
+            Err(ResumeMismatch::EngineId { expected, found }) => {
+                assert_eq!((expected, found), (9, 7));
+            }
+            other => panic!("expected EngineId mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_checked_refuses_foreign_config() {
+        let (a, b) = jittered_pair(30);
+        let events = interleave(&a, &b, 3);
+        let cfg = StreamConfig::default();
+        let mut eng = IncrementalComparison::new(cfg).with_engine_id(7);
+        feed(&mut eng, &events[..15]);
+        let ck = eng.checkpoint();
+        let other_cfg = StreamConfig {
+            lookahead: Some(8),
+            ..cfg
+        };
+        assert_ne!(cfg.fingerprint(), other_cfg.fingerprint());
+        match IncrementalComparison::resume_checked(ck, 7, &other_cfg) {
+            Err(ResumeMismatch::Config { expected, found }) => {
+                assert_eq!(expected, other_cfg.fingerprint());
+                assert_eq!(found, cfg.fingerprint());
+            }
+            other => panic!("expected Config mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_checked_accepts_matching_pair_bit_identically() {
+        let (a, b) = jittered_pair(60);
+        let events = interleave(&a, &b, 5);
+        let cfg = StreamConfig {
+            snapshot_every: 17,
+            ..StreamConfig::default()
+        };
+        let mut whole = IncrementalComparison::new(cfg).with_engine_id(42);
+        feed(&mut whole, &events);
+        let want = whole.finalize("B");
+        let mut head = IncrementalComparison::new(cfg).with_engine_id(42);
+        feed(&mut head, &events[..31]);
+        let json = serde_json::to_string(&head.checkpoint()).unwrap();
+        let ck: StreamCheckpoint = serde_json::from_str(&json).unwrap();
+        let mut tail =
+            IncrementalComparison::resume_checked(ck, 42, &cfg).expect("matching pair resumes");
+        assert_eq!(tail.engine_id(), 42);
+        feed(&mut tail, &events[31..]);
+        let got = tail.finalize("B");
+        assert_bit_identical(&got.comparison, &want.comparison);
+    }
+
+    #[test]
+    fn resume_checked_accepts_legacy_checkpoint_with_embedded_config() {
+        // Checkpoints written before engine_id/config_hash existed
+        // deserialize with both zero; they must still resume when the
+        // caller's config matches the one embedded in the checkpoint.
+        let (a, b) = jittered_pair(30);
+        let events = interleave(&a, &b, 3);
+        let cfg = StreamConfig::default();
+        let mut eng = IncrementalComparison::new(cfg);
+        feed(&mut eng, &events[..15]);
+        let json = serde_json::to_string(&eng.checkpoint()).unwrap();
+        // Strip the new fields to simulate a pre-upgrade checkpoint.
+        let json = json
+            .replace("\"engine_id\":0,", "")
+            .replace("\"config_hash\":", "\"config_hash_ignored\":");
+        let ck: StreamCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(ck.engine_id(), 0);
+        assert_eq!(ck.config_hash(), 0);
+        IncrementalComparison::resume_checked(ck, 0, &cfg).expect("legacy checkpoint resumes");
+        let ck2: StreamCheckpoint = serde_json::from_str(
+            &serde_json::to_string(&eng.checkpoint())
+                .unwrap()
+                .replace("\"engine_id\":0,", "")
+                .replace("\"config_hash\":", "\"config_hash_ignored\":"),
+        )
+        .unwrap();
+        let wrong = StreamConfig {
+            lookahead: Some(4),
+            ..cfg
+        };
+        assert!(matches!(
+            IncrementalComparison::resume_checked(ck2, 0, &wrong),
+            Err(ResumeMismatch::Config { .. })
+        ));
     }
 
     #[test]

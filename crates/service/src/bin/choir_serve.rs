@@ -1,0 +1,58 @@
+//! `choir-serve`: run the κ-as-a-service daemon.
+//!
+//! ```text
+//! choir-serve [--addr HOST:PORT] [--data-dir DIR]
+//!             [--checkpoint-every N] [--snapshot-every N]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7415`, port 0 for ephemeral),
+//! recovers any durable state under the data dir, prints the bound
+//! address on stdout, and serves until a client sends `Shutdown`
+//! (`choir-ctl <addr> shutdown`).
+
+use std::process::ExitCode;
+
+use choir_service::{Daemon, DaemonConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: choir-serve [--addr HOST:PORT] [--data-dir DIR] \
+         [--checkpoint-every N] [--snapshot-every N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7415".to_string();
+    let mut cfg = DaemonConfig::new("choir-service-data");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let Some(v) = args.next() else { return usage() };
+        match a.as_str() {
+            "--addr" => addr = v,
+            "--data-dir" => cfg.data_dir = v.into(),
+            "--checkpoint-every" => match v.parse() {
+                Ok(n) => cfg.checkpoint_every_records = n,
+                Err(_) => return usage(),
+            },
+            "--snapshot-every" => match v.parse() {
+                Ok(n) => cfg.snapshot_every = n,
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let handle = match Daemon::spawn(cfg, &addr) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("choir-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", handle.addr());
+    // A Shutdown request checkpoints, stops the accept loop, and lets
+    // this join return.
+    handle.wait();
+    ExitCode::SUCCESS
+}

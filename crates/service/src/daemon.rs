@@ -1,0 +1,1037 @@
+//! The κ-as-a-service daemon: a long-running, multi-tenant streaming
+//! consistency monitor.
+//!
+//! Each tenant owns a set of named capture streams. The first stream a
+//! tenant opens is its **baseline**; every later stream gets its own
+//! [`IncrementalComparison`] engine against that baseline, run in
+//! **unbounded (full-lookahead) mode** — the engine whose finalize is
+//! bit-identical to the batch pipeline *for any interleaving of the two
+//! sides*. That interleaving-independence is what makes the daemon's
+//! numbers trustworthy: observations arrive over sockets in whatever
+//! order the network delivers them, and the served κ is still exactly
+//! the κ a post-hoc batch analysis of the same records produces,
+//! bit for bit. The `repro service` benchmark gates on this.
+//!
+//! # Durability
+//!
+//! The daemon is event-sourced, reusing the crash-tolerance design of
+//! the supervised streaming runner:
+//!
+//! * every mutating request is appended to `journal.jsonl` (flushed)
+//!   **before** it is applied;
+//! * on a checkpoint (explicit, cadence, or graceful shutdown) the
+//!   trial store is flushed to its spill files, the full daemon state —
+//!   tenants, stream meta, one [`StreamCheckpoint`] per live engine,
+//!   final summaries — is written to `state.json` (write-temp +
+//!   rename), and the journal is truncated;
+//! * recovery loads `state.json`, adopts the spilled trials at their
+//!   checkpointed lengths, resumes every live engine through
+//!   [`IncrementalComparison::resume_checked`] (which refuses a
+//!   checkpoint from the wrong engine or config), and replays the
+//!   journal through the *same* apply path the wire handlers use.
+//!
+//! A hard kill between checkpoints therefore loses nothing: replayed
+//! ingests land in the same engines in the same per-stream order, and
+//! full-lookahead mode makes any cross-stream reordering irrelevant.
+//!
+//! # Memory
+//!
+//! Trial bytes live in a per-tenant [`TrialStore`] with an LRU spill
+//! budget; engines hold only unmatched residents. The `Stats` response
+//! exposes resident bytes so operators (and the bench's RSS gate) can
+//! watch the budget hold.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use choir_core::metrics::{
+    all_pairs_sharded_with, IncrementalComparison, KappaConfig, KappaSnapshot, Observation, Side,
+    StreamCheckpoint, StreamConfig, TrialComparison,
+};
+use choir_core::obs;
+use serde::{Deserialize, Serialize};
+
+use crate::store::{StoreError, TrialStore};
+use crate::wire::{
+    recv_request, send_response, Request, Response, WireCell, WireFinal, WireKappa, WireObs,
+    WireTrailPoint,
+};
+
+/// Daemon construction parameters.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Root for all durable state: `state.json`, `journal.jsonl`, and
+    /// the per-tenant spill directories under `spill/`.
+    pub data_dir: PathBuf,
+    /// Store budget for tenants created with `budget_bytes == 0`.
+    pub default_budget_bytes: u64,
+    /// Take a durable checkpoint every this many accepted records
+    /// across all tenants (0 = only explicit `Checkpoint` requests and
+    /// graceful shutdown).
+    pub checkpoint_every_records: u64,
+    /// Engine snapshot cadence (observations between trail points).
+    /// Part of the measurement config — changing it between runs makes
+    /// old engine checkpoints unresumable, by design.
+    pub snapshot_every: u64,
+}
+
+impl DaemonConfig {
+    /// Defaults: 64 MiB tenant budget, checkpoint every 8192 records,
+    /// trail point every 512 observations.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        DaemonConfig {
+            data_dir: data_dir.into(),
+            default_budget_bytes: 64 << 20,
+            checkpoint_every_records: 8192,
+            snapshot_every: 512,
+        }
+    }
+
+    fn stream_config(&self) -> StreamConfig {
+        StreamConfig {
+            lookahead: None, // unbounded: batch-identical for any interleaving
+            snapshot_every: self.snapshot_every,
+            kappa: KappaConfig::paper(),
+        }
+    }
+}
+
+/// Engine identity for a tenant/stream pair: FNV-1a over the key,
+/// finished with a SplitMix64 step, forced nonzero (0 means "untagged"
+/// to `resume_checked`).
+fn engine_id_for(tenant: &str, stream: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tenant.bytes().chain([b'/']).chain(stream.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) | 1
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// A finished comparison stream's durable result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FinishedStream {
+    comparison: TrialComparison,
+    snapshots: Vec<KappaSnapshot>,
+}
+
+struct StreamState {
+    ingested: u64,
+    finished: bool,
+    /// `None` for the tenant baseline; comparison streams carry an
+    /// engine while live and a summary once finished.
+    engine: Option<IncrementalComparison>,
+    done: Option<FinishedStream>,
+}
+
+impl StreamState {
+    fn is_baseline(&self) -> bool {
+        self.engine.is_none() && self.done.is_none()
+    }
+}
+
+struct Tenant {
+    budget_bytes: u64,
+    store: TrialStore,
+    baseline: Option<String>,
+    streams: BTreeMap<String, StreamState>,
+    /// Cached all-pairs matrix; invalidated by any mutation.
+    matrix: Option<(Vec<String>, Vec<WireCell>)>,
+}
+
+/// One journaled mutating operation. Appended (and flushed) before the
+/// operation is applied; replayed through the same apply path on
+/// recovery. Every op is idempotent against a state that already
+/// includes it, so a crash between `state.json` and the journal
+/// truncation replays harmlessly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum JournalOp {
+    CreateTenant { tenant: String, budget_bytes: u64 },
+    DropTenant { tenant: String },
+    OpenStream { tenant: String, stream: String },
+    Ingest {
+        tenant: String,
+        stream: String,
+        seq: u64,
+        records: Vec<WireObs>,
+    },
+    Finish { tenant: String, stream: String },
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StreamCk {
+    name: String,
+    ingested: u64,
+    finished: bool,
+    is_baseline: bool,
+    #[serde(default)]
+    engine: Option<StreamCheckpoint>,
+    #[serde(default)]
+    done: Option<FinishedStream>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TenantCk {
+    name: String,
+    budget_bytes: u64,
+    #[serde(default)]
+    baseline: Option<String>,
+    streams: Vec<StreamCk>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DaemonCk {
+    tenants: Vec<TenantCk>,
+}
+
+struct ServiceState {
+    cfg: DaemonConfig,
+    tenants: BTreeMap<String, Tenant>,
+    journal: fs::File,
+    records_since_ck: u64,
+    ingests: u64,
+    records_total: u64,
+}
+
+/// A daemon failure surfaced to the caller of [`Daemon::spawn`].
+#[derive(Debug)]
+pub enum DaemonError {
+    /// Filesystem or socket failure.
+    Io(std::io::Error),
+    /// Trial store failure.
+    Store(StoreError),
+    /// Durable state exists but cannot be loaded (corrupt checkpoint,
+    /// engine/config mismatch).
+    Recovery(String),
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::Io(e) => write!(f, "daemon I/O failed: {e}"),
+            DaemonError::Store(e) => write!(f, "daemon trial store failed: {e}"),
+            DaemonError::Recovery(m) => write!(f, "daemon recovery failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<std::io::Error> for DaemonError {
+    fn from(e: std::io::Error) -> Self {
+        DaemonError::Io(e)
+    }
+}
+
+impl From<StoreError> for DaemonError {
+    fn from(e: StoreError) -> Self {
+        DaemonError::Store(e)
+    }
+}
+
+impl ServiceState {
+    fn spill_dir(cfg: &DaemonConfig, tenant: &str) -> PathBuf {
+        cfg.data_dir.join("spill").join(tenant)
+    }
+
+    fn state_path(cfg: &DaemonConfig) -> PathBuf {
+        cfg.data_dir.join("state.json")
+    }
+
+    fn journal_path(cfg: &DaemonConfig) -> PathBuf {
+        cfg.data_dir.join("journal.jsonl")
+    }
+
+    /// Load durable state (checkpoint + journal replay) or start empty.
+    fn open(cfg: DaemonConfig) -> Result<Self, DaemonError> {
+        fs::create_dir_all(&cfg.data_dir)?;
+        let mut tenants = BTreeMap::new();
+        let state_path = Self::state_path(&cfg);
+        if state_path.exists() {
+            let raw = fs::read_to_string(&state_path)?;
+            let ck: DaemonCk = serde_json::from_str(&raw)
+                .map_err(|e| DaemonError::Recovery(format!("state.json: {e}")))?;
+            for tck in ck.tenants {
+                let mut store = TrialStore::open(Self::spill_dir(&cfg, &tck.name), tck.budget_bytes)?;
+                let mut streams = BTreeMap::new();
+                for sck in tck.streams {
+                    store.adopt(&sck.name, sck.ingested)?;
+                    let engine = match sck.engine {
+                        None => None,
+                        Some(eck) => {
+                            let id = engine_id_for(&tck.name, &sck.name);
+                            let eng = IncrementalComparison::resume_checked(
+                                eck,
+                                id,
+                                &cfg.stream_config(),
+                            )
+                            .map_err(|e| {
+                                DaemonError::Recovery(format!(
+                                    "engine {}/{}: {e}",
+                                    tck.name, sck.name
+                                ))
+                            })?;
+                            Some(eng)
+                        }
+                    };
+                    streams.insert(
+                        sck.name,
+                        StreamState {
+                            ingested: sck.ingested,
+                            finished: sck.finished,
+                            engine,
+                            done: sck.done,
+                        },
+                    );
+                }
+                tenants.insert(
+                    tck.name,
+                    Tenant {
+                        budget_bytes: tck.budget_bytes,
+                        store,
+                        baseline: tck.baseline,
+                        streams,
+                        matrix: None,
+                    },
+                );
+            }
+        }
+        let journal_path = Self::journal_path(&cfg);
+        let replay: Vec<JournalOp> = if journal_path.exists() {
+            let raw = fs::read_to_string(&journal_path)?;
+            let mut ops = Vec::new();
+            for line in raw.lines() {
+                match serde_json::from_str(line) {
+                    Ok(op) => ops.push(op),
+                    // A crash can truncate the final append mid-line;
+                    // everything before it is intact.
+                    Err(_) => break,
+                }
+            }
+            ops
+        } else {
+            Vec::new()
+        };
+        let journal = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal_path)?;
+        let mut st = ServiceState {
+            cfg,
+            tenants,
+            journal,
+            records_since_ck: 0,
+            ingests: 0,
+            records_total: 0,
+        };
+        for op in replay {
+            // Ops already covered by the checkpoint fail their apply
+            // (tenant exists, ingest overlap) — that is the idempotency
+            // contract, not an error.
+            let _ = st.apply(op);
+        }
+        Ok(st)
+    }
+
+    fn journal(&mut self, op: &JournalOp) -> Result<(), String> {
+        let line = serde_json::to_string(op).map_err(|e| format!("journal encode: {e}"))?;
+        self.journal
+            .write_all(line.as_bytes())
+            .and_then(|_| self.journal.write_all(b"\n"))
+            .and_then(|_| self.journal.flush())
+            .map_err(|e| format!("journal append: {e}"))
+    }
+
+    /// Apply one mutating op. Shared by the wire handlers (after
+    /// journaling) and recovery replay — the single ingestion path that
+    /// keeps replayed state bit-identical to the uninterrupted run.
+    fn apply(&mut self, op: JournalOp) -> Result<Response, String> {
+        match op {
+            JournalOp::CreateTenant {
+                tenant,
+                budget_bytes,
+            } => {
+                if self.tenants.contains_key(&tenant) {
+                    return Err(format!("tenant `{tenant}` already exists"));
+                }
+                let budget = if budget_bytes == 0 {
+                    self.cfg.default_budget_bytes
+                } else {
+                    budget_bytes
+                };
+                let store = TrialStore::open(Self::spill_dir(&self.cfg, &tenant), budget)
+                    .map_err(|e| e.to_string())?;
+                self.tenants.insert(
+                    tenant.clone(),
+                    Tenant {
+                        budget_bytes: budget,
+                        store,
+                        baseline: None,
+                        streams: BTreeMap::new(),
+                        matrix: None,
+                    },
+                );
+                if obs::is_enabled() {
+                    obs::counter_inc("service.tenants.created");
+                    obs::gauge_set("service.tenants", self.tenants.len() as u64);
+                }
+                Ok(Response::Ok)
+            }
+            JournalOp::DropTenant { tenant } => {
+                let Some(mut t) = self.tenants.remove(&tenant) else {
+                    return Err(format!("no tenant `{tenant}`"));
+                };
+                for name in t.store.keys() {
+                    let _ = t.store.remove(&name);
+                }
+                let _ = fs::remove_dir_all(Self::spill_dir(&self.cfg, &tenant));
+                if obs::is_enabled() {
+                    obs::counter_inc("service.tenants.dropped");
+                    obs::gauge_set("service.tenants", self.tenants.len() as u64);
+                }
+                Ok(Response::Ok)
+            }
+            JournalOp::OpenStream { tenant, stream } => {
+                let cfg_stream = self.cfg.stream_config();
+                let t = self
+                    .tenants
+                    .get_mut(&tenant)
+                    .ok_or_else(|| format!("no tenant `{tenant}`"))?;
+                if t.streams.contains_key(&stream) {
+                    return Err(format!("stream `{tenant}/{stream}` already open"));
+                }
+                let engine = if t.baseline.is_none() {
+                    t.baseline = Some(stream.clone());
+                    None
+                } else {
+                    Some(
+                        IncrementalComparison::new(cfg_stream)
+                            .with_engine_id(engine_id_for(&tenant, &stream)),
+                    )
+                };
+                t.streams.insert(
+                    stream,
+                    StreamState {
+                        ingested: 0,
+                        finished: false,
+                        engine,
+                        done: None,
+                    },
+                );
+                t.matrix = None;
+                if obs::is_enabled() {
+                    obs::counter_inc("service.streams.opened");
+                }
+                Ok(Response::Ok)
+            }
+            JournalOp::Ingest {
+                tenant,
+                stream,
+                seq,
+                records,
+            } => {
+                let t = self
+                    .tenants
+                    .get_mut(&tenant)
+                    .ok_or_else(|| format!("no tenant `{tenant}`"))?;
+                let baseline_name = t.baseline.clone().expect("tenant with a stream has a baseline");
+                let s = t
+                    .streams
+                    .get(&stream)
+                    .ok_or_else(|| format!("no stream `{tenant}/{stream}`"))?;
+                if s.finished {
+                    return Err(format!("stream `{tenant}/{stream}` is finished"));
+                }
+                if seq > s.ingested {
+                    return Err(format!(
+                        "ingest gap on `{tenant}/{stream}`: batch starts at {seq}, stream has {}",
+                        s.ingested
+                    ));
+                }
+                // Idempotent resend: skip records the stream already has.
+                let skip = (s.ingested - seq) as usize;
+                if skip >= records.len() {
+                    return Ok(Response::Ingested { total: s.ingested });
+                }
+                let fresh: Vec<Observation> =
+                    records[skip..].iter().map(|&w| w.into()).collect();
+                t.store.append(&stream, &fresh).map_err(|e| e.to_string())?;
+                let is_baseline = stream == baseline_name;
+                let s = t.streams.get_mut(&stream).expect("checked above");
+                s.ingested += fresh.len() as u64;
+                let total = s.ingested;
+                if is_baseline {
+                    // Baseline grew: advance side A of every live engine.
+                    for other in t.streams.values_mut() {
+                        if let Some(eng) = other.engine.as_mut() {
+                            for o in &fresh {
+                                eng.push(Side::A, o.id, o.t_ps);
+                            }
+                        }
+                    }
+                } else {
+                    // Comparison stream: feed side B, then catch side A
+                    // up to the baseline's current length (covers
+                    // streams opened after the baseline had data).
+                    let base_len = t.streams[&baseline_name].ingested;
+                    let s = t.streams.get_mut(&stream).expect("checked above");
+                    let eng = s.engine.as_mut().expect("live comparison stream");
+                    for o in &fresh {
+                        eng.push(Side::B, o.id, o.t_ps);
+                    }
+                    let fed_a = eng.seen_a() as u64;
+                    if fed_a < base_len {
+                        let tail: Vec<Observation> = t
+                            .store
+                            .get(&baseline_name)
+                            .map_err(|e| e.to_string())?[fed_a as usize..base_len as usize]
+                            .to_vec();
+                        let s = t.streams.get_mut(&stream).expect("checked above");
+                        let eng = s.engine.as_mut().expect("live comparison stream");
+                        for o in &tail {
+                            eng.push(Side::A, o.id, o.t_ps);
+                        }
+                    }
+                }
+                t.matrix = None;
+                self.ingests += 1;
+                self.records_total += fresh.len() as u64;
+                self.records_since_ck += fresh.len() as u64;
+                if obs::is_enabled() {
+                    obs::counter_inc("service.ingest.requests");
+                    obs::counter_add("service.ingest.records", fresh.len() as u64);
+                    obs::counter_add(&format!("service.tenant.{tenant}.records"), fresh.len() as u64);
+                    obs::gauge_set(
+                        "service.store.resident_bytes",
+                        self.tenants.values().map(|t| t.store.resident_bytes()).sum(),
+                    );
+                }
+                Ok(Response::Ingested { total })
+            }
+            JournalOp::Finish { tenant, stream } => {
+                let t = self
+                    .tenants
+                    .get_mut(&tenant)
+                    .ok_or_else(|| format!("no tenant `{tenant}`"))?;
+                let baseline_name = t.baseline.clone().expect("tenant with a stream has a baseline");
+                let s = t
+                    .streams
+                    .get(&stream)
+                    .ok_or_else(|| format!("no stream `{tenant}/{stream}`"))?;
+                if s.finished {
+                    return Err(format!("stream `{tenant}/{stream}` already finished"));
+                }
+                if s.is_baseline() {
+                    let s = t.streams.get_mut(&stream).expect("checked above");
+                    s.finished = true;
+                    t.matrix = None;
+                    return Ok(Response::Finished { summary: None });
+                }
+                if !t.streams[&baseline_name].finished {
+                    return Err(format!(
+                        "finish baseline `{tenant}/{baseline_name}` before its comparison streams"
+                    ));
+                }
+                // Flush the side-A tail, then finalize the engine.
+                let base_len = t.streams[&baseline_name].ingested;
+                let s = t.streams.get_mut(&stream).expect("checked above");
+                let eng = s.engine.as_mut().expect("live comparison stream");
+                let fed_a = eng.seen_a() as u64;
+                if fed_a < base_len {
+                    let tail: Vec<Observation> = t
+                        .store
+                        .get(&baseline_name)
+                        .map_err(|e| e.to_string())?[fed_a as usize..base_len as usize]
+                        .to_vec();
+                    let s = t.streams.get_mut(&stream).expect("checked above");
+                    let eng = s.engine.as_mut().expect("live comparison stream");
+                    for o in &tail {
+                        eng.push(Side::A, o.id, o.t_ps);
+                    }
+                }
+                let s = t.streams.get_mut(&stream).expect("checked above");
+                let eng = s.engine.take().expect("live comparison stream");
+                let out = eng.finalize(stream.clone());
+                let done = FinishedStream {
+                    comparison: out.comparison,
+                    snapshots: out.snapshots,
+                };
+                let resp = Response::Finished {
+                    summary: Some(WireFinal::from(&done.comparison)),
+                };
+                s.finished = true;
+                s.done = Some(done);
+                t.matrix = None;
+                if obs::is_enabled() {
+                    obs::counter_inc("service.streams.finished");
+                }
+                Ok(resp)
+            }
+        }
+    }
+
+    /// Durable checkpoint: spill every dirty trial, write `state.json`
+    /// atomically, truncate the journal.
+    fn checkpoint(&mut self) -> Result<(), String> {
+        let _span = obs::span("service.checkpoint");
+        let mut tenants = Vec::new();
+        for (name, t) in &mut self.tenants {
+            t.store.flush_all().map_err(|e| e.to_string())?;
+            let mut streams = Vec::new();
+            for (sname, s) in &t.streams {
+                streams.push(StreamCk {
+                    name: sname.clone(),
+                    ingested: s.ingested,
+                    finished: s.finished,
+                    is_baseline: Some(sname) == t.baseline.as_ref(),
+                    engine: s.engine.as_ref().map(IncrementalComparison::checkpoint),
+                    done: s.done.clone(),
+                });
+            }
+            tenants.push(TenantCk {
+                name: name.clone(),
+                budget_bytes: t.budget_bytes,
+                baseline: t.baseline.clone(),
+                streams,
+            });
+        }
+        let ck = DaemonCk { tenants };
+        let json = serde_json::to_string(&ck).map_err(|e| format!("state encode: {e}"))?;
+        let path = Self::state_path(&self.cfg);
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, json.as_bytes()).map_err(|e| format!("state write: {e}"))?;
+        fs::rename(&tmp, &path).map_err(|e| format!("state rename: {e}"))?;
+        self.journal =
+            fs::File::create(Self::journal_path(&self.cfg)).map_err(|e| format!("journal: {e}"))?;
+        self.records_since_ck = 0;
+        if obs::is_enabled() {
+            obs::counter_inc("service.checkpoints");
+        }
+        Ok(())
+    }
+
+    /// Journal + apply + cadence checkpoint — the wire path for every
+    /// mutating request.
+    fn mutate(&mut self, op: JournalOp) -> Response {
+        if let Err(m) = self.journal(&op) {
+            return Response::Error { message: m };
+        }
+        let resp = match self.apply(op) {
+            Ok(r) => r,
+            Err(m) => return Response::Error { message: m },
+        };
+        if self.cfg.checkpoint_every_records > 0
+            && self.records_since_ck >= self.cfg.checkpoint_every_records
+        {
+            if let Err(m) = self.checkpoint() {
+                return Response::Error { message: m };
+            }
+        }
+        resp
+    }
+
+    fn snapshot_of(&mut self, tenant: &str, stream: &str) -> Result<Response, String> {
+        let t = self
+            .tenants
+            .get_mut(tenant)
+            .ok_or_else(|| format!("no tenant `{tenant}`"))?;
+        let s = t
+            .streams
+            .get(stream)
+            .ok_or_else(|| format!("no stream `{tenant}/{stream}`"))?;
+        if s.is_baseline() && s.done.is_none() {
+            return Err(format!("`{tenant}/{stream}` is the baseline; it has no score"));
+        }
+        if let Some(done) = &s.done {
+            let c = &done.comparison;
+            return Ok(Response::Snapshot {
+                seen_a: c.a_len as u64,
+                seen_b: c.b_len as u64,
+                common: c.common as u64,
+                running: WireKappa::from(&c.metrics),
+            });
+        }
+        let eng = s.engine.as_ref().expect("live comparison stream");
+        let (seen_a, seen_b, common) = (eng.seen_a(), eng.seen_b(), eng.matched());
+        // Score the current prefix without perturbing the live engine:
+        // clone it through its own checkpoint (cheap relative to a
+        // query) and finalize the clone.
+        let clone = IncrementalComparison::resume(eng.checkpoint());
+        let out = clone.finalize(stream);
+        Ok(Response::Snapshot {
+            seen_a: seen_a as u64,
+            seen_b: seen_b as u64,
+            common: common as u64,
+            running: WireKappa::from(&out.comparison.metrics),
+        })
+    }
+
+    fn trail_of(&self, tenant: &str, stream: &str) -> Result<Response, String> {
+        let t = self
+            .tenants
+            .get(tenant)
+            .ok_or_else(|| format!("no tenant `{tenant}`"))?;
+        let s = t
+            .streams
+            .get(stream)
+            .ok_or_else(|| format!("no stream `{tenant}/{stream}`"))?;
+        let snaps: &[KappaSnapshot] = if let Some(done) = &s.done {
+            &done.snapshots
+        } else if let Some(eng) = &s.engine {
+            eng.snapshots()
+        } else {
+            return Err(format!("`{tenant}/{stream}` is the baseline; it has no trail"));
+        };
+        Ok(Response::Trail {
+            points: snaps.iter().map(WireTrailPoint::from).collect(),
+        })
+    }
+
+    fn matrix_of(&mut self, tenant: &str) -> Result<Response, String> {
+        let shards = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let t = self
+            .tenants
+            .get_mut(tenant)
+            .ok_or_else(|| format!("no tenant `{tenant}`"))?;
+        if let Some((labels, cells)) = &t.matrix {
+            return Ok(Response::Matrix {
+                labels: labels.clone(),
+                cells: cells.clone(),
+            });
+        }
+        let labels = t.store.keys();
+        if labels.len() < 2 {
+            return Err(format!(
+                "tenant `{tenant}` has {} stream(s); a matrix needs at least 2",
+                labels.len()
+            ));
+        }
+        let mut trials = Vec::with_capacity(labels.len());
+        for name in &labels {
+            trials.push(t.store.trial(name).map_err(|e| e.to_string())?);
+        }
+        let (matrix, _stats) =
+            all_pairs_sharded_with(&trials, shards, &KappaConfig::paper())
+                .map_err(|e| format!("all-pairs analysis failed: {e:?}"))?;
+        let mut cells = Vec::with_capacity(matrix.pairs());
+        let n = labels.len();
+        for i in 0..n {
+            for j in i + 1..n {
+                let c = matrix.get(i, j).expect("in-range off-diagonal cell");
+                cells.push(WireCell {
+                    i: i as u64,
+                    j: j as u64,
+                    score: WireKappa::from(&c.metrics),
+                    common: c.common as u64,
+                    missing: c.missing as u64,
+                    extra: c.extra as u64,
+                });
+            }
+        }
+        t.matrix = Some((labels.clone(), cells.clone()));
+        if obs::is_enabled() {
+            obs::counter_inc("service.matrix.computed");
+        }
+        Ok(Response::Matrix { labels, cells })
+    }
+
+    fn stats(&self) -> Response {
+        let mut resident = 0;
+        let mut budget = 0;
+        let mut evictions = 0;
+        let mut reloads = 0;
+        let mut streams = 0;
+        for t in self.tenants.values() {
+            let s = t.store.stats();
+            resident += s.resident_bytes;
+            budget += s.budget_bytes;
+            evictions += s.evictions;
+            reloads += s.reloads;
+            streams += t.streams.len() as u64;
+        }
+        Response::Stats {
+            tenants: self.tenants.len() as u64,
+            streams,
+            store_resident_bytes: resident,
+            store_budget_bytes: budget,
+            store_evictions: evictions,
+            store_reloads: reloads,
+            ingests: self.ingests,
+            records: self.records_total,
+        }
+    }
+
+    /// Handle one request. The bool asks the serve loop to stop.
+    fn handle(&mut self, req: Request) -> (Response, bool) {
+        match req {
+            Request::Ping => (Response::Ok, false),
+            Request::CreateTenant {
+                tenant,
+                budget_bytes,
+            } => {
+                if !valid_name(&tenant) {
+                    return (bad_name(&tenant), false);
+                }
+                (
+                    self.mutate(JournalOp::CreateTenant {
+                        tenant,
+                        budget_bytes,
+                    }),
+                    false,
+                )
+            }
+            Request::DropTenant { tenant } => {
+                (self.mutate(JournalOp::DropTenant { tenant }), false)
+            }
+            Request::OpenStream { tenant, stream } => {
+                if !valid_name(&stream) {
+                    return (bad_name(&stream), false);
+                }
+                (self.mutate(JournalOp::OpenStream { tenant, stream }), false)
+            }
+            Request::Ingest {
+                tenant,
+                stream,
+                seq,
+                records,
+            } => (
+                self.mutate(JournalOp::Ingest {
+                    tenant,
+                    stream,
+                    seq,
+                    records,
+                }),
+                false,
+            ),
+            Request::FinishStream { tenant, stream } => {
+                (self.mutate(JournalOp::Finish { tenant, stream }), false)
+            }
+            Request::Snapshot { tenant, stream } => (
+                self.snapshot_of(&tenant, &stream)
+                    .unwrap_or_else(|message| Response::Error { message }),
+                false,
+            ),
+            Request::Trail { tenant, stream } => (
+                self.trail_of(&tenant, &stream)
+                    .unwrap_or_else(|message| Response::Error { message }),
+                false,
+            ),
+            Request::Matrix { tenant } => (
+                self.matrix_of(&tenant)
+                    .unwrap_or_else(|message| Response::Error { message }),
+                false,
+            ),
+            Request::StreamStatus { tenant, stream } => {
+                let resp = match self.tenants.get(&tenant) {
+                    None => Response::Error {
+                        message: format!("no tenant `{tenant}`"),
+                    },
+                    Some(t) => match t.streams.get(&stream) {
+                        None => Response::Error {
+                            message: format!("no stream `{tenant}/{stream}`"),
+                        },
+                        Some(s) => Response::Status {
+                            ingested: s.ingested,
+                            finished: s.finished,
+                            baseline: Some(&stream) == t.baseline.as_ref(),
+                        },
+                    },
+                };
+                (resp, false)
+            }
+            Request::Stats => (self.stats(), false),
+            Request::Checkpoint => (
+                match self.checkpoint() {
+                    Ok(()) => Response::Ok,
+                    Err(message) => Response::Error { message },
+                },
+                false,
+            ),
+            Request::Shutdown => (
+                match self.checkpoint() {
+                    Ok(()) => Response::Ok,
+                    Err(message) => Response::Error { message },
+                },
+                true,
+            ),
+        }
+    }
+}
+
+fn bad_name(s: &str) -> Response {
+    Response::Error {
+        message: format!(
+            "`{s}` is not a valid name (1-64 chars of [A-Za-z0-9_-])"
+        ),
+    }
+}
+
+/// Spawner for the TCP serve loop.
+pub struct Daemon;
+
+/// A running daemon. Dropping the handle does **not** stop the daemon;
+/// call [`DaemonHandle::shutdown`] (graceful, checkpoints) or
+/// [`DaemonHandle::kill`] (hard stop, no checkpoint — the crash the
+/// recovery path is built for).
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+    state: Arc<Mutex<ServiceState>>,
+}
+
+impl Daemon {
+    /// Recover (or initialize) durable state under `cfg.data_dir`, bind
+    /// `addr` (use port 0 for an ephemeral port), and serve connections
+    /// on a background thread, one handler thread per connection.
+    pub fn spawn(cfg: DaemonConfig, addr: &str) -> Result<DaemonHandle, DaemonError> {
+        let state = Arc::new(Mutex::new(ServiceState::open(cfg)?));
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_state = Arc::clone(&state);
+        let accept_stop = Arc::clone(&stop);
+        let thread = thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                let st = Arc::clone(&accept_state);
+                let stop = Arc::clone(&accept_stop);
+                thread::spawn(move || serve_connection(conn, st, stop, local));
+            }
+        });
+        Ok(DaemonHandle {
+            addr: local,
+            stop,
+            thread: Some(thread),
+            state,
+        })
+    }
+}
+
+fn serve_connection(
+    conn: TcpStream,
+    state: Arc<Mutex<ServiceState>>,
+    stop: Arc<AtomicBool>,
+    local: SocketAddr,
+) {
+    let mut reader = match conn.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = conn;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let req = match recv_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return, // peer hung up cleanly
+            Err(e) => {
+                let _ = send_response(
+                    &mut writer,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let (resp, shutdown) = {
+            let mut st = state.lock().expect("service state lock");
+            st.handle(req)
+        };
+        let _ = send_response(&mut writer, &resp);
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // The accept loop is blocked in accept(); poke it so it
+            // observes the flag and exits.
+            let _ = TcpStream::connect(local);
+            return;
+        }
+    }
+}
+
+impl DaemonHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the serve loop exits (a client sent `Shutdown`,
+    /// which checkpoints before stopping). For `choir-serve`'s
+    /// foreground mode.
+    pub fn wait(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Graceful stop: checkpoint durable state, then stop accepting.
+    pub fn shutdown(mut self) -> Result<(), DaemonError> {
+        {
+            let mut st = self.state.lock().expect("service state lock");
+            st.checkpoint().map_err(DaemonError::Recovery)?;
+        }
+        self.stop_and_join();
+        Ok(())
+    }
+
+    /// Hard stop without a checkpoint — simulates a crash. Everything
+    /// since the last checkpoint survives only in the journal, which is
+    /// exactly what the recovery path replays.
+    pub fn kill(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_ids_are_nonzero_and_distinct_per_stream() {
+        let a = engine_id_for("acme", "run-b");
+        let b = engine_id_for("acme", "run-c");
+        let c = engine_id_for("acme2", "run-b");
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, engine_id_for("acme", "run-b"));
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("tenant-1_A"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("a/b"));
+        assert!(!valid_name("a b"));
+        assert!(!valid_name(&"x".repeat(65)));
+    }
+}

@@ -1,0 +1,36 @@
+//! κ-as-a-service: a long-running, multi-tenant streaming consistency
+//! monitor (DESIGN.md §16).
+//!
+//! The batch pipeline answers "how consistent *were* these trials?"
+//! after the fact. This crate turns the same engines into a daemon that
+//! answers it **while the trials are still running**, for many
+//! experiments at once:
+//!
+//! * [`daemon`] — the service: tenants, streams, per-stream
+//!   [`choir_core::metrics::IncrementalComparison`] engines in
+//!   unbounded (batch-identical) mode, event-sourced durability
+//!   (journal + checkpoint) reusing the supervised-runner design, and a
+//!   thread-per-connection TCP serve loop.
+//! * [`store`] — the evictable trial store: per-tenant LRU memory
+//!   budget, file-backed spill, rebuild on demand; eviction is
+//!   invisible to every query.
+//! * [`wire`] — the protocol: 4-byte length-prefixed JSON frames,
+//!   with κ carried both as `f64` and as `f64::to_bits` so bit-identity
+//!   gates survive the wire.
+//! * [`client`] — a blocking client used by `choir-ctl`, the
+//!   integration tests, and the `repro service` benchmark.
+//!
+//! The load-bearing property, gated by `repro service`: every κ the
+//! daemon serves is bit-identical to a post-hoc batch analysis of the
+//! same records — across stream interleavings, store evictions, and
+//! kill/restart recovery.
+
+pub mod client;
+pub mod daemon;
+pub mod store;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use daemon::{Daemon, DaemonConfig, DaemonError, DaemonHandle};
+pub use store::{StoreError, StoreStats, TrialStore, OBS_BYTES};
+pub use wire::{Request, Response, WireError, WireFinal, WireKappa, WireObs};

@@ -1,0 +1,553 @@
+//! The evictable trial store: the TrialIndex cache generalized for a
+//! long-running daemon.
+//!
+//! The all-pairs engine's per-trial `TrialIndex` cache assumes every
+//! trial lives in memory for the run's duration — fine for a one-shot
+//! analysis, impossible for a daemon holding thousands of streams
+//! across tenants. [`TrialStore`] keeps each stream's observation
+//! vector under a per-store memory budget: least-recently-used trials
+//! are *evicted* to a file-backed spill directory (24 bytes per
+//! observation, little-endian) and transparently *rebuilt on demand*
+//! when next touched. Eviction is invisible to every consumer — a
+//! reloaded trial is byte-identical to the evicted one, which the
+//! service proptests gate on.
+//!
+//! The spill files double as the durable trial state for the daemon's
+//! checkpoints: [`TrialStore::flush_all`] writes every dirty resident
+//! trial, so after a crash the store reloads from disk and the
+//! journal replay appends only the post-checkpoint tail
+//! ([`TrialStore::truncate`] first cuts each trial back to its
+//! checkpointed length).
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use choir_core::metrics::{Observation, Trial};
+use choir_core::obs;
+use choir_packet::PacketId;
+
+/// In-memory footprint of one observation: a 16-byte identity plus an
+/// 8-byte timestamp. The budget arithmetic uses this, not allocator
+/// truth — it is deterministic and platform-independent.
+pub const OBS_BYTES: u64 = 24;
+
+/// A store failure: spill-dir I/O or a corrupt spill file.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure under the spill directory.
+    Io(std::io::Error),
+    /// A spill file's length is not a whole number of records, or it
+    /// holds fewer records than the store's accounting says it must.
+    Corrupt { key: String, detail: String },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "trial store I/O failed: {e}"),
+            StoreError::Corrupt { key, detail } => {
+                write!(f, "trial store spill for `{key}` is corrupt: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Aggregate store accounting, served over the wire for the RSS gate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Observation bytes currently resident (the budgeted quantity).
+    pub resident_bytes: u64,
+    /// Configured budget.
+    pub budget_bytes: u64,
+    /// Trials evicted to spill since the store was opened.
+    pub evictions: u64,
+    /// Trials rebuilt from spill since the store was opened.
+    pub reloads: u64,
+    /// Trials currently tracked (resident or spilled).
+    pub trials: u64,
+    /// Trials currently spilled out of memory.
+    pub spilled: u64,
+}
+
+struct Slot {
+    /// Resident observations, `None` while evicted.
+    obs: Option<Vec<Observation>>,
+    /// Authoritative record count (resident or not).
+    len: u64,
+    /// Records of the in-memory vector already safe in the spill file.
+    /// `< len` (with `obs` resident) means the tail is dirty.
+    persisted: u64,
+    /// LRU clock value at last touch.
+    used: u64,
+}
+
+/// The evictable trial store. Keys are `tenant/stream` strings; the
+/// daemon validates name characters before they reach here, so keys
+/// map to spill file names without escaping.
+pub struct TrialStore {
+    budget: u64,
+    spill_dir: PathBuf,
+    slots: HashMap<String, Slot>,
+    clock: u64,
+    resident_bytes: u64,
+    evictions: u64,
+    reloads: u64,
+}
+
+fn spill_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{}.trial", key.replace('/', "__")))
+}
+
+impl TrialStore {
+    /// Open a store over `spill_dir` (created if missing) with the
+    /// given resident-byte budget. `budget_bytes == 0` means
+    /// "everything spills as soon as it is not in use" and still works.
+    pub fn open(spill_dir: impl Into<PathBuf>, budget_bytes: u64) -> Result<Self, StoreError> {
+        let spill_dir = spill_dir.into();
+        fs::create_dir_all(&spill_dir)?;
+        Ok(TrialStore {
+            budget: budget_bytes,
+            spill_dir,
+            slots: HashMap::new(),
+            clock: 0,
+            resident_bytes: 0,
+            evictions: 0,
+            reloads: 0,
+        })
+    }
+
+    /// The configured budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Observation bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Aggregate accounting.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            resident_bytes: self.resident_bytes,
+            budget_bytes: self.budget,
+            evictions: self.evictions,
+            reloads: self.reloads,
+            trials: self.slots.len() as u64,
+            spilled: self.slots.values().filter(|s| s.obs.is_none()).count() as u64,
+        }
+    }
+
+    /// Authoritative record count for a key (0 if unknown).
+    pub fn len(&self, key: &str) -> u64 {
+        self.slots.get(key).map_or(0, |s| s.len)
+    }
+
+    /// `true` when no trial is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Every tracked key, sorted (deterministic iteration for
+    /// checkpoints and matrix labels).
+    pub fn keys(&self) -> Vec<String> {
+        let mut ks: Vec<String> = self.slots.keys().cloned().collect();
+        ks.sort();
+        ks
+    }
+
+    fn touch(slot: &mut Slot, clock: &mut u64) {
+        *clock += 1;
+        slot.used = *clock;
+    }
+
+    /// Append observations to a trial, creating it on first touch.
+    /// The trial is made resident first (rebuilt from spill if
+    /// evicted), and the budget is re-enforced afterwards — possibly
+    /// evicting *other* trials, never the one just appended to.
+    pub fn append(&mut self, key: &str, recs: &[Observation]) -> Result<(), StoreError> {
+        self.ensure_resident(key)?;
+        let slot = self.slots.get_mut(key).expect("ensured resident");
+        let obs = slot.obs.as_mut().expect("ensured resident");
+        obs.extend_from_slice(recs);
+        slot.len += recs.len() as u64;
+        Self::touch(slot, &mut self.clock);
+        self.resident_bytes += recs.len() as u64 * OBS_BYTES;
+        self.enforce_budget(Some(key))?;
+        Ok(())
+    }
+
+    /// Borrow a trial's observations, rebuilding from spill on demand.
+    /// Other trials may be evicted to make room for the reload.
+    pub fn get(&mut self, key: &str) -> Result<&[Observation], StoreError> {
+        self.ensure_resident(key)?;
+        self.enforce_budget(Some(key))?;
+        let slot = self.slots.get_mut(key).expect("ensured resident");
+        Self::touch(slot, &mut self.clock);
+        Ok(slot.obs.as_deref().expect("ensured resident"))
+    }
+
+    /// Materialize a trial as a [`Trial`] for the all-pairs engine.
+    pub fn trial(&mut self, key: &str) -> Result<Trial, StoreError> {
+        let obs = self.get(key)?;
+        let mut t = Trial::new();
+        for o in obs {
+            t.push(o.id, o.t_ps);
+        }
+        Ok(t)
+    }
+
+    /// Cut a trial back to `n` records (recovery: the checkpoint knows
+    /// `n`, the spill file may hold a longer post-checkpoint tail).
+    /// No-op when the trial is already at or below `n`.
+    pub fn truncate(&mut self, key: &str, n: u64) -> Result<(), StoreError> {
+        if self.len(key) <= n {
+            return Ok(());
+        }
+        self.ensure_resident(key)?;
+        let slot = self.slots.get_mut(key).expect("ensured resident");
+        let obs = slot.obs.as_mut().expect("ensured resident");
+        let dropped = obs.len() as u64 - n;
+        obs.truncate(n as usize);
+        slot.len = n;
+        slot.persisted = slot.persisted.min(n);
+        self.resident_bytes -= dropped * OBS_BYTES;
+        // The spill file may still hold the longer tail; rewrite it so
+        // disk never disagrees with accounting.
+        self.write_spill(key)?;
+        Ok(())
+    }
+
+    /// Drop a trial and its spill file.
+    pub fn remove(&mut self, key: &str) -> Result<(), StoreError> {
+        if let Some(slot) = self.slots.remove(key) {
+            if let Some(obs) = slot.obs {
+                self.resident_bytes -= obs.len() as u64 * OBS_BYTES;
+            }
+            let p = spill_path(&self.spill_dir, key);
+            if p.exists() {
+                fs::remove_file(p)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush every dirty resident trial to its spill file (trials stay
+    /// resident). After this, disk holds every record the store knows
+    /// about — the daemon calls it at checkpoint time.
+    pub fn flush_all(&mut self) -> Result<(), StoreError> {
+        let keys: Vec<String> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.obs.is_some() && s.persisted < s.len)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in keys {
+            self.write_spill(&k)?;
+        }
+        Ok(())
+    }
+
+    /// Adopt a trial already on disk (daemon restart): trust the spill
+    /// file for `count` records without loading it yet.
+    pub fn adopt(&mut self, key: &str, count: u64) -> Result<(), StoreError> {
+        if count == 0 {
+            // Nothing durable to trust — start the trial empty and
+            // resident (there may be no spill file at all yet).
+            self.slots.insert(
+                key.to_string(),
+                Slot {
+                    obs: Some(Vec::new()),
+                    len: 0,
+                    persisted: 0,
+                    used: self.clock,
+                },
+            );
+            return Ok(());
+        }
+        let p = spill_path(&self.spill_dir, key);
+        let on_disk = if p.exists() { fs::metadata(&p)?.len() / OBS_BYTES } else { 0 };
+        if on_disk < count {
+            return Err(StoreError::Corrupt {
+                key: key.to_string(),
+                detail: format!("spill holds {on_disk} records, checkpoint expects {count}"),
+            });
+        }
+        self.slots.insert(
+            key.to_string(),
+            Slot {
+                obs: None,
+                len: count,
+                persisted: count,
+                used: self.clock,
+            },
+        );
+        Ok(())
+    }
+
+    fn ensure_resident(&mut self, key: &str) -> Result<(), StoreError> {
+        match self.slots.get(key) {
+            None => {
+                self.slots.insert(
+                    key.to_string(),
+                    Slot {
+                        obs: Some(Vec::new()),
+                        len: 0,
+                        persisted: 0,
+                        used: self.clock,
+                    },
+                );
+                Ok(())
+            }
+            Some(s) if s.obs.is_some() => Ok(()),
+            Some(_) => self.reload(key),
+        }
+    }
+
+    fn reload(&mut self, key: &str) -> Result<(), StoreError> {
+        let want = self.slots[key].len;
+        let p = spill_path(&self.spill_dir, key);
+        let mut raw = Vec::new();
+        fs::File::open(&p)?.read_to_end(&mut raw)?;
+        if !(raw.len() as u64).is_multiple_of(OBS_BYTES) {
+            return Err(StoreError::Corrupt {
+                key: key.to_string(),
+                detail: format!("{} bytes is not a whole record count", raw.len()),
+            });
+        }
+        let have = raw.len() as u64 / OBS_BYTES;
+        if have < want {
+            return Err(StoreError::Corrupt {
+                key: key.to_string(),
+                detail: format!("spill holds {have} records, store expects {want}"),
+            });
+        }
+        // A longer file is fine (pre-crash tail beyond the adopted
+        // checkpoint count); only the accounted prefix is loaded.
+        let mut obs = Vec::with_capacity(want as usize);
+        for i in 0..want as usize {
+            let b = &raw[i * OBS_BYTES as usize..(i + 1) * OBS_BYTES as usize];
+            let id = u128::from_le_bytes(b[..16].try_into().expect("16-byte id"));
+            let t_ps = u64::from_le_bytes(b[16..24].try_into().expect("8-byte ts"));
+            obs.push(Observation {
+                id: PacketId(id),
+                t_ps,
+            });
+        }
+        let slot = self.slots.get_mut(key).expect("caller checked");
+        slot.obs = Some(obs);
+        slot.persisted = want;
+        self.resident_bytes += want * OBS_BYTES;
+        self.reloads += 1;
+        if obs::is_enabled() {
+            obs::counter_inc("service.store.reloads");
+        }
+        Ok(())
+    }
+
+    fn write_spill(&mut self, key: &str) -> Result<(), StoreError> {
+        let slot = self.slots.get(key).expect("flush of unknown key");
+        let obs = slot.obs.as_ref().expect("flush of evicted trial");
+        let mut raw = Vec::with_capacity(obs.len() * OBS_BYTES as usize);
+        for o in obs {
+            raw.extend_from_slice(&o.id.0.to_le_bytes());
+            raw.extend_from_slice(&o.t_ps.to_le_bytes());
+        }
+        let p = spill_path(&self.spill_dir, key);
+        let tmp = p.with_extension("trial.tmp");
+        fs::File::create(&tmp)?.write_all(&raw)?;
+        fs::rename(&tmp, &p)?;
+        let slot = self.slots.get_mut(key).expect("flush of unknown key");
+        slot.persisted = slot.len;
+        Ok(())
+    }
+
+    /// Evict least-recently-used trials until resident bytes fit the
+    /// budget. `keep` (the trial the caller is actively using) is never
+    /// evicted, so a single over-budget trial stays resident — the
+    /// budget bounds everything evictable.
+    fn enforce_budget(&mut self, keep: Option<&str>) -> Result<(), StoreError> {
+        while self.resident_bytes > self.budget {
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(k, s)| s.obs.is_some() && keep != Some(k.as_str()))
+                .min_by_key(|(_, s)| s.used)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            self.evict(&victim)?;
+        }
+        Ok(())
+    }
+
+    fn evict(&mut self, key: &str) -> Result<(), StoreError> {
+        let slot = self.slots.get(key).expect("evict of unknown key");
+        if slot.persisted < slot.len {
+            self.write_spill(key)?;
+        }
+        let slot = self.slots.get_mut(key).expect("evict of unknown key");
+        let obs = slot.obs.take().expect("evict of non-resident trial");
+        self.resident_bytes -= obs.len() as u64 * OBS_BYTES;
+        self.evictions += 1;
+        if obs::is_enabled() {
+            obs::counter_inc("service.store.evictions");
+            obs::gauge_set("service.store.resident_bytes", self.resident_bytes);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "choir-store-{name}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    fn obs_seq(base: u64, n: u64) -> Vec<Observation> {
+        (0..n)
+            .map(|i| Observation {
+                id: PacketId(((base + i) as u128) << 32 | 7),
+                t_ps: base * 1_000 + i * 37,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_get_roundtrip_without_eviction() {
+        let mut st = TrialStore::open(tmp("plain"), 1 << 20).unwrap();
+        let a = obs_seq(0, 100);
+        st.append("t0/a", &a[..60]).unwrap();
+        st.append("t0/a", &a[60..]).unwrap();
+        assert_eq!(st.get("t0/a").unwrap(), &a[..]);
+        assert_eq!(st.len("t0/a"), 100);
+        assert_eq!(st.resident_bytes(), 100 * OBS_BYTES);
+        assert_eq!(st.stats().evictions, 0);
+    }
+
+    #[test]
+    fn eviction_and_reload_are_invisible() {
+        // Budget fits ~one trial: the second append evicts the first.
+        let mut st = TrialStore::open(tmp("evict"), 150 * OBS_BYTES).unwrap();
+        let a = obs_seq(0, 100);
+        let b = obs_seq(1_000, 100);
+        st.append("t0/a", &a).unwrap();
+        st.append("t0/b", &b).unwrap();
+        let s = st.stats();
+        assert!(s.evictions >= 1, "budget must have forced an eviction");
+        assert!(s.resident_bytes <= s.budget_bytes);
+        // Reload is byte-identical.
+        assert_eq!(st.get("t0/a").unwrap(), &a[..]);
+        assert_eq!(st.get("t0/b").unwrap(), &b[..]);
+        assert!(st.stats().reloads >= 1);
+    }
+
+    #[test]
+    fn append_after_eviction_appends_to_reloaded_trial() {
+        let mut st = TrialStore::open(tmp("appendback"), 80 * OBS_BYTES).unwrap();
+        let a = obs_seq(0, 60);
+        let b = obs_seq(500, 60);
+        st.append("t0/a", &a).unwrap();
+        st.append("t0/b", &b).unwrap(); // evicts a
+        let a2 = obs_seq(9_000, 10);
+        st.append("t0/a", &a2).unwrap(); // reloads a, appends
+        let mut want = a.clone();
+        want.extend_from_slice(&a2);
+        assert_eq!(st.get("t0/a").unwrap(), &want[..]);
+    }
+
+    #[test]
+    fn over_budget_single_trial_stays_resident() {
+        let mut st = TrialStore::open(tmp("big"), 10 * OBS_BYTES).unwrap();
+        let a = obs_seq(0, 100);
+        st.append("t0/a", &a).unwrap();
+        // Nothing else to evict: the active trial is kept.
+        assert_eq!(st.get("t0/a").unwrap(), &a[..]);
+        assert_eq!(st.stats().spilled, 0);
+    }
+
+    #[test]
+    fn flush_adopt_truncate_recovery_cycle() {
+        let dir = tmp("recover");
+        let a = obs_seq(0, 90);
+        {
+            let mut st = TrialStore::open(&dir, 1 << 20).unwrap();
+            // Checkpoint at 50 records, then 40 more arrive (journaled
+            // but not checkpointed), then flush as an eviction would.
+            st.append("t0/a", &a[..50]).unwrap();
+            st.flush_all().unwrap();
+            st.append("t0/a", &a[50..]).unwrap();
+            st.flush_all().unwrap();
+        }
+        // Restart: the checkpoint says 50; the file holds 90.
+        let mut st = TrialStore::open(&dir, 1 << 20).unwrap();
+        st.adopt("t0/a", 50).unwrap();
+        assert_eq!(st.get("t0/a").unwrap(), &a[..50]);
+        // Journal replay re-appends the tail.
+        st.append("t0/a", &a[50..]).unwrap();
+        assert_eq!(st.get("t0/a").unwrap(), &a[..]);
+    }
+
+    #[test]
+    fn truncate_rewrites_spill() {
+        let dir = tmp("trunc");
+        let a = obs_seq(0, 30);
+        let mut st = TrialStore::open(&dir, 1 << 20).unwrap();
+        st.append("t0/a", &a).unwrap();
+        st.truncate("t0/a", 12).unwrap();
+        assert_eq!(st.get("t0/a").unwrap(), &a[..12]);
+        // The spill file agrees.
+        let p = spill_path(&dir, "t0/a");
+        assert_eq!(fs::metadata(p).unwrap().len(), 12 * OBS_BYTES);
+    }
+
+    #[test]
+    fn adopt_refuses_short_spill() {
+        let dir = tmp("short");
+        let mut st = TrialStore::open(&dir, 1 << 20).unwrap();
+        st.append("t0/a", &obs_seq(0, 5)).unwrap();
+        st.flush_all().unwrap();
+        drop(st);
+        let mut st = TrialStore::open(&dir, 1 << 20).unwrap();
+        let err = st.adopt("t0/a", 9).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn remove_deletes_slot_and_file() {
+        let dir = tmp("rm");
+        let mut st = TrialStore::open(&dir, 1 << 20).unwrap();
+        st.append("t0/a", &obs_seq(0, 8)).unwrap();
+        st.flush_all().unwrap();
+        st.remove("t0/a").unwrap();
+        assert_eq!(st.len("t0/a"), 0);
+        assert!(!spill_path(&dir, "t0/a").exists());
+        assert_eq!(st.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn trial_materialization_matches_observations() {
+        let mut st = TrialStore::open(tmp("trial"), 1 << 20).unwrap();
+        let a = obs_seq(3, 40);
+        st.append("t0/a", &a).unwrap();
+        let t = st.trial("t0/a").unwrap();
+        assert_eq!(t.len(), 40);
+        assert_eq!(t.observations(), &a[..]);
+    }
+}

@@ -22,7 +22,14 @@ pub mod runner;
 pub use multidomain::{run_multidomain, MultiDomainConfig, MultiDomainOutput, MultiDomainProfile};
 pub use profiles::{EnvKind, EnvProfile};
 pub use runner::{
+    sim_stats_report, Experiment, ExperimentConfig, ExperimentOutput, SimTuning, StreamingMode,
+    SupervisorConfig,
+};
+// The deprecated run_experiment* shims stay re-exported so downstream
+// code keeps compiling (with its own deprecation warnings) until it
+// migrates to the Experiment builder; see DESIGN.md §16.
+#[allow(deprecated)]
+pub use runner::{
     run_experiment, run_experiment_streaming, run_experiment_streaming_supervised,
-    run_experiment_tuned, sim_stats_report, ExperimentConfig, ExperimentOutput, SimTuning,
-    StreamingMode, SupervisorConfig,
+    run_experiment_tuned,
 };

@@ -24,7 +24,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use choir_capture::{PcapChunkReader, Recorder, RecorderConfig};
+use choir_capture::{PcapChunkReader, QueueSource, Recorder, RecorderConfig, Source};
 use choir_core::metrics::allpairs::{all_pairs_sharded_with, KappaMatrix};
 use choir_core::metrics::report::{RecoveryReport, RunReport, TrialComparison};
 use choir_core::metrics::{
@@ -151,24 +151,100 @@ pub struct ExperimentOutput {
     pub capture_wall_ns: u64,
 }
 
+/// One experiment, composed instead of dispatched: what to run
+/// ([`ExperimentConfig`]) plus every orthogonal axis — simulator tuning,
+/// live streaming κ, crash supervision — as chainable builder steps,
+/// mirroring the `PairAnalyzer` redesign (DESIGN.md §12).
+///
+/// ```no_run
+/// use choir_testbed::{EnvKind, Experiment, ExperimentConfig, StreamingMode};
+///
+/// let cfg = ExperimentConfig::full(EnvKind::LocalSingle.profile());
+/// let out = Experiment::new(cfg)
+///     .streaming(StreamingMode { lookahead: None, snapshot_every: 500 })
+///     .run();
+/// assert!(out.report.stream.is_some());
+/// ```
+///
+/// This replaces the four free functions `run_experiment`,
+/// `run_experiment_tuned`, `run_experiment_streaming`, and
+/// `run_experiment_streaming_supervised`, which survive as deprecated
+/// shims over the builder (migration table in DESIGN.md §16).
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    cfg: ExperimentConfig,
+    tuning: SimTuning,
+    streaming: Option<StreamingMode>,
+    supervised: Option<SupervisorConfig>,
+}
+
+impl Experiment {
+    /// An experiment with default tuning, no streaming engine, and no
+    /// crash supervision.
+    pub fn new(cfg: ExperimentConfig) -> Self {
+        Experiment {
+            cfg,
+            tuning: SimTuning::default(),
+            streaming: None,
+            supervised: None,
+        }
+    }
+
+    /// Explicit simulator hot-path tuning (default: the fast path).
+    pub fn tuning(mut self, tuning: SimTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Tap a live streaming-κ engine into the recorder's rx path: from
+    /// the second replay run onward, every admitted packet is scored
+    /// against the baseline run *while the simulation executes*, and
+    /// the per-run snapshot trails ride along in `report.stream`.
+    pub fn streaming(mut self, mode: StreamingMode) -> Self {
+        self.streaming = Some(mode);
+        self
+    }
+
+    /// Run the streaming engine under a crash supervisor (checkpoint
+    /// cadence, injected kills and tap panics, capture salvage) —
+    /// meaningful together with [`Self::streaming`]; without it only
+    /// the capture-salvage leg and the recovery accounting engage.
+    pub fn supervised(mut self, sup: SupervisorConfig) -> Self {
+        self.supervised = Some(sup);
+        self
+    }
+
+    /// Run the experiment end to end.
+    ///
+    /// # Panics
+    /// Panics if the pipeline produces fewer than two trials (nothing
+    /// to compare) — that would indicate a wiring bug, not a
+    /// measurement. Injected tap panics never escape the supervisor.
+    pub fn run(self) -> ExperimentOutput {
+        run_experiment_inner(&self.cfg, self.tuning, self.streaming, self.supervised)
+    }
+}
+
 /// Run one environment end to end.
 ///
 /// # Panics
 /// Panics if the pipeline produces fewer than two trials (nothing to
 /// compare) — that would indicate a wiring bug, not a measurement.
+#[deprecated(note = "use Experiment::new(cfg).run() (see DESIGN.md §16)")]
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentOutput {
-    run_experiment_tuned(cfg, SimTuning::default())
+    Experiment::new(cfg.clone()).run()
 }
 
-/// [`run_experiment`] with explicit simulator hot-path tuning.
+/// [`Experiment::run`] with explicit simulator hot-path tuning.
 ///
 /// # Panics
-/// Same contract as [`run_experiment`].
+/// Same contract as [`Experiment::run`].
+#[deprecated(note = "use Experiment::new(cfg).tuning(tuning).run() (see DESIGN.md §16)")]
 pub fn run_experiment_tuned(cfg: &ExperimentConfig, tuning: SimTuning) -> ExperimentOutput {
-    run_experiment_inner(cfg, tuning, None, None)
+    Experiment::new(cfg.clone()).tuning(tuning).run()
 }
 
-/// Streaming-κ configuration for [`run_experiment_streaming`].
+/// Streaming-κ configuration for [`Experiment::streaming`].
 #[derive(Debug, Clone, Copy)]
 pub struct StreamingMode {
     /// Reorder window for the incremental engine: `None` streams with
@@ -180,24 +256,24 @@ pub struct StreamingMode {
     pub snapshot_every: u64,
 }
 
-/// [`run_experiment_tuned`] with a live streaming-κ engine tapped into
-/// the recorder's rx path: from the second replay run onward, every
-/// admitted packet is scored against the baseline run *while the
-/// simulation executes*, and the per-run snapshot trails ride along in
-/// `report.stream`.
+/// [`Experiment::run`] with a live streaming-κ engine tapped into the
+/// recorder's rx path.
 ///
 /// # Panics
-/// Same contract as [`run_experiment`].
+/// Same contract as [`Experiment::run`].
+#[deprecated(
+    note = "use Experiment::new(cfg).tuning(tuning).streaming(mode).run() (see DESIGN.md §16)"
+)]
 pub fn run_experiment_streaming(
     cfg: &ExperimentConfig,
     tuning: SimTuning,
     mode: StreamingMode,
 ) -> ExperimentOutput {
-    run_experiment_inner(cfg, tuning, Some(mode), None)
+    Experiment::new(cfg.clone()).tuning(tuning).streaming(mode).run()
 }
 
 /// Fault schedule and recovery policy for
-/// [`run_experiment_streaming_supervised`]. The same philosophy as the
+/// [`Experiment::supervised`]. The same philosophy as the
 /// PR-1 replay supervision (bounded budgets, degrade-and-count, typed
 /// accounting) applied to the streaming κ engine's lifetime: the
 /// supervisor checkpoints on a cadence, injects process-death and
@@ -232,31 +308,42 @@ impl Default for SupervisorConfig {
     }
 }
 
-/// [`run_experiment_streaming`] under a crash supervisor: the streaming
-/// engine is checkpointed on a cadence and driven through injected
-/// kills, tap panics, and (optionally) a corrupted capture stream,
-/// recovering every fault from the last durable checkpoint. The
-/// recovery accounting rides on `report.recovery`; the measurement
+/// Streaming [`Experiment::run`] under a crash supervisor: the
+/// streaming engine is checkpointed on a cadence and driven through
+/// injected kills, tap panics, and (optionally) a corrupted capture
+/// stream, recovering every fault from the last durable checkpoint.
+/// The recovery accounting rides on `report.recovery`; the measurement
 /// itself is bit-identical to an unsupervised run — that is the
 /// recovery layer's whole contract, and `repro recover` gates on it.
 ///
 /// # Panics
-/// Same contract as [`run_experiment`]. Injected tap panics never
+/// Same contract as [`Experiment::run`]. Injected tap panics never
 /// escape the supervisor.
+#[deprecated(
+    note = "use Experiment::new(cfg).tuning(tuning).streaming(mode).supervised(sup).run() \
+            (see DESIGN.md §16)"
+)]
 pub fn run_experiment_streaming_supervised(
     cfg: &ExperimentConfig,
     tuning: SimTuning,
     mode: StreamingMode,
     sup: SupervisorConfig,
 ) -> ExperimentOutput {
-    run_experiment_inner(cfg, tuning, Some(mode), Some(sup))
+    Experiment::new(cfg.clone())
+        .tuning(tuning)
+        .streaming(mode)
+        .supervised(sup)
+        .run()
 }
 
 /// A live comparison between the baseline run (side A, fed from the
-/// already-captured first trial) and the in-flight run (side B, fed by
-/// the recorder-port rx tap).
+/// already-captured first trial) and the in-flight run (side B, pulled
+/// from a [`choir_capture::Source`] that the recorder-port rx tap
+/// pushes into). This is the same ingestion path the κ-as-a-service
+/// daemon drives — the tap is just one producer behind a
+/// [`QueueHandle`].
 ///
-/// A is fed in lock step — one baseline observation per tapped packet —
+/// A is fed in lock step — one baseline observation per pulled packet —
 /// so bounded-window mode keeps residency near the configured window
 /// instead of buffering one whole side. Any baseline tail left when the
 /// run ends is flushed in [`LiveStream::finish`]; in full-lookahead mode
@@ -266,18 +353,23 @@ struct LiveStream {
     eng: IncrementalComparison,
     baseline: Vec<Observation>,
     fed_a: usize,
+    src: QueueSource,
 }
 
 impl LiveStream {
-    fn on_rx(&mut self, id: choir_packet::PacketId, t_ps: u64) {
-        if let Some(&o) = self.baseline.get(self.fed_a) {
-            self.eng.push(Side::A, o.id, o.t_ps);
-            self.fed_a += 1;
+    /// Drain everything the tap has pushed since the last pump.
+    fn pump(&mut self) {
+        while let Ok(Some(o)) = self.src.next_record() {
+            if let Some(&a) = self.baseline.get(self.fed_a) {
+                self.eng.push(Side::A, a.id, a.t_ps);
+                self.fed_a += 1;
+            }
+            self.eng.push(Side::B, o.id, o.t_ps);
         }
-        self.eng.push(Side::B, id, t_ps);
     }
 
     fn finish(mut self, label: String) -> StreamOutcome {
+        self.pump();
         while let Some(&o) = self.baseline.get(self.fed_a) {
             self.eng.push(Side::A, o.id, o.t_ps);
             self.fed_a += 1;
@@ -300,6 +392,11 @@ struct SupervisedStream {
     baseline: Vec<Observation>,
     fed_a: usize,
     sup: SupervisorConfig,
+    /// The engine's config and identity, for the checked resume: a
+    /// recovery must refuse a checkpoint that pairs with a different
+    /// engine or config instead of silently computing a wrong κ.
+    cfg: StreamConfig,
+    engine_id: u64,
     /// Last durable checkpoint (serialized) and the A-side cursor at
     /// the moment it was taken.
     ck_json: String,
@@ -309,11 +406,18 @@ struct SupervisedStream {
     /// Packets tapped so far (fault cadences count these).
     tapped: u64,
     rec: RecoveryReport,
+    src: QueueSource,
 }
 
 impl SupervisedStream {
-    fn new(cfg: StreamConfig, baseline: Vec<Observation>, sup: SupervisorConfig) -> Self {
-        let eng = IncrementalComparison::new(cfg);
+    fn new(
+        cfg: StreamConfig,
+        engine_id: u64,
+        baseline: Vec<Observation>,
+        sup: SupervisorConfig,
+        src: QueueSource,
+    ) -> Self {
+        let eng = IncrementalComparison::new(cfg).with_engine_id(engine_id);
         let ck_json = serde_json::to_string(&eng.checkpoint()).expect("checkpoint serializes");
         let bytes = ck_json.len() as u64;
         SupervisedStream {
@@ -321,6 +425,8 @@ impl SupervisedStream {
             baseline,
             fed_a: 0,
             sup,
+            cfg,
+            engine_id,
             ck_json,
             ck_fed_a: 0,
             journal: Vec::new(),
@@ -332,6 +438,21 @@ impl SupervisedStream {
                 checkpoint_bytes_peak: bytes,
                 ..RecoveryReport::default()
             },
+            src,
+        }
+    }
+
+    /// Drain everything the tap has pushed, feeding each record under
+    /// its own blast shield: an injected (or real) panic inside the
+    /// engine never reaches the simulator, it becomes a recovery, and
+    /// the drain continues with the next record.
+    fn pump(&mut self) {
+        while let Ok(Some(o)) = self.src.next_record() {
+            let fed =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.feed(o.id, o.t_ps)));
+            if fed.is_err() {
+                self.recover_from_panic();
+            }
         }
     }
 
@@ -391,7 +512,10 @@ impl SupervisedStream {
         let t = std::time::Instant::now();
         let ck: StreamCheckpoint =
             serde_json::from_str(&self.ck_json).expect("durable checkpoint parses");
-        self.eng = IncrementalComparison::resume(ck);
+        // The checked resume: a checkpoint that pairs with another
+        // engine or config is a supervisor bug, not a recovery.
+        self.eng = IncrementalComparison::resume_checked(ck, self.engine_id, &self.cfg)
+            .expect("durable checkpoint pairs with this engine");
         self.fed_a = self.ck_fed_a;
         let n = self.journal.len();
         for i in 0..n {
@@ -415,6 +539,7 @@ impl SupervisedStream {
     }
 
     fn finish(mut self, label: String) -> (StreamOutcome, RecoveryReport) {
+        self.pump();
         while let Some(&o) = self.baseline.get(self.fed_a) {
             self.eng.push(Side::A, o.id, o.t_ps);
             self.fed_a += 1;
@@ -621,28 +746,28 @@ fn run_experiment_inner(
                     snapshot_every: mode.snapshot_every,
                     kappa: KappaConfig::paper(),
                 };
+                // The rx tap is just a producer behind the unified
+                // Source API: it pushes into a QueueHandle, and the
+                // stream pulls — the same ingestion path the
+                // κ-as-a-service daemon drives (DESIGN.md §16).
+                let (src, handle) = QueueSource::new();
                 if let Some(sup) = supervised {
-                    let ss =
-                        SupervisedStream::new(stream_cfg, baseline.observations().to_vec(), sup);
+                    let ss = SupervisedStream::new(
+                        stream_cfg,
+                        run as u64 + 1,
+                        baseline.observations().to_vec(),
+                        sup,
+                        src,
+                    );
                     let cell = Rc::new(RefCell::new(Some(ss)));
                     let tap_cell = Rc::clone(&cell);
                     sim.set_rx_tap(
                         rec,
                         0,
                         Box::new(move |ts, m| {
-                            let mut guard = tap_cell.borrow_mut();
-                            if let Some(ss) = guard.as_mut() {
-                                let id = m.frame.packet_id();
-                                // The tap boundary is the supervisor's
-                                // blast shield: an injected (or real)
-                                // panic in the engine never reaches the
-                                // simulator, it becomes a recovery.
-                                let fed = std::panic::catch_unwind(
-                                    std::panic::AssertUnwindSafe(|| ss.feed(id, ts)),
-                                );
-                                if fed.is_err() {
-                                    ss.recover_from_panic();
-                                }
+                            handle.push(m.frame.packet_id(), ts);
+                            if let Some(ss) = tap_cell.borrow_mut().as_mut() {
+                                ss.pump();
                             }
                         }),
                     );
@@ -652,6 +777,7 @@ fn run_experiment_inner(
                         eng: IncrementalComparison::new(stream_cfg),
                         baseline: baseline.observations().to_vec(),
                         fed_a: 0,
+                        src,
                     };
                     let cell = Rc::new(RefCell::new(Some(ls)));
                     let tap_cell = Rc::clone(&cell);
@@ -659,8 +785,9 @@ fn run_experiment_inner(
                         rec,
                         0,
                         Box::new(move |ts, m| {
+                            handle.push(m.frame.packet_id(), ts);
                             if let Some(ls) = tap_cell.borrow_mut().as_mut() {
-                                ls.on_rx(m.frame.packet_id(), ts);
+                                ls.pump();
                             }
                         }),
                     );
@@ -840,11 +967,12 @@ mod tests {
     fn quick(kind: EnvKind, scale: f64, seed: u64) -> ExperimentOutput {
         let mut profile = kind.profile();
         profile.runs = 3; // A + two comparisons is enough for tests
-        run_experiment(&ExperimentConfig {
+        Experiment::new(ExperimentConfig {
             profile,
             scale,
             seed,
         })
+        .run()
     }
 
     #[test]
@@ -903,14 +1031,12 @@ mod tests {
             scale: 0.001,
             seed: 7,
         };
-        let out = run_experiment_streaming(
-            &cfg,
-            SimTuning::default(),
-            StreamingMode {
+        let out = Experiment::new(cfg.clone())
+            .streaming(StreamingMode {
                 lookahead: None,
                 snapshot_every: 500,
-            },
-        );
+            })
+            .run();
         let stream = out.report.stream.as_ref().expect("stream trail attached");
         assert_eq!(stream.lookahead, None);
         assert_eq!(stream.snapshot_every, 500);
@@ -935,7 +1061,7 @@ mod tests {
         }
         // Streaming is an observer: trials and batch report are
         // unchanged vs the plain tuned run.
-        let plain = run_experiment_tuned(&cfg, SimTuning::default());
+        let plain = Experiment::new(cfg).run();
         assert_eq!(plain.trials, out.trials);
     }
 
@@ -952,14 +1078,14 @@ mod tests {
             lookahead: None,
             snapshot_every: 137,
         };
-        let unsupervised = run_experiment_streaming(&cfg, SimTuning::default(), mode);
+        let unsupervised = Experiment::new(cfg.clone()).streaming(mode).run();
         let sup = SupervisorConfig {
             checkpoint_every: 97,
             kill_every: Some(211),
             panic_every: Some(401),
             corrupt_capture_seed: Some(11),
         };
-        let out = run_experiment_streaming_supervised(&cfg, SimTuning::default(), mode, sup);
+        let out = Experiment::new(cfg).streaming(mode).supervised(sup).run();
 
         let rec = out.report.recovery.expect("recovery report attached");
         assert!(rec.kills_injected > 0, "kill cadence must have fired");
@@ -1017,27 +1143,45 @@ mod tests {
             lookahead: Some(64),
             snapshot_every: 200,
         };
-        let out = run_experiment_streaming_supervised(
-            &cfg,
-            SimTuning::default(),
-            mode,
-            SupervisorConfig {
+        let out = Experiment::new(cfg.clone())
+            .streaming(mode)
+            .supervised(SupervisorConfig {
                 checkpoint_every: 128,
                 ..SupervisorConfig::default()
-            },
-        );
+            })
+            .run();
         let rec = out.report.recovery.expect("recovery report attached");
         assert_eq!(rec.kills_injected, 0);
         assert_eq!(rec.tap_panics_caught, 0);
         assert_eq!(rec.records_replayed, 0);
         assert!(rec.checkpoints_taken > 1);
         // Bounded-mode streaming still matches the unsupervised run.
-        let plain = run_experiment_streaming(&cfg, SimTuning::default(), mode);
+        let plain = Experiment::new(cfg).streaming(mode).run();
         let a = &out.report.stream.as_ref().unwrap().runs;
         let b = &plain.report.stream.as_ref().unwrap().runs;
         for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x.final_kappa.to_bits(), y.final_kappa.to_bits());
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_builder() {
+        // The four legacy free functions are pure shims over Experiment;
+        // determinism means shim and builder produce identical captures.
+        let mut profile = EnvKind::LocalSingle.profile();
+        profile.runs = 2;
+        let cfg = ExperimentConfig {
+            profile,
+            scale: 0.001,
+            seed: 5,
+        };
+        let shim = run_experiment(&cfg);
+        let built = Experiment::new(cfg.clone()).run();
+        assert_eq!(shim.trials, built.trials);
+        let shim = run_experiment_tuned(&cfg, SimTuning::per_packet());
+        let built = Experiment::new(cfg).tuning(SimTuning::per_packet()).run();
+        assert_eq!(shim.trials, built.trials);
     }
 
     #[test]
@@ -1085,11 +1229,12 @@ mod tests {
         let mut profile = EnvKind::LocalDual.profile();
         profile.replayers = 3;
         profile.runs = 2;
-        let out = run_experiment(&ExperimentConfig {
+        let out = Experiment::new(ExperimentConfig {
             profile,
             scale: 0.003,
             seed: 31,
-        });
+        })
+        .run();
         let replayer_ids: std::collections::HashSet<u16> = out.trials[0]
             .observations()
             .iter()

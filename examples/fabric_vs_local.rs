@@ -9,7 +9,7 @@
 //! cargo run --release --example fabric_vs_local [scale]
 //! ```
 
-use choir::testbed::{run_experiment, EnvKind, ExperimentConfig};
+use choir::testbed::{EnvKind, Experiment, ExperimentConfig};
 
 fn main() {
     let scale: f64 = std::env::args()
@@ -27,11 +27,12 @@ fn main() {
 
     let mut rows = Vec::new();
     for kind in envs {
-        let out = run_experiment(&ExperimentConfig {
+        let out = Experiment::new(ExperimentConfig {
             profile: kind.profile(),
             scale,
             seed: 0xFAB,
-        });
+        })
+        .run();
         let w10 = out
             .report
             .runs

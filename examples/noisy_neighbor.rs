@@ -9,7 +9,7 @@
 //! cargo run --release --example noisy_neighbor [scale]
 //! ```
 
-use choir::testbed::{run_experiment, EnvKind, ExperimentConfig};
+use choir::testbed::{EnvKind, Experiment, ExperimentConfig};
 
 fn main() {
     let scale: f64 = std::env::args()
@@ -26,11 +26,12 @@ fn main() {
     ];
 
     for (label, kind) in pairs {
-        let out = run_experiment(&ExperimentConfig {
+        let out = Experiment::new(ExperimentConfig {
             profile: kind.profile(),
             scale,
             seed: 0x10E5,
-        });
+        })
+        .run();
         let drops: usize = out.report.runs.iter().map(|r| r.missing).sum();
         println!(
             "{:<30} kappa {:.4}   I {:.4}   U {:.2e}   dropped packets across runs: {}",

@@ -9,7 +9,7 @@ use choir::metrics::report::analyze;
 use choir::metrics::{compare, Trial};
 use choir::packet::{ChoirTag, Frame};
 use choir::replay::recording::Recording;
-use choir::testbed::{run_experiment, EnvKind, ExperimentConfig};
+use choir::testbed::{EnvKind, Experiment, ExperimentConfig};
 
 #[test]
 fn forced_recorder_drops_surface_as_uniqueness_variation() {
@@ -17,11 +17,12 @@ fn forced_recorder_drops_surface_as_uniqueness_variation() {
     let mut profile = EnvKind::FabricShared40Noisy.profile();
     profile.recorder_drop_prob = 0.05;
     profile.runs = 3;
-    let out = run_experiment(&ExperimentConfig {
+    let out = Experiment::new(ExperimentConfig {
         profile,
         scale: 0.005,
         seed: 11,
-    });
+    })
+    .run();
     for run in &out.report.runs {
         assert!(run.missing > 0 || run.extra > 0, "5% loss must be visible");
         assert!(run.metrics.u > 0.01, "U = {}", run.metrics.u);
@@ -183,19 +184,21 @@ fn clock_step_between_replays_shifts_start_but_not_consistency() {
     profile.runs = 2;
     // Huge per-run PTP offsets.
     profile.ptp_offset_sigma_ns = 5_000.0;
-    let stepped = run_experiment(&ExperimentConfig {
+    let stepped = Experiment::new(ExperimentConfig {
         profile,
         scale: 0.005,
         seed: 21,
-    });
+    })
+    .run();
     let mut profile2 = EnvKind::LocalSingle.profile();
     profile2.runs = 2;
     profile2.ptp_offset_sigma_ns = 5.0;
-    let steady = run_experiment(&ExperimentConfig {
+    let steady = Experiment::new(ExperimentConfig {
         profile: profile2,
         scale: 0.005,
         seed: 21,
-    });
+    })
+    .run();
     let d = (stepped.report.mean.kappa - steady.report.mean.kappa).abs();
     assert!(d < 0.02, "kappa moved {d} under a clock step");
     // Keep the import honest.

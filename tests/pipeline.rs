@@ -5,16 +5,17 @@
 //! These tests assert the *shape criteria* from DESIGN.md §5 — the
 //! qualitative structure of the paper's results — at reduced scale.
 
-use choir::testbed::{run_experiment, EnvKind, ExperimentConfig, ExperimentOutput};
+use choir::testbed::{EnvKind, Experiment, ExperimentConfig, ExperimentOutput};
 
 fn quick(kind: EnvKind, scale: f64, seed: u64, runs: usize) -> ExperimentOutput {
     let mut profile = kind.profile();
     profile.runs = runs;
-    run_experiment(&ExperimentConfig {
+    Experiment::new(ExperimentConfig {
         profile,
         scale,
         seed,
     })
+    .run()
 }
 
 #[test]
@@ -183,19 +184,18 @@ fn eighty_gbps_doubles_packet_count() {
 // ---------------------------------------------------------------------------
 
 use choir::netsim::QueueKind;
-use choir::testbed::{run_experiment_tuned, SimTuning};
+use choir::testbed::SimTuning;
 
 fn quick_tuned(kind: EnvKind, scale: f64, seed: u64, tuning: SimTuning) -> ExperimentOutput {
     let mut profile = kind.profile();
     profile.runs = 2;
-    run_experiment_tuned(
-        &ExperimentConfig {
-            profile,
-            scale,
-            seed,
-        },
-        tuning,
-    )
+    Experiment::new(ExperimentConfig {
+        profile,
+        scale,
+        seed,
+    })
+    .tuning(tuning)
+    .run()
 }
 
 #[test]
