@@ -450,7 +450,6 @@ impl ServiceState {
                     .tenants
                     .get_mut(&tenant)
                     .ok_or_else(|| format!("no tenant `{tenant}`"))?;
-                let baseline_name = t.baseline.clone().expect("tenant with a stream has a baseline");
                 let s = t
                     .streams
                     .get(&stream)
@@ -469,6 +468,10 @@ impl ServiceState {
                 if skip >= records.len() {
                     return Ok(Response::Ingested { total: s.ingested });
                 }
+                let baseline_name = t
+                    .baseline
+                    .clone()
+                    .ok_or_else(|| format!("tenant `{tenant}` has no baseline stream"))?;
                 let fresh: Vec<Observation> =
                     records[skip..].iter().map(|&w| w.into()).collect();
                 t.store.append(&stream, &fresh).map_err(|e| e.to_string())?;
@@ -478,8 +481,31 @@ impl ServiceState {
                 let total = s.ingested;
                 if is_baseline {
                     // Baseline grew: advance side A of every live engine.
+                    // An engine opened after the baseline already had
+                    // data may still lag side A; it must be caught up
+                    // from the store *before* the fresh tail, or it
+                    // would see records out of order and its κ would
+                    // diverge from batch analysis.
+                    let pre_len = total - fresh.len() as u64;
+                    let any_lagging = t.streams.values().any(|o| {
+                        o.engine
+                            .as_ref()
+                            .is_some_and(|e| (e.seen_a() as u64) < pre_len)
+                    });
+                    let old_base: Vec<Observation> = if any_lagging {
+                        t.store.get(&stream).map_err(|e| e.to_string())?[..pre_len as usize]
+                            .to_vec()
+                    } else {
+                        Vec::new()
+                    };
                     for other in t.streams.values_mut() {
                         if let Some(eng) = other.engine.as_mut() {
+                            let fed = eng.seen_a() as u64;
+                            if fed < pre_len {
+                                for o in &old_base[fed as usize..] {
+                                    eng.push(Side::A, o.id, o.t_ps);
+                                }
+                            }
                             for o in &fresh {
                                 eng.push(Side::A, o.id, o.t_ps);
                             }
@@ -529,7 +555,6 @@ impl ServiceState {
                     .tenants
                     .get_mut(&tenant)
                     .ok_or_else(|| format!("no tenant `{tenant}`"))?;
-                let baseline_name = t.baseline.clone().expect("tenant with a stream has a baseline");
                 let s = t
                     .streams
                     .get(&stream)
@@ -537,6 +562,10 @@ impl ServiceState {
                 if s.finished {
                     return Err(format!("stream `{tenant}/{stream}` already finished"));
                 }
+                let baseline_name = t
+                    .baseline
+                    .clone()
+                    .ok_or_else(|| format!("tenant `{tenant}` has no baseline stream"))?;
                 if s.is_baseline() {
                     let s = t.streams.get_mut(&stream).expect("checked above");
                     s.finished = true;
@@ -639,8 +668,17 @@ impl ServiceState {
         if self.cfg.checkpoint_every_records > 0
             && self.records_since_ck >= self.cfg.checkpoint_every_records
         {
+            // The op itself is journaled and applied; a failed cadence
+            // checkpoint must not make the client believe the op failed
+            // (a retry would then hit a spurious "already exists"
+            // refusal). Durability is unharmed — the journal still
+            // covers everything since the last good checkpoint — so
+            // surface the failure out of band and retry next cadence.
             if let Err(m) = self.checkpoint() {
-                return Response::Error { message: m };
+                eprintln!("choir-serve: cadence checkpoint failed: {m}");
+                if obs::is_enabled() {
+                    obs::counter_inc("service.checkpoint.failures");
+                }
             }
         }
         resp
@@ -885,6 +923,14 @@ fn bad_name(s: &str) -> Response {
 /// Spawner for the TCP serve loop.
 pub struct Daemon;
 
+/// Live per-connection handler threads, with a socket clone each so a
+/// stopping daemon can unblock handlers parked in `recv_request`.
+/// Finished entries are pruned on every accept; the rest are shut down
+/// and joined by [`DaemonHandle::kill`]/[`DaemonHandle::shutdown`]/
+/// [`DaemonHandle::wait`], so no handler can still be journaling after
+/// those return.
+type ConnRegistry = Mutex<Vec<(Option<TcpStream>, thread::JoinHandle<()>)>>;
+
 /// A running daemon. Dropping the handle does **not** stop the daemon;
 /// call [`DaemonHandle::shutdown`] (graceful, checkpoints) or
 /// [`DaemonHandle::kill`] (hard stop, no checkpoint — the crash the
@@ -894,6 +940,7 @@ pub struct DaemonHandle {
     stop: Arc<AtomicBool>,
     thread: Option<thread::JoinHandle<()>>,
     state: Arc<Mutex<ServiceState>>,
+    conns: Arc<ConnRegistry>,
 }
 
 impl Daemon {
@@ -905,8 +952,10 @@ impl Daemon {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<ConnRegistry> = Arc::new(Mutex::new(Vec::new()));
         let accept_state = Arc::clone(&state);
         let accept_stop = Arc::clone(&stop);
+        let accept_conns = Arc::clone(&conns);
         let thread = thread::spawn(move || {
             for conn in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
@@ -915,7 +964,11 @@ impl Daemon {
                 let Ok(conn) = conn else { continue };
                 let st = Arc::clone(&accept_state);
                 let stop = Arc::clone(&accept_stop);
-                thread::spawn(move || serve_connection(conn, st, stop, local));
+                let sock = conn.try_clone().ok();
+                let handler = thread::spawn(move || serve_connection(conn, st, stop, local));
+                let mut reg = accept_conns.lock().expect("conn registry lock");
+                reg.retain(|(_, h)| !h.is_finished());
+                reg.push((sock, handler));
             }
         });
         Ok(DaemonHandle {
@@ -923,6 +976,7 @@ impl Daemon {
             stop,
             thread: Some(thread),
             state,
+            conns,
         })
     }
 }
@@ -977,12 +1031,13 @@ impl DaemonHandle {
     }
 
     /// Block until the serve loop exits (a client sent `Shutdown`,
-    /// which checkpoints before stopping). For `choir-serve`'s
-    /// foreground mode.
+    /// which checkpoints before stopping), then reap every handler
+    /// thread. For `choir-serve`'s foreground mode.
     pub fn wait(mut self) {
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
+        self.join_connections();
     }
 
     /// Graceful stop: checkpoint durable state, then stop accepting.
@@ -1007,6 +1062,25 @@ impl DaemonHandle {
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
+        }
+        self.join_connections();
+    }
+
+    /// Shut down every live connection socket (unblocking handlers
+    /// parked in `recv_request`) and join their threads, so that no
+    /// handler can still touch `data_dir` after the daemon stops — a
+    /// re-spawn on the same directory must never race a leftover
+    /// handler for the journal.
+    fn join_connections(&self) {
+        let drained: Vec<_> = {
+            let mut reg = self.conns.lock().expect("conn registry lock");
+            reg.drain(..).collect()
+        };
+        for (sock, handler) in drained {
+            if let Some(s) = sock {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            let _ = handler.join();
         }
     }
 }

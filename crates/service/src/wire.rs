@@ -184,7 +184,9 @@ pub enum Request {
     Snapshot { tenant: String, stream: String },
     /// The periodic snapshot trail of one comparison stream.
     Trail { tenant: String, stream: String },
-    /// The all-pairs κ matrix over every finished stream of a tenant.
+    /// The all-pairs κ matrix over all of a tenant's streams, each at
+    /// its currently ingested length (live streams contribute their
+    /// prefix so far).
     Matrix { tenant: String },
     /// Ingest progress of one stream (used by clients to resume).
     StreamStatus { tenant: String, stream: String },
@@ -340,7 +342,8 @@ pub enum Response {
     },
     /// Snapshot trail of a comparison stream.
     Trail { points: Vec<WireTrailPoint> },
-    /// All-pairs matrix over a tenant's finished streams.
+    /// All-pairs matrix over all of a tenant's streams at their
+    /// currently ingested lengths.
     Matrix {
         /// Stream names, in matrix order.
         labels: Vec<String>,

@@ -286,6 +286,80 @@ fn kill_restart_mid_ingest_serves_bit_identical_kappa() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A comparison stream opened *after* the baseline has already ingested
+/// data must still converge on batch-identical κ: later baseline growth
+/// may not push the fresh tail into its engine before the missed prefix
+/// has been fed (records would arrive out of order and duplicated).
+#[test]
+fn late_opened_stream_is_bit_identical_to_batch() {
+    let dir = tmp_dir("lateopen");
+    let cfg = DaemonConfig::new(&dir);
+    let handle = Daemon::spawn(cfg, "127.0.0.1:0").expect("spawn");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    let base = synth(4, 0);
+    let ontime = synth(4, 1);
+    let late = synth(4, 2);
+
+    c.create_tenant("acme", 0).expect("create");
+    c.open_stream("acme", "base").expect("open baseline");
+    // `ontime` exists from the start and stays caught up throughout.
+    c.open_stream("acme", "ontime").expect("open ontime");
+
+    // Baseline ingests a prefix before `late` exists.
+    c.ingest("acme", "base", 0, &base[..200]).expect("base prefix");
+    c.open_stream("acme", "late").expect("open late");
+
+    // Baseline grows again: `late`'s engine lags side A by 200 records
+    // here, while `ontime`'s is exactly caught up — the growth path has
+    // to handle both in the same loop.
+    c.ingest("acme", "base", 200, &base[200..400]).expect("base growth");
+
+    c.ingest("acme", "ontime", 0, &ontime).expect("ontime records");
+    c.ingest("acme", "late", 0, &late).expect("late records");
+
+    // Live snapshots against the current baseline prefix.
+    for (name, data) in [("ontime", &ontime), ("late", &late)] {
+        let Response::Snapshot { running, .. } =
+            c.snapshot("acme", name).expect("live snapshot")
+        else {
+            panic!("snapshot variant");
+        };
+        let a = trial_of(&base[..400]);
+        let b = trial_of(data);
+        let batch = PairAnalyzer::new(&a, &b).analyze();
+        assert_eq!(
+            running.kappa_bits,
+            batch.metrics.kappa.to_bits(),
+            "live κ of `{name}` must equal batch κ on the ingested prefix"
+        );
+    }
+
+    // Drain the baseline and finish everything; finals must match an
+    // uninterrupted batch analysis bit for bit.
+    c.ingest("acme", "base", 400, &base[400..]).expect("base tail");
+    assert!(c.finish_stream("acme", "base").expect("finish base").is_none());
+    let a = trial_of(&base);
+    for (name, data) in [("ontime", &ontime), ("late", &late)] {
+        let f = c
+            .finish_stream("acme", name)
+            .expect("finish stream")
+            .expect("comparison summary");
+        let batch = PairAnalyzer::new(&a, &trial_of(data)).analyze();
+        assert_eq!(
+            f.score.kappa_bits,
+            batch.metrics.kappa.to_bits(),
+            "final κ of `{name}` must equal batch κ"
+        );
+        assert_eq!(f.a_len as usize, base.len());
+        assert_eq!(f.b_len as usize, data.len());
+    }
+
+    drop(c);
+    handle.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn gap_and_foreign_requests_are_refused_not_fatal() {
     let dir = tmp_dir("refusals");
@@ -297,10 +371,23 @@ fn gap_and_foreign_requests_are_refused_not_fatal() {
     c.create_tenant("acme", 0).expect("create");
     assert!(c.create_tenant("acme", 0).is_err(), "duplicate tenant");
     assert!(c.create_tenant("bad/name", 0).is_err(), "invalid name");
+
+    // A tenant with no streams must refuse ingest/finish — not panic
+    // the daemon (a panic here would also be journaled and replayed
+    // into a restart crash loop).
+    let obs = synth(9, 0);
+    assert!(
+        c.ingest("acme", "nosuch", 0, &obs[..5]).is_err(),
+        "ingest into a streamless tenant"
+    );
+    assert!(
+        c.finish_stream("acme", "nosuch").is_err(),
+        "finish on a streamless tenant"
+    );
+    c.ping().expect("daemon survived streamless ingest/finish");
     c.open_stream("acme", "base").expect("open baseline");
     c.open_stream("acme", "b").expect("open comparison");
 
-    let obs = synth(9, 0);
     // Gap: stream is empty but the batch claims to start at 10.
     assert!(c.ingest("acme", "b", 10, &obs[..20]).is_err(), "ingest gap");
     // Comparison streams cannot finish before the baseline does.
